@@ -1,0 +1,54 @@
+"""Figure 10 — the spectrum of pullup eagerness.
+
+The paper orders the algorithms by how eagerly they pull predicates up:
+
+    PushDown < PullRank < Predicate Migration < LDL < PullUp
+
+We quantify eagerness on real plans (mean normalised lift of expensive
+predicates above their entry slots, over the workload suite) and check the
+ordering, with PushDown pinned at 0 and PullUp at 1.
+"""
+
+from conftest import emit
+
+from repro.bench import eagerness_score
+from repro.optimizer import optimize
+
+STRATEGIES = ("pushdown", "pullrank", "migration", "ldl", "pullup")
+QUERIES = ("q1", "q2", "q3", "q4", "q5")
+
+
+def measure_spectrum(db, workloads):
+    scores = {}
+    for strategy in STRATEGIES:
+        values = []
+        for key in QUERIES:
+            plan = optimize(
+                db, workloads[key].query, strategy=strategy
+            ).plan
+            score = eagerness_score(plan)
+            if score is not None:
+                values.append(score)
+        scores[strategy] = sum(values) / len(values)
+    return scores
+
+
+def test_fig10_eagerness(benchmark, db, workloads):
+    scores = benchmark.pedantic(
+        lambda: measure_spectrum(db, workloads), rounds=1, iterations=1
+    )
+
+    title = "Figure 10 — spectrum of eagerness in pullup (measured)"
+    lines = [title, "=" * len(title)]
+    for strategy in STRATEGIES:
+        bar = "#" * round(scores[strategy] * 40)
+        lines.append(f"{strategy:<12} {scores[strategy]:5.2f}  {bar}")
+    lines.append("(0 = pure pushdown, 1 = everything pulled to the top)")
+    emit("\n".join(lines))
+
+    assert scores["pushdown"] == 0.0
+    assert scores["pullup"] == 1.0
+    assert scores["pushdown"] <= scores["pullrank"] + 1e-9
+    assert scores["pullrank"] <= scores["migration"] + 1e-9
+    assert scores["migration"] <= scores["pullup"] + 1e-9
+    assert scores["ldl"] <= scores["pullup"] + 1e-9

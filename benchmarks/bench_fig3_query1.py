@@ -1,0 +1,30 @@
+"""Figure 3 — Query 1: selection pushdown fails on expensive predicates.
+
+Paper shape: PushDown is several times worse than every other algorithm,
+because it evaluates costly100 on all of t10 while the join would have
+filtered t10 to ~30% first. Everyone else (PullUp, PullRank, Migration,
+LDL, Exhaustive) finds the optimal plan.
+"""
+
+from conftest import emit
+
+from repro.bench import format_outcomes, outcome_by_strategy, run_strategies
+
+
+def test_fig3_query1(benchmark, db, workloads):
+    workload = workloads["q1"]
+    outcomes = benchmark.pedantic(
+        lambda: run_strategies(db, workload.query),
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_outcomes(
+        f"{workload.title} ({workload.figure})", outcomes,
+        note=workload.sql.replace("\n", " "),
+    ))
+
+    pushdown = outcome_by_strategy(outcomes, "pushdown")
+    migration = outcome_by_strategy(outcomes, "migration")
+    assert pushdown.charged > 3.0 * migration.charged
+    for strategy in ("pullup", "pullrank", "ldl", "exhaustive"):
+        assert outcome_by_strategy(outcomes, strategy).relative < 1.05

@@ -1,0 +1,30 @@
+"""Figure 5 — Query 3: over-eager pullup is significantly poor.
+
+Paper shape: the join fans out (selectivity > 1) over the relation
+carrying costly100, so PullUp multiplies the expensive invocations by the
+fanout and loses by the same factor. (Section 4.2 notes function caching
+avoids this — see bench_ablation_caching.)
+"""
+
+from conftest import emit
+
+from repro.bench import format_outcomes, outcome_by_strategy, run_strategies
+
+
+def test_fig5_query3(benchmark, db, workloads):
+    workload = workloads["q3"]
+    outcomes = benchmark.pedantic(
+        lambda: run_strategies(db, workload.query),
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_outcomes(
+        f"{workload.title} ({workload.figure})", outcomes,
+        note=workload.sql.replace("\n", " "),
+    ))
+
+    pullup = outcome_by_strategy(outcomes, "pullup")
+    migration = outcome_by_strategy(outcomes, "migration")
+    assert pullup.charged > 2.0 * migration.charged
+    for strategy in ("pushdown", "pullrank", "ldl", "exhaustive"):
+        assert outcome_by_strategy(outcomes, strategy).relative < 1.05

@@ -1,0 +1,52 @@
+"""Optional — Query 1 at the paper's published scale.
+
+The paper's database is the Hong–Stonebraker schema scaled ×10 (t10 =
+100,000 tuples, ~110 MB with indexes). This bench repeats the Figure 3
+comparison at that scale to confirm the shapes are scale-invariant.
+
+Disabled by default (it builds a ~50 MB in-memory database and executes
+hundred-thousand-row joins in pure Python); enable with::
+
+    REPRO_PAPER_SCALE=1 pytest benchmarks/bench_paper_scale.py --benchmark-only -s
+"""
+
+import os
+
+import pytest
+
+from conftest import emit
+
+from repro.bench import (
+    build_workload,
+    format_outcomes,
+    outcome_by_strategy,
+    run_strategies,
+)
+from repro.catalog.datagen import PAPER_SCALE, build_database
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_PAPER_SCALE"),
+    reason="paper-scale run disabled; set REPRO_PAPER_SCALE=1",
+)
+
+
+def test_paper_scale_query1(benchmark):
+    def run():
+        db = build_database(scale=PAPER_SCALE, seed=42)
+        workload = build_workload(db, "q1")
+        outcomes = run_strategies(
+            db,
+            workload.query,
+            strategies=("pushdown", "migration"),
+        )
+        return db, outcomes
+
+    db, outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(format_outcomes(
+        f"Query 1 at paper scale (t10 = {10 * PAPER_SCALE:,} tuples, "
+        f"{db.size_megabytes():.0f} MB)",
+        outcomes,
+    ))
+    pushdown = outcome_by_strategy(outcomes, "pushdown")
+    migration = outcome_by_strategy(outcomes, "migration")
+    assert pushdown.charged > 3.0 * migration.charged

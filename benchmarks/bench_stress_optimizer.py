@@ -1,0 +1,24 @@
+"""Section 5 — the debugging methodology as a regression gate.
+
+The paper: optimizer bugs "were exposed by running the same query under
+the various different optimization heuristics, and comparing the estimated
+costs and running times of the resulting plans". This bench runs a few
+dozen random conjunctive queries under every heuristic, asserting that all
+plans agree on their answers and that Predicate Migration never estimates
+worse than a simpler heuristic.
+"""
+
+from conftest import emit
+
+from repro.bench.stress import stress_optimizer
+
+
+def test_stress_optimizer(benchmark, db):
+    report = benchmark.pedantic(
+        lambda: stress_optimizer(db, queries=40, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    emit(report.summary())
+    assert report.queries_run == 40
+    assert report.clean, report.summary()

@@ -1,0 +1,39 @@
+"""Table 1 — summary of algorithms: which query class each one optimises.
+
+The paper's Table 1 states, per algorithm, the class of queries it handles.
+This bench measures the matrix over the reconstructed workload suite and
+checks it against the paper's claims (encoded in
+``repro.bench.applicability.EXPECTED``).
+"""
+
+from conftest import emit
+
+from repro.bench.applicability import (
+    EXPECTED,
+    applicability_matrix,
+    format_matrix,
+)
+
+
+def test_table1_applicability(benchmark, db):
+    matrix = benchmark.pedantic(
+        lambda: applicability_matrix(db), rounds=1, iterations=1
+    )
+    emit(format_matrix(matrix))
+
+    failures = []
+    for workload, expectations in EXPECTED.items():
+        for strategy, should_be_correct in expectations.items():
+            cell = matrix[workload][strategy]
+            if cell.correct != should_be_correct:
+                failures.append(
+                    f"{workload}/{strategy}: expected {should_be_correct}, "
+                    f"relative={cell.relative:.2f}"
+                )
+    assert not failures, failures
+
+    # Predicate Migration and Exhaustive are correct everywhere (Table 1's
+    # "widely effective" / "all queries").
+    for workload in EXPECTED:
+        assert matrix[workload]["migration"].correct
+        assert matrix[workload]["exhaustive"].correct

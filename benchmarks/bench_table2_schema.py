@@ -1,0 +1,50 @@
+"""Table 2 — physical characteristics of the relations.
+
+The paper's Table 2 lists per-relation cardinality and physical size for
+the Hong–Stonebraker schema (scaled ×10, 100-byte tuples, ~110 MB with
+indexes and catalogs). We regenerate the table from the synthetic
+database's catalog.
+"""
+
+from conftest import BENCH_SCALE, emit
+
+
+def render_table2(db) -> str:
+    title = f"Table 2 — relation characteristics (scale={BENCH_SCALE})"
+    lines = [title, "=" * len(title)]
+    header = (
+        f"{'relation':<10}{'tuples':>10}{'pages':>8}{'size (KB)':>12}"
+        f"{'indexes':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    total_bytes = 0
+    for name in sorted(db.catalog.table_names(), key=lambda n: int(n[1:])):
+        entry = db.catalog.table(name)
+        size_kb = entry.pages * db.params.page_size / 1024
+        total_bytes += entry.pages * db.params.page_size
+        lines.append(
+            f"{name:<10}{entry.cardinality:>10}{entry.pages:>8}"
+            f"{size_kb:>12.0f}{len(entry.indexes):>9}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"database size with indexes: {db.size_megabytes():.1f} MB "
+        f"(paper, at scale 10000: ~110 MB)"
+    )
+    return "\n".join(lines)
+
+
+def test_table2_schema(benchmark, db):
+    table = benchmark.pedantic(
+        lambda: render_table2(db), rounds=1, iterations=1
+    )
+    emit(table)
+
+    # Shape assertions: tN = N x scale tuples, 100-byte tuples, u-columns
+    # unindexed.
+    for n in (1, 5, 10):
+        entry = db.catalog.table(f"t{n}")
+        assert entry.cardinality == n * BENCH_SCALE
+        assert entry.schema.tuple_width == 100
+        assert len(entry.indexes) == len(entry.schema.indexed_attributes)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run at ``REPRO_BENCH_SCALE`` (default 100: tN has N×100 tuples).
+The paper's published scale is 10_000; shapes are scale-invariant because
+selectivities derive from the attribute naming convention.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+(the ``-s`` shows the reproduced tables; without it they are captured).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.workloads import build_all
+from repro.catalog.datagen import build_database
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "100"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+@pytest.fixture(scope="session")
+def db():
+    return build_database(scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def workloads(db):
+    return build_all(db)
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table/figure, framed for easy grepping."""
+    print()
+    print(text)
+    print()

@@ -1,0 +1,57 @@
+"""Run the paper's whole workload suite across all six algorithms.
+
+Prints one bar table per benchmark query (the paper's Figures 3, 4, 5, 8,
+9), the Table 1 applicability matrix, and the Figure 10 pullup-eagerness
+spectrum — a miniature of the full benchmark harness in ``benchmarks/``.
+
+Run:  python examples/optimizer_comparison.py
+"""
+
+from repro import build_database
+from repro.bench import (
+    applicability_matrix,
+    build_workload,
+    eagerness_score,
+    format_matrix,
+    format_outcomes,
+    run_strategies,
+)
+
+
+def main() -> None:
+    db = build_database(scale=100, seed=42)
+
+    plans_by_strategy: dict[str, list] = {}
+    for key in ("q1", "q2", "q3", "q4", "q5"):
+        workload = build_workload(db, key)
+        outcomes = run_strategies(db, workload.query, budget=workload.budget)
+        print(format_outcomes(
+            f"{workload.title} ({workload.figure})",
+            outcomes,
+            note=workload.diagnostic,
+        ))
+        print()
+        for outcome in outcomes:
+            if outcome.plan is not None:
+                plans_by_strategy.setdefault(outcome.strategy, []).append(
+                    outcome.plan
+                )
+
+    print(format_matrix(applicability_matrix(db)))
+    print()
+
+    print("Figure 10 — spectrum of pullup eagerness (measured)")
+    print("===================================================")
+    scores = []
+    for strategy, plans in plans_by_strategy.items():
+        values = [s for s in map(eagerness_score, plans) if s is not None]
+        if values:
+            scores.append((sum(values) / len(values), strategy))
+    for score, strategy in sorted(scores):
+        bar = "#" * round(score * 40)
+        print(f"  {strategy:<12} {score:5.2f}  {bar}")
+    print("  (0 = pure pushdown, 1 = everything at the top of the plan)")
+
+
+if __name__ == "__main__":
+    main()

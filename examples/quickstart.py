@@ -1,0 +1,51 @@
+"""Quickstart: optimize and run a query with an expensive predicate.
+
+Builds the synthetic Hong-Stonebraker-style database, compiles the paper's
+Query 1 from SQL, optimizes it under classic selection pushdown and under
+Predicate Migration, and shows why pushdown is the wrong heuristic when a
+selection costs 100 random I/Os per call.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Executor, build_database, compile_query, optimize, plan_tree
+
+def main() -> None:
+    # tN has N x scale tuples; attribute names encode repetition ('u20':
+    # each value ~20 times) and indexing ('u' prefix = unindexed).
+    db = build_database(scale=100, seed=42)
+    print(f"database: {db.description}, {db.size_megabytes():.1f} MB\n")
+
+    # costly100 costs 100 random I/Os per invocation (registered by
+    # build_database along with costly1/10/1000, all selectivity 0.5).
+    query = compile_query(
+        db,
+        """
+        SELECT * FROM t3, t10
+        WHERE t3.a1 = t10.ua1 AND costly100(t10.u20)
+        """,
+        name="quickstart",
+    )
+
+    for strategy in ("pushdown", "migration"):
+        optimized = optimize(db, query, strategy=strategy)
+        result = Executor(db).execute(optimized.plan)
+        print(f"--- {strategy} ---")
+        print(plan_tree(optimized.plan))
+        print(
+            f"rows={result.row_count}  "
+            f"charged={result.charged:,.0f} units  "
+            f"(of which {result.metrics['function_charged']:,.0f} "
+            f"from {result.metrics['function_calls']:.0f} UDF calls)\n"
+        )
+
+    push = Executor(db).execute(optimize(db, query, "pushdown").plan).charged
+    migr = Executor(db).execute(optimize(db, query, "migration").plan).charged
+    print(
+        f"Predicate Migration beats selection pushdown by "
+        f"{push / migr:.2f}x on this query: the join filters t10 down to "
+        f"a third before the 100-I/O predicate ever runs."
+    )
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,167 @@
+"""Command-line driver: optimize and run SQL against the synthetic database.
+
+Examples::
+
+    python -m repro --sql "SELECT * FROM t3, t10 \
+        WHERE t3.a1 = t10.ua1 AND costly100(t10.u20)"
+    python -m repro --sql "..." --strategy pushdown --explain-only
+    python -m repro --sql "..." --compare --caching
+    python -m repro --workload q4 --compare
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import Executor, build_database, compile_query, optimize, plan_tree
+from repro.bench import format_outcomes, run_strategies
+from repro.bench.harness import DEFAULT_STRATEGIES
+from repro.bench.workloads import WORKLOADS, build_workload
+from repro.errors import ReproError
+from repro.optimizer import STRATEGIES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Practical Predicate Placement' "
+            "(Hellerstein, SIGMOD 1994): optimize and execute SQL with "
+            "expensive predicates."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--sql", help="SQL text to plan and run")
+    source.add_argument(
+        "--workload",
+        choices=sorted(WORKLOADS),
+        help="one of the paper's benchmark queries",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="migration",
+        choices=sorted(STRATEGIES),
+        help="placement algorithm (default: migration)",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="run every placement algorithm and print the comparison table",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=100,
+        help="database scale: tN has N x scale tuples (default 100; "
+        "the paper's scale is 10000)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--caching", action="store_true", help="enable predicate caching"
+    )
+    parser.add_argument(
+        "--bushy",
+        action="store_true",
+        help="enumerate bushy join trees (enumeration-based strategies)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="charged-cost budget; plans exceeding it report DNF",
+    )
+    parser.add_argument(
+        "--explain-only",
+        action="store_true",
+        help="print the plan without executing it",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the first N result rows",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+
+    db = build_database(scale=args.scale, seed=args.seed)
+    try:
+        if args.workload:
+            workload = build_workload(db, args.workload)
+            query = workload.query
+            budget = args.budget if args.budget is not None else workload.budget
+            print(f"-- {workload.title} ({workload.figure})", file=out)
+            print(workload.sql, file=out)
+        else:
+            from repro.bench.workloads import ensure_workload_functions
+
+            ensure_workload_functions(db)
+            query = compile_query(db, args.sql, name="cli")
+            budget = args.budget
+
+        if args.compare:
+            outcomes = run_strategies(
+                db,
+                query,
+                strategies=DEFAULT_STRATEGIES,
+                caching=args.caching,
+                budget=budget,
+                execute=not args.explain_only,
+            )
+            print(
+                format_outcomes(
+                    f"{query.name or 'query'} under every algorithm", outcomes
+                ),
+                file=out,
+            )
+            return 0
+
+        optimized = optimize(
+            db,
+            query,
+            strategy=args.strategy,
+            caching=args.caching,
+            bushy=args.bushy,
+        )
+        print(
+            f"-- strategy: {args.strategy}  "
+            f"(planned in {optimized.planning_seconds * 1000:.1f} ms, "
+            f"estimated cost {optimized.estimated_cost:,.1f})",
+            file=out,
+        )
+        print(plan_tree(optimized.plan), file=out)
+        if args.explain_only:
+            return 0
+
+        executor = Executor(db, caching=args.caching, budget=budget)
+        result = executor.execute(optimized.plan, project=query.select)
+        if not result.completed:
+            print(
+                f"DNF: exceeded budget after charging "
+                f"{result.charged:,.1f} units",
+                file=out,
+            )
+            return 2
+        print(
+            f"{result.row_count} rows, charged {result.charged:,.1f} units "
+            f"({result.metrics['function_calls']:.0f} UDF calls, "
+            f"{result.metrics['random_ios']:.0f} random + "
+            f"{result.metrics['seq_ios']:.0f} sequential I/Os)",
+            file=out,
+        )
+        for row in result.rows[: args.rows]:
+            print(row, file=out)
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

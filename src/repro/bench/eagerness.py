@@ -1,0 +1,49 @@
+"""Pullup-eagerness measurement (the paper's Figure 10 spectrum).
+
+Figure 10 orders the algorithms by how eagerly they pull predicates up:
+PushDown < PullRank < Predicate Migration < LDL < PullUp. We quantify this
+on real plans: for each expensive movable predicate, its *lift* is how far
+above its entry slot it was placed, normalised by the available headroom;
+an algorithm's eagerness on a query is the mean lift over its expensive
+predicates, and the spectrum is the mean over a workload suite.
+"""
+
+from __future__ import annotations
+
+from repro.plan.nodes import Plan, PlanNode
+from repro.plan.streams import spine_of
+
+
+def eagerness_score(plan: Plan | PlanNode) -> float | None:
+    """Mean normalised lift of the expensive filters in one plan.
+
+    Returns ``None`` when the plan has no expensive filter with headroom
+    (nothing to be eager about).
+    """
+    root = plan.root if isinstance(plan, Plan) else plan
+    spine = spine_of(root)
+    lifts: list[float] = []
+    for node in root.walk():
+        for predicate in node.filters:
+            if not predicate.is_expensive:
+                continue
+            entry = spine.entry_slot(predicate)
+            headroom = (spine.slots - 1) - entry
+            if headroom <= 0:
+                continue
+            slot = _current_slot(spine, node)
+            lifts.append(max(0, slot - entry) / headroom)
+    if not lifts:
+        return None
+    return sum(lifts) / len(lifts)
+
+
+def _current_slot(spine, node: PlanNode) -> int:
+    """The slot a filter list corresponds to: scans are below every join
+    they feed; join ``i``'s filters sit at slot ``i + 1``."""
+    for spine_join in spine.joins:
+        if node is spine_join.join:
+            return spine_join.slot
+        if node is spine_join.join.inner:
+            return 0
+    return 0  # the spine leaf

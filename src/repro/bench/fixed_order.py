@@ -1,0 +1,173 @@
+"""Placement comparison on a *fixed* join order (the paper's Figures 6–7).
+
+Section 4.3 analyses PullRank's failure on one specific plan shape: with the
+join order fixed, ranks decreasing up the spine require pulling a selection
+above a *group* of joins, which PullRank (one join at a time) cannot do.
+Inside full System R enumeration a different join order can mask the effect
+— Montage's masked order was expensive (Figure 7), ours may not be — so
+this module compares the placement algorithms head-to-head on the same
+skeleton, which isolates exactly the effect the paper's figures analyse.
+
+Join methods are chosen once (greedily, under pushdown placement) and held
+fixed across algorithms, mirroring the paper's "all the algorithms pick the
+same join method" setup.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.bench.harness import StrategyOutcome
+from repro.cost.model import CostModel
+from repro.database import Database
+from repro.exec import Executor
+from repro.optimizer.exhaustive import _method_costs, _skeleton
+from repro.optimizer.migration import migrate_node
+from repro.optimizer.policies import rank_sorted
+from repro.optimizer.query import Query
+from repro.plan.nodes import Plan, PlanNode, Scan
+from repro.plan.streams import Spine, spine_of
+
+FIXED_ORDER_STRATEGIES = (
+    "pushdown",
+    "pullrank",
+    "migration",
+    "pullup",
+    "exhaustive",
+)
+
+
+def fixed_order_plans(
+    db: Database,
+    query: Query,
+    order: tuple[str, ...],
+    caching: bool = False,
+) -> dict[str, Plan]:
+    """One plan per placement algorithm, all sharing the same join order
+    and join methods."""
+    model = CostModel(db.catalog, db.params, caching=caching)
+    base, movable = _skeleton(query, order, query.join_predicates())
+    spine = spine_of(base)
+    # Fix methods once, greedily, under the as-built (pushdown) placement.
+    list(_method_costs(spine, db.catalog, model, "greedy"))
+
+    plans: dict[str, Plan] = {}
+
+    pushdown = base.clone()
+    plans["pushdown"] = _finish(pushdown, model)
+
+    pullup = base.clone()
+    pullup_spine = spine_of(pullup)
+    pullup_spine.apply_placement(
+        {
+            predicate: pullup_spine.slots - 1
+            for predicate in _movable_of(pullup_spine)
+        }
+    )
+    plans["pullup"] = _finish(pullup, model)
+
+    pullrank = base.clone()
+    _pullrank_fixed(spine_of(pullrank), model)
+    plans["pullrank"] = _finish(pullrank, model)
+
+    migration = base.clone()
+    migrate_node(migration, model)
+    plans["migration"] = _finish(migration, model)
+
+    exhaustive = base.clone()
+    _best_slots(spine_of(exhaustive), model)
+    plans["exhaustive"] = _finish(exhaustive, model)
+    return plans
+
+
+def fixed_order_outcomes(
+    db: Database,
+    query: Query,
+    order: tuple[str, ...],
+    caching: bool = False,
+    budget: float | None = None,
+    execute: bool = True,
+) -> list[StrategyOutcome]:
+    """Measure the fixed-order plans; relative charge vs the best."""
+    plans = fixed_order_plans(db, query, order, caching=caching)
+    outcomes: list[StrategyOutcome] = []
+    for strategy in FIXED_ORDER_STRATEGIES:
+        plan = plans[strategy]
+        outcome = StrategyOutcome(
+            strategy=strategy,
+            plan=plan,
+            estimated_cost=plan.estimated_cost or float("nan"),
+            planning_seconds=0.0,
+        )
+        if execute:
+            result = Executor(db, caching=caching, budget=budget).execute(plan)
+            outcome.charged = result.charged
+            outcome.completed = result.completed
+            outcome.rows = result.row_count
+            outcome.function_calls = int(result.metrics["function_calls"])
+            outcome.executed = True
+        outcomes.append(outcome)
+    completed = [o.charged for o in outcomes if o.executed and o.completed]
+    if completed:
+        best = min(completed)
+        for outcome in outcomes:
+            if outcome.executed and outcome.completed and best > 0:
+                outcome.relative = outcome.charged / best
+    return outcomes
+
+
+def _movable_of(spine: Spine) -> list:
+    movable = []
+    for node in spine.top.walk():
+        movable.extend(p for p in node.filters if p.is_expensive)
+    return movable
+
+
+def _pullrank_fixed(spine: Spine, model: CostModel) -> None:
+    """PullRank's per-join decisions replayed bottom-up on a fixed tree."""
+    for spine_join in spine.joins:
+        join = spine_join.join
+        outer_rows = model.estimate_plan(join.outer).rows
+        inner_rows = model.estimate_plan(join.inner).rows
+        per_input = model.per_input(join, outer_rows, inner_rows)
+        for source, input_rank in (
+            (join.outer, per_input.outer_rank),
+            (join.inner, per_input.inner_rank),
+        ):
+            pulled = [p for p in source.filters if p.rank > input_rank]
+            for predicate in pulled:
+                source.filters.remove(predicate)
+            join.filters = rank_sorted(join.filters + pulled)
+
+
+def _best_slots(spine: Spine, model: CostModel) -> None:
+    """Exhaustive slot assignment for the expensive movables."""
+    movable = _movable_of(spine)
+    best_cost = float("inf")
+    best_assignment: dict | None = None
+    slot_ranges = [
+        range(spine.entry_slot(predicate), spine.slots)
+        for predicate in movable
+    ]
+    for slots in itertools.product(*slot_ranges):
+        assignment = dict(zip(movable, slots))
+        spine.apply_placement(assignment)
+        cost = model.estimate_plan(spine.top).cost
+        if cost < best_cost:
+            best_cost = cost
+            best_assignment = assignment
+    if best_assignment is not None:
+        spine.apply_placement(best_assignment)
+
+
+def _finish(root: PlanNode, model: CostModel) -> Plan:
+    estimate = model.estimate_plan(root)
+    return Plan(root, estimate.cost, estimate.rows)
+
+
+def default_good_order(query: Query, db: Database) -> tuple[str, ...]:
+    """A deterministic left-deep order: tables sorted by filtered size,
+    then connectivity-first. Good enough for the fixed-order studies, which
+    pass explicit orders anyway."""
+    del db
+    return tuple(query.tables)

@@ -1,0 +1,120 @@
+"""Run one query under several placement strategies and measure plans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.database import Database
+from repro.errors import OptimizerError
+from repro.exec import Executor
+from repro.optimizer import optimize
+from repro.optimizer.query import Query
+from repro.plan.nodes import Plan
+
+#: The paper's algorithm line-up, in its Figure 10 eagerness order.
+DEFAULT_STRATEGIES = (
+    "pushdown",
+    "pullrank",
+    "migration",
+    "ldl",
+    "pullup",
+    "exhaustive",
+)
+
+
+@dataclass
+class StrategyOutcome:
+    """One strategy's plan and its measured charge."""
+
+    strategy: str
+    plan: Plan
+    estimated_cost: float
+    planning_seconds: float
+    charged: float = float("nan")
+    completed: bool = True
+    rows: int = 0
+    function_calls: int = 0
+    executed: bool = False
+    error: str = ""
+    relative: float = float("nan")
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def dnf(self) -> bool:
+        return self.executed and not self.completed
+
+
+def run_strategies(
+    db: Database,
+    query: Query,
+    strategies: tuple[str, ...] = DEFAULT_STRATEGIES,
+    caching: bool = False,
+    global_model: bool = False,
+    budget: float | None = None,
+    execute: bool = True,
+) -> list[StrategyOutcome]:
+    """Optimize and (optionally) execute ``query`` under each strategy.
+
+    Returns outcomes with ``relative`` filled in: measured charge divided by
+    the best completed plan's charge (the paper reports relative times).
+    """
+    outcomes: list[StrategyOutcome] = []
+    for strategy in strategies:
+        try:
+            optimized = optimize(
+                db,
+                query,
+                strategy=strategy,
+                caching=caching,
+                global_model=global_model,
+            )
+        except OptimizerError as error:
+            outcomes.append(
+                StrategyOutcome(
+                    strategy=strategy,
+                    plan=None,  # type: ignore[arg-type]
+                    estimated_cost=float("nan"),
+                    planning_seconds=float("nan"),
+                    error=str(error),
+                )
+            )
+            continue
+        outcome = StrategyOutcome(
+            strategy=strategy,
+            plan=optimized.plan,
+            estimated_cost=optimized.estimated_cost,
+            planning_seconds=optimized.planning_seconds,
+        )
+        if execute:
+            executor = Executor(db, caching=caching, budget=budget)
+            result = executor.execute(optimized.plan)
+            outcome.charged = result.charged
+            outcome.completed = result.completed
+            outcome.rows = result.row_count
+            outcome.function_calls = int(result.metrics["function_calls"])
+            outcome.executed = True
+        outcomes.append(outcome)
+
+    completed = [
+        o.charged for o in outcomes if o.executed and o.completed
+    ]
+    if completed:
+        best = min(completed)
+        for outcome in outcomes:
+            if outcome.executed and outcome.completed and best > 0:
+                outcome.relative = outcome.charged / best
+    return outcomes
+
+
+def best_outcome(outcomes: list[StrategyOutcome]) -> StrategyOutcome:
+    candidates = [o for o in outcomes if o.executed and o.completed]
+    return min(candidates, key=lambda outcome: outcome.charged)
+
+
+def outcome_by_strategy(
+    outcomes: list[StrategyOutcome], strategy: str
+) -> StrategyOutcome:
+    for outcome in outcomes:
+        if outcome.strategy == strategy:
+            return outcome
+    raise KeyError(strategy)

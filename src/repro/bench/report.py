@@ -1,0 +1,73 @@
+"""ASCII reporting in the spirit of the paper's bar-chart figures."""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.harness import StrategyOutcome
+
+_BAR_WIDTH = 40
+
+
+def _bar(relative: float, max_relative: float) -> str:
+    if math.isnan(relative) or max_relative <= 0:
+        return ""
+    filled = max(1, round(_BAR_WIDTH * relative / max_relative))
+    return "#" * min(_BAR_WIDTH, filled)
+
+
+def format_outcomes(
+    title: str,
+    outcomes: list[StrategyOutcome],
+    note: str = "",
+) -> str:
+    """Render one figure's worth of results as a table with bars."""
+    lines = [title, "=" * len(title)]
+    if note:
+        lines.append(note)
+    completed = [
+        o.relative
+        for o in outcomes
+        if o.executed and o.completed and not math.isnan(o.relative)
+    ]
+    max_relative = max(completed) if completed else 1.0
+    header = (
+        f"{'strategy':<12} {'est.cost':>12} {'charged':>12} "
+        f"{'rel':>8}  {'(relative charged cost)'}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for outcome in outcomes:
+        if outcome.error:
+            lines.append(f"{outcome.strategy:<12} ERROR: {outcome.error}")
+            continue
+        est = f"{outcome.estimated_cost:>12.0f}"
+        if not outcome.executed:
+            lines.append(f"{outcome.strategy:<12} {est} {'(not run)':>12}")
+            continue
+        if not outcome.completed:
+            lines.append(
+                f"{outcome.strategy:<12} {est} {'DNF':>12} {'—':>8}  "
+                "(exceeded cost budget; paper: 'never completed')"
+            )
+            continue
+        lines.append(
+            f"{outcome.strategy:<12} {est} {outcome.charged:>12.0f} "
+            f"{outcome.relative:>7.2f}x  {_bar(outcome.relative, max_relative)}"
+        )
+    return "\n".join(lines)
+
+
+def format_planning_times(
+    title: str, outcomes: list[StrategyOutcome]
+) -> str:
+    lines = [title, "=" * len(title)]
+    for outcome in outcomes:
+        if outcome.error:
+            lines.append(f"{outcome.strategy:<12} ERROR: {outcome.error}")
+        else:
+            lines.append(
+                f"{outcome.strategy:<12} planned in "
+                f"{outcome.planning_seconds * 1000:9.1f} ms"
+            )
+    return "\n".join(lines)

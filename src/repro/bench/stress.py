@@ -1,0 +1,143 @@
+"""Random-query stress testing: the paper's Section 5 debugging lesson.
+
+"Benchmarking is absolutely crucial to thoroughly debugging a query
+optimizer ... Typically, bugs were exposed by running the same query under
+the various different optimization heuristics, and comparing the estimated
+costs and running times of the resulting plans."
+
+This module automates exactly that: generate random conjunctive queries,
+optimize each under every algorithm, execute every plan, and flag
+
+* *disagreements* — two plans for the same query returning different rows
+  (an executor or placement-correctness bug), and
+* *regressions* — Predicate Migration estimating worse than a simpler
+  heuristic (the paper's tell-tale for an optimizer bug).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.database import Database
+from repro.errors import OptimizerError
+from repro.exec import Executor
+from repro.optimizer import optimize
+from repro.optimizer.query import Query
+from repro.sql import compile_query
+
+DEFAULT_STRATEGIES = ("pushdown", "pullup", "pullrank", "migration")
+
+_COLUMNS = ("a1", "a20", "ua1", "ua20", "u20")
+_FUNCTIONS = ("costly1", "costly10", "costly100")
+_OPERATORS = ("=", "<", "<=", ">", ">=", "<>")
+
+
+@dataclass
+class StressIssue:
+    sql: str
+    kind: str  # "disagreement" | "regression" | "error"
+    detail: str
+
+
+@dataclass
+class StressReport:
+    queries_run: int = 0
+    issues: list[StressIssue] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues
+
+    def summary(self) -> str:
+        status = "CLEAN" if self.clean else f"{len(self.issues)} ISSUE(S)"
+        lines = [f"stress: {self.queries_run} random queries — {status}"]
+        for issue in self.issues[:10]:
+            lines.append(f"  [{issue.kind}] {issue.sql}")
+            lines.append(f"      {issue.detail}")
+        return "\n".join(lines)
+
+
+def random_sql(rng: random.Random, tables: list[str]) -> str:
+    """One random conjunctive query over 1–2 of ``tables``."""
+    chosen = rng.sample(tables, rng.randint(1, min(2, len(tables))))
+    conjuncts: list[str] = []
+    if len(chosen) == 2:
+        conjuncts.append(
+            f"{chosen[0]}.{rng.choice(_COLUMNS)} = "
+            f"{chosen[1]}.{rng.choice(_COLUMNS)}"
+        )
+    for _ in range(rng.randint(0, 2)):
+        table = rng.choice(chosen)
+        if rng.random() < 0.5:
+            conjuncts.append(
+                f"{table}.{rng.choice(_COLUMNS)} "
+                f"{rng.choice(_OPERATORS)} {rng.randint(0, 30)}"
+            )
+        else:
+            conjuncts.append(
+                f"{rng.choice(_FUNCTIONS)}({table}.{rng.choice(_COLUMNS)})"
+            )
+    sql = f"SELECT * FROM {', '.join(chosen)}"
+    if conjuncts:
+        sql += " WHERE " + " AND ".join(conjuncts)
+    return sql
+
+
+def _canonical_rows(db: Database, query: Query, plan) -> list[tuple]:
+    project = [
+        (table, name)
+        for table in sorted(query.tables)
+        for name in db.catalog.table(table).schema.attribute_names
+    ]
+    result = Executor(db).execute(plan, project=project)
+    return sorted(result.rows)
+
+
+def stress_optimizer(
+    db: Database,
+    queries: int = 40,
+    seed: int = 0,
+    tables: tuple[str, ...] = ("t1", "t2", "t3"),
+    strategies: tuple[str, ...] = DEFAULT_STRATEGIES,
+) -> StressReport:
+    """Run the random stress suite; returns a report of any issues found."""
+    rng = random.Random(seed)
+    report = StressReport()
+    for _ in range(queries):
+        sql = random_sql(rng, list(tables))
+        report.queries_run += 1
+        try:
+            query = compile_query(db, sql, name="stress")
+            reference_rows = None
+            estimates: dict[str, float] = {}
+            for strategy in strategies:
+                optimized = optimize(db, query, strategy=strategy)
+                estimates[strategy] = optimized.estimated_cost
+                rows = _canonical_rows(db, query, optimized.plan)
+                if reference_rows is None:
+                    reference_rows = rows
+                elif rows != reference_rows:
+                    report.issues.append(
+                        StressIssue(
+                            sql,
+                            "disagreement",
+                            f"{strategy} returned {len(rows)} rows vs "
+                            f"{len(reference_rows)}",
+                        )
+                    )
+            if "migration" in estimates:
+                floor = estimates["migration"]
+                for strategy, estimate in estimates.items():
+                    if estimate < floor - 1e-6:
+                        report.issues.append(
+                            StressIssue(
+                                sql,
+                                "regression",
+                                f"migration estimated {floor:.1f} but "
+                                f"{strategy} estimated {estimate:.1f}",
+                            )
+                        )
+        except OptimizerError as error:
+            report.issues.append(StressIssue(sql, "error", str(error)))
+    return report

@@ -1,0 +1,272 @@
+"""The paper's benchmark queries, reconstructed.
+
+The paper prints Query 1 and *describes* Queries 2–5; exact SQL was not
+published. Each reconstruction below preserves the diagnostic property the
+paper uses the query for (documented per query), against our synthetic
+Hong–Stonebraker-style database where relation ``tN`` holds ``N × scale``
+tuples and a column's trailing number is its value-repetition factor.
+
+Functions follow the paper's convention: ``costlyN`` costs N random I/Os
+per invocation. Selectivities are catalog metadata; the synthetic function
+bodies deterministically realise them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.database import Database
+from repro.optimizer.query import Query
+from repro.sql import compile_query
+
+
+@dataclass
+class Workload:
+    """One benchmark query plus its reproduction context."""
+
+    key: str
+    title: str
+    figure: str
+    sql: str
+    diagnostic: str
+    query: Query
+    #: Charged-cost budget for execution; None = unbounded. Only Query 5
+    #: needs one (its PullUp plan must DNF, per the paper's footnote).
+    budget: float | None = None
+
+
+def ensure_workload_functions(db: Database) -> None:
+    """Register the UDFs the workloads rely on (idempotent)."""
+    functions = db.catalog.functions
+    if "costly100" not in functions:
+        functions.register_costly(100, selectivity=0.5, seed=db.seed + 100)
+    if "costly100sel10" not in functions:
+        functions.register(
+            "costly100sel10",
+            cost_per_call=100.0,
+            selectivity=0.10,
+            seed=db.seed + 1,
+        )
+    if "expjoin10" not in functions:
+        functions.register(
+            "expjoin10",
+            cost_per_call=10.0,
+            selectivity=0.01,
+            seed=db.seed + 2,
+        )
+    if "costly100sel90" not in functions:
+        functions.register(
+            "costly100sel90",
+            cost_per_call=100.0,
+            selectivity=0.90,
+            seed=db.seed + 3,
+        )
+
+
+def _query1(db: Database) -> Workload:
+    """Query 1 (Figure 3): the join is selective (0.3) over the relation
+    carrying the expensive selection, so the selection belongs *above* the
+    join — PushDown evaluates costly100 on every t10 tuple and loses by
+    more than 3×."""
+    sql = (
+        "SELECT * FROM t3, t10\n"
+        "WHERE t3.a1 = t10.ua1 AND costly100(t10.u20)"
+    )
+    return Workload(
+        key="q1",
+        title="Query 1",
+        figure="Figure 3",
+        sql=sql,
+        diagnostic=(
+            "join selective over t10; pullup of costly100 wins big; "
+            "PushDown suboptimal by ~|t10| / |t3 join t10| in function cost"
+        ),
+        query=compile_query(db, sql, name="Query 1"),
+    )
+
+
+def _query2(db: Database) -> Workload:
+    """Query 2 (Figure 4): same shape as Query 1 but the join has
+    selectivity ~1 over t10 ("t9's join column has more values than
+    t10's"), so pullup buys nothing and only inflates the join inputs —
+    PullUp errs, but nearly insignificantly.
+
+    The paper swaps t3 for t9; under our generator the equivalent way to
+    make the join non-selective over t10 is joining t9's unique column to
+    t10's 20-way-repeated column (every t10 tuple finds its match).
+    """
+    sql = (
+        "SELECT * FROM t9, t10\n"
+        "WHERE t9.a1 = t10.ua20 AND costly100(t10.u20)"
+    )
+    return Workload(
+        key="q2",
+        title="Query 2",
+        figure="Figure 4",
+        sql=sql,
+        diagnostic=(
+            "join selectivity 1 over t10; over-eager pullup loses only the "
+            "join-input inflation — a nearly insignificant error"
+        ),
+        query=compile_query(db, sql, name="Query 2"),
+    )
+
+
+def _query3(db: Database) -> Workload:
+    """Query 3 (Figure 5): the join *fans out* (selectivity > 1) over the
+    relation carrying the expensive selection — each qualifying t3 tuple
+    matches ~20 t10 tuples — so pulling the selection up multiplies its
+    invocations. Over-eager pullup is significantly poor here (and
+    predicate caching is what rescues it; see the caching ablation)."""
+    sql = (
+        "SELECT * FROM t3, t10\n"
+        "WHERE t3.ua1 = t10.ua20 AND costly100(t3.u20)"
+    )
+    return Workload(
+        key="q3",
+        title="Query 3",
+        figure="Figure 5",
+        sql=sql,
+        diagnostic=(
+            "join fans out over t3 (selectivity > 1); PullUp multiplies "
+            "costly100 invocations by the fanout"
+        ),
+        query=compile_query(db, sql, name="Query 3"),
+    )
+
+
+def _query4(db: Database) -> Workload:
+    """Query 4 (Figures 6–8): a three-way join whose spine ranks decrease —
+    J1 (t3⋈t6) passes every t3 tuple (rank ~0) while J2 (⋈t10, with t10
+    pre-filtered) is very selective (rank << 0). The expensive selection's
+    rank sits between them: PullRank, comparing one join at a time, leaves
+    it below J1 forever; Predicate Migration groups J1·J2 and pulls it
+    above the pair."""
+    stats = db.catalog.table("t10").stats.attribute("a20")
+    threshold = stats.low + max(1, round(0.1 * stats.width))
+    sql = (
+        "SELECT * FROM t3, t6, t10\n"
+        "WHERE costly100sel10(t3.u20)\n"
+        "  AND t3.ua1 = t6.a1\n"
+        "  AND t6.ua1 = t10.a1\n"
+        f"  AND t10.a20 < {threshold}"
+    )
+    return Workload(
+        key="q4",
+        title="Query 4",
+        figure="Figure 8 (plans: Figures 6-7)",
+        sql=sql,
+        diagnostic=(
+            "decreasing join ranks up the spine require a multi-join group "
+            "pullup; PullRank cannot and stays ~an order of magnitude off"
+        ),
+        query=compile_query(db, sql, name="Query 4"),
+    )
+
+
+def _query5(db: Database) -> Workload:
+    """Query 5 (Figure 9): an *expensive primary join predicate* connects
+    t7 (no cheap equijoin exists to it), plus an expensive selection on t3.
+    PullUp pulls the selection above the expensive join, evaluating
+    expjoin10 on the whole cross-product of t7 with the three-way join —
+    the plan that filled Montage's swap and never completed. We give the
+    executor a cost budget and report the DNF."""
+    pages = sum(db.catalog.table(name).pages for name in ("t3", "t6", "t7", "t10"))
+    t3 = db.catalog.table("t3").cardinality
+    t7 = db.catalog.table("t7").cardinality
+    # A generous budget: ~10× the good plan's charge, far below PullUp's.
+    good_plan_charge = 0.1 * t3 * t7 * 10 + 100 * t3 + pages
+    budget = 3.0 * good_plan_charge
+    # The expensive join predicate reads unique columns so its realized
+    # pass rate matches the declared 1% (coarse columns quantize it away
+    # at small scales).
+    sql = (
+        "SELECT * FROM t3, t6, t7, t10\n"
+        "WHERE costly100sel10(t3.u20)\n"
+        "  AND t3.ua1 = t6.a1\n"
+        "  AND t6.ua1 = t10.a1\n"
+        "  AND expjoin10(t7.ua1, t3.ua1)"
+    )
+    return Workload(
+        key="q5",
+        title="Query 5",
+        figure="Figure 9",
+        sql=sql,
+        diagnostic=(
+            "expensive primary join predicate; PullUp lifts the selection "
+            "above it and DNFs (the paper's swap-exhaustion footnote)"
+        ),
+        query=compile_query(db, sql, name="Query 5"),
+        budget=budget,
+    )
+
+
+def _ldl_example(db: Database) -> Workload:
+    """The Section 3.1 example (Figures 1–2): R ⋈ S with expensive
+    selections p(R), q(S) on *both* inputs, where the optimal plan (the
+    paper's Figure 1) applies both below the join. That plan is bushy in
+    LDL's join-ified view (Figure 2), so a left-deep LDL plan must pull one
+    selection above the join — here a fanout join, which multiplies the
+    pulled predicate's invocations."""
+    sql = (
+        "SELECT * FROM t3, t6\n"
+        "WHERE t3.ua20 = t6.ua20\n"
+        "  AND costly100sel90(t3.u20) AND costly100sel90(t6.u100)"
+    )
+    return Workload(
+        key="ldl_example",
+        title="LDL example (R join S with p(R), q(S))",
+        figure="Figures 1-2",
+        sql=sql,
+        diagnostic=(
+            "expensive selections on both inputs; LDL cannot keep the "
+            "inner one below the join"
+        ),
+        query=compile_query(db, sql, name="LDL example"),
+    )
+
+
+def _fiveway(db: Database) -> Workload:
+    """The Section 4.4 planning-time check: a 5-way join with expensive
+    predicates planned in under 8 seconds (Montage on a SparcStation 10)."""
+    sql = (
+        "SELECT * FROM t2, t4, t6, t8, t10\n"
+        "WHERE t2.ua1 = t4.a1\n"
+        "  AND t4.ua1 = t6.a1\n"
+        "  AND t6.ua1 = t8.a1\n"
+        "  AND t8.ua1 = t10.a1\n"
+        "  AND costly100(t2.u20)\n"
+        "  AND costly100sel10(t6.u20)\n"
+        "  AND costly100(t10.u20)"
+    )
+    return Workload(
+        key="fiveway",
+        title="5-way join with expensive predicates",
+        figure="Section 4.4 (planning time)",
+        sql=sql,
+        diagnostic="optimization-time stress case for unpruneable retention",
+        query=compile_query(db, sql, name="5-way join"),
+    )
+
+
+WORKLOADS: dict[str, Callable[[Database], Workload]] = {
+    "q1": _query1,
+    "q2": _query2,
+    "q3": _query3,
+    "q4": _query4,
+    "q5": _query5,
+    "ldl_example": _ldl_example,
+    "fiveway": _fiveway,
+}
+
+
+def build_workload(db: Database, key: str) -> Workload:
+    """Instantiate one workload against a database (registers its UDFs)."""
+    ensure_workload_functions(db)
+    return WORKLOADS[key](db)
+
+
+def build_all(db: Database) -> dict[str, Workload]:
+    ensure_workload_functions(db)
+    return {key: factory(db) for key, factory in WORKLOADS.items()}

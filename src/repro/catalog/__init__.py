@@ -1,0 +1,33 @@
+"""System catalog: relation schemas, statistics, and user-defined functions.
+
+This package models the Montage system catalogs that the paper's optimizer
+consults: per-relation cardinality and page counts, per-attribute distinct
+value counts, which attributes carry B-tree indexes, and the cost/selectivity
+metadata of user-defined functions (the paper's ``costly100`` etc.).
+"""
+
+from repro.catalog.schema import (
+    Attribute,
+    RelationSchema,
+    parse_attribute_name,
+)
+from repro.catalog.statistics import AttributeStats, RelationStats
+from repro.catalog.functions import (
+    FunctionRegistry,
+    UserFunction,
+    synthetic_boolean,
+)
+from repro.catalog.catalog import Catalog, TableEntry
+
+__all__ = [
+    "Attribute",
+    "AttributeStats",
+    "Catalog",
+    "FunctionRegistry",
+    "RelationSchema",
+    "RelationStats",
+    "TableEntry",
+    "UserFunction",
+    "parse_attribute_name",
+    "synthetic_boolean",
+]

@@ -1,0 +1,114 @@
+"""The catalog proper: a registry of tables and user-defined functions.
+
+The optimizer consults the catalog for statistics and index availability;
+the executor consults it for heap files, B-trees, and UDF callables. Storage
+handles are stored as opaque attributes so the catalog package stays free of
+storage imports (the database assembly in :mod:`repro.database` wires them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.catalog.functions import FunctionRegistry
+from repro.catalog.schema import RelationSchema
+from repro.catalog.statistics import RelationStats
+from repro.errors import (
+    DuplicateNameError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+
+
+@dataclass
+class TableEntry:
+    """Everything the system knows about one base relation."""
+
+    schema: RelationSchema
+    stats: RelationStats
+    heap: Any = None
+    indexes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def cardinality(self) -> int:
+        return self.stats.cardinality
+
+    @property
+    def pages(self) -> int:
+        return self.stats.pages
+
+    def has_index(self, attribute: str) -> bool:
+        return attribute in self.indexes
+
+    def index(self, attribute: str) -> Any:
+        try:
+            return self.indexes[attribute]
+        except KeyError:
+            raise UnknownAttributeError(self.name, attribute) from None
+
+
+class Catalog:
+    """Name → :class:`TableEntry` registry plus the function registry."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableEntry] = {}
+        self.functions = FunctionRegistry()
+
+    def register_table(self, entry: TableEntry) -> TableEntry:
+        if entry.name in self._tables:
+            raise DuplicateNameError(
+                f"relation already registered: {entry.name!r}"
+            )
+        self._tables[entry.name] = entry
+        return entry
+
+    def table(self, name: str) -> TableEntry:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[TableEntry]:
+        return iter(self._tables.values())
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def resolve_attribute(
+        self, attribute: str, tables_in_scope: list[str]
+    ) -> str:
+        """Find the unique in-scope table that defines ``attribute``.
+
+        Used by the SQL binder for unqualified column references. Raises
+        :class:`UnknownAttributeError` when the name resolves to zero or to
+        more than one table.
+        """
+        owners = [
+            name
+            for name in tables_in_scope
+            if self.table(name).schema.has_attribute(attribute)
+        ]
+        if len(owners) != 1:
+            raise UnknownAttributeError(
+                "|".join(tables_in_scope) or "<empty scope>", attribute
+            )
+        return owners[0]
+
+    def total_bytes(self, include_indexes: bool = True) -> int:
+        """Approximate database size, mirroring the paper's ~110 MB figure."""
+        total = 0
+        for entry in self:
+            page_size = getattr(entry.heap, "page_size", 8192)
+            total += entry.pages * page_size
+            if include_indexes:
+                for index in entry.indexes.values():
+                    total += getattr(index, "pages", 0) * page_size
+        return total

@@ -1,0 +1,145 @@
+"""User-defined functions with catalog cost and selectivity metadata.
+
+The paper's experiments use functions named ``costlyN`` whose per-invocation
+cost equals the I/O time of touching *N* unclustered tuples. Crucially, the
+paper does **not** execute real work inside the functions: it counts
+invocations and charges ``invocations × cost`` afterwards (Section 2). We do
+the same — every :class:`UserFunction` carries a ``cost_per_call`` in
+random-I/O units and an invocation counter that the executor charges against
+its cost meter.
+
+Functions still compute *real* boolean results so that measured
+selectivities match the catalog estimates: :func:`synthetic_boolean` builds a
+deterministic pseudo-random predicate with a target pass rate.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import DuplicateNameError, UnknownFunctionError
+
+#: Resolution of the synthetic predicates' pass-rate quantisation.
+_HASH_BUCKETS = 1_000_000
+
+
+def synthetic_boolean(selectivity: float, seed: int = 0) -> Callable[..., bool]:
+    """Build a deterministic boolean function with the given pass rate.
+
+    The function hashes its arguments (with ``seed`` mixed in) onto
+    ``[0, 1)`` and passes values landing below ``selectivity``. Because the
+    hash is uniform, the measured selectivity over a large uniform input
+    domain converges to the target, which keeps the optimizer's catalog
+    estimates honest during execution.
+    """
+    if not 0.0 <= selectivity <= 1.0:
+        raise ValueError(f"selectivity must be in [0, 1], got {selectivity}")
+    threshold = int(round(selectivity * _HASH_BUCKETS))
+
+    def predicate(*args: object) -> bool:
+        payload = repr((seed,) + args).encode("utf-8")
+        bucket = zlib.crc32(payload) % _HASH_BUCKETS
+        return bucket < threshold
+
+    return predicate
+
+
+@dataclass
+class UserFunction:
+    """A registered UDF plus its catalog metadata.
+
+    ``cost_per_call`` is expressed in random-I/O units (the paper's
+    convention: ``costly100`` costs as much as 100 unclustered tuple reads).
+    ``selectivity`` is the catalog's estimate of the pass rate when the
+    function is used as a boolean predicate; it is ignored for non-boolean
+    functions.
+    """
+
+    name: str
+    fn: Callable[..., object]
+    cost_per_call: float
+    selectivity: float = 0.5
+    calls: int = field(default=0, compare=False)
+
+    def __call__(self, *args: object) -> object:
+        self.calls += 1
+        return self.fn(*args)
+
+    def reset(self) -> None:
+        self.calls = 0
+
+    @property
+    def charged(self) -> float:
+        """Total charged cost so far: invocations × per-call cost."""
+        return self.calls * self.cost_per_call
+
+
+class FunctionRegistry:
+    """Name → :class:`UserFunction` registry with invocation accounting."""
+
+    def __init__(self) -> None:
+        self._functions: dict[str, UserFunction] = {}
+
+    def register(
+        self,
+        name: str,
+        fn: Callable[..., object] | None = None,
+        *,
+        cost_per_call: float,
+        selectivity: float = 0.5,
+        seed: int = 0,
+    ) -> UserFunction:
+        """Register a UDF.
+
+        When ``fn`` is omitted, a deterministic synthetic boolean with the
+        declared ``selectivity`` is installed — the common case for
+        reproducing the paper's ``costlyN`` functions.
+        """
+        if name in self._functions:
+            raise DuplicateNameError(f"function already registered: {name!r}")
+        if fn is None:
+            fn = synthetic_boolean(selectivity, seed=seed)
+        function = UserFunction(
+            name=name,
+            fn=fn,
+            cost_per_call=cost_per_call,
+            selectivity=selectivity,
+        )
+        self._functions[name] = function
+        return function
+
+    def register_costly(
+        self, cost: int, *, selectivity: float = 0.5, seed: int = 0
+    ) -> UserFunction:
+        """Register the paper's ``costly<N>`` naming shorthand."""
+        return self.register(
+            f"costly{cost}",
+            cost_per_call=float(cost),
+            selectivity=selectivity,
+            seed=seed,
+        )
+
+    def get(self, name: str) -> UserFunction:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise UnknownFunctionError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def names(self) -> list[str]:
+        return sorted(self._functions)
+
+    def reset_counters(self) -> None:
+        for function in self._functions.values():
+            function.reset()
+
+    def total_calls(self) -> int:
+        return sum(f.calls for f in self._functions.values())
+
+    def total_charged(self) -> float:
+        """Charged function cost across all UDFs, in random-I/O units."""
+        return sum(f.charged for f in self._functions.values())

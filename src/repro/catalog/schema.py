@@ -1,0 +1,125 @@
+"""Relation schemas and the paper's attribute naming convention.
+
+The paper (Section 2) uses a schema derived from Hong and Stonebraker:
+
+* attributes whose names start with ``u`` are unindexed; all others carry a
+  B-tree index;
+* the number in an attribute name gives the approximate number of times each
+  value is repeated in the column (``u20`` means each value appears ~20
+  times; ``a1``/``ua1`` are unique).
+
+:func:`parse_attribute_name` decodes that convention so the synthetic data
+generator and the statistics module can derive repetition factors and index
+flags directly from names.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import DuplicateNameError, UnknownAttributeError
+
+#: Tuple width used throughout the paper's experiments ("All tuples are 100
+#: bytes wide").
+DEFAULT_TUPLE_WIDTH = 100
+
+_NAME_RE = re.compile(r"^(?P<unindexed>u?)(?P<stem>[a-z]*?)(?P<rep>\d+)$")
+
+
+def parse_attribute_name(name: str) -> tuple[bool, int]:
+    """Decode the paper's attribute naming convention.
+
+    Returns ``(indexed, repetition)`` where ``repetition`` is the approximate
+    number of times each value repeats in the column. Names that do not match
+    the convention default to an unindexed, unique attribute.
+
+    >>> parse_attribute_name("a20")
+    (True, 20)
+    >>> parse_attribute_name("ua1")
+    (False, 1)
+    >>> parse_attribute_name("u20")
+    (False, 20)
+    """
+    match = _NAME_RE.match(name)
+    if match is None:
+        return (False, 1)
+    indexed = not match.group("unindexed")
+    repetition = max(1, int(match.group("rep")))
+    return (indexed, repetition)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One column of a relation.
+
+    ``repetition`` drives the synthetic data generator: a column of
+    repetition *k* over a relation of cardinality *c* holds values drawn from
+    ``range(c // k)`` so each value appears ~*k* times.
+    """
+
+    name: str
+    indexed: bool
+    repetition: int = 1
+
+    @classmethod
+    def from_name(cls, name: str) -> "Attribute":
+        """Build an attribute from the paper's naming convention alone."""
+        indexed, repetition = parse_attribute_name(name)
+        return cls(name=name, indexed=indexed, repetition=repetition)
+
+
+@dataclass
+class RelationSchema:
+    """An ordered list of attributes plus the physical tuple width."""
+
+    name: str
+    attributes: list[Attribute]
+    tuple_width: int = DEFAULT_TUPLE_WIDTH
+    _positions: dict[str, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._positions = {}
+        for position, attribute in enumerate(self.attributes):
+            if attribute.name in self._positions:
+                raise DuplicateNameError(
+                    f"duplicate attribute {attribute.name!r} "
+                    f"on relation {self.name!r}"
+                )
+            self._positions[attribute.name] = position
+
+    @classmethod
+    def from_names(
+        cls,
+        relation_name: str,
+        attribute_names: list[str],
+        tuple_width: int = DEFAULT_TUPLE_WIDTH,
+    ) -> "RelationSchema":
+        """Build a schema whose attributes all follow the naming convention."""
+        attributes = [Attribute.from_name(name) for name in attribute_names]
+        return cls(relation_name, attributes, tuple_width)
+
+    def position(self, attribute_name: str) -> int:
+        """Return the 0-based slot of ``attribute_name`` within a tuple."""
+        try:
+            return self._positions[attribute_name]
+        except KeyError:
+            raise UnknownAttributeError(self.name, attribute_name) from None
+
+    def attribute(self, attribute_name: str) -> Attribute:
+        """Return the :class:`Attribute` descriptor for a column."""
+        return self.attributes[self.position(attribute_name)]
+
+    def has_attribute(self, attribute_name: str) -> bool:
+        return attribute_name in self._positions
+
+    @property
+    def attribute_names(self) -> list[str]:
+        return [attribute.name for attribute in self.attributes]
+
+    @property
+    def indexed_attributes(self) -> list[str]:
+        return [a.name for a in self.attributes if a.indexed]
+
+    def __len__(self) -> int:
+        return len(self.attributes)

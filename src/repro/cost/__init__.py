@@ -1,0 +1,13 @@
+"""The per-input linear cost model (Section 3.2 of the paper).
+
+Join costs are constrained to the linear form ``k{R} + l{S} + m`` (plus a
+``c_p{R}{S}`` term for expensive primary join predicates), and each join has
+a *different* selectivity for each input stream — the correction the paper
+makes to the "global" model of [HS93a]. The discarded global model is kept
+behind a flag for the ablation benchmark.
+"""
+
+from repro.cost.params import CostParams
+from repro.cost.model import CostModel, Estimate, PerInput
+
+__all__ = ["CostModel", "CostParams", "Estimate", "PerInput"]

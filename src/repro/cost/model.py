@@ -1,0 +1,438 @@
+"""Cost and cardinality estimation over plan trees.
+
+The model implements Section 3.2 of the paper:
+
+* **Linear join costs.** Every join method's cost is of the form
+  ``k{R} + l{S} + m`` in the input cardinalities, with the single exception
+  of an *expensive primary join predicate*, which adds ``c_p{R}{S}``.
+  Nested loop without an index fits because the number of inner blocks
+  scanned per outer tuple is the *base* relation's page count, a constant
+  irrespective of selections on the inner.
+* **Per-input selectivities.** A join predicate of (absolute) selectivity
+  ``s`` over R and S passes ``s·{S}`` of R's tuples and ``s·{R}`` of S's —
+  different for each stream. The discarded "global" model of [HS93a]
+  (``s`` applied equally to both inputs) is available via
+  ``global_model=True`` for the ablation bench.
+* **Predicate caching** (Section 5.1) changes rank arithmetic: per-input
+  join selectivities become value-based (``s · number_of_values(other
+  side's column)``) and are bounded by 1, and an expensive predicate is
+  charged once per distinct input binding rather than once per tuple.
+
+The executor in :mod:`repro.exec` charges I/O and function calls with the
+same formulas, so estimated and measured costs agree up to estimation error
+in cardinalities — which is what makes optimizer-quality comparisons
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.cost.params import CostParams
+from repro.errors import PlanError
+from repro.expr.expressions import QualifiedColumn
+from repro.expr.predicates import Predicate
+from repro.plan.nodes import Join, JoinMethod, PlanNode, Scan
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Estimated properties of a plan node's output stream."""
+
+    rows: float
+    cost: float
+    width: int
+    order: QualifiedColumn | None = None
+
+
+@dataclass(frozen=True)
+class PerInput:
+    """Differential (per-input) join quantities used for rank arithmetic."""
+
+    outer_selectivity: float
+    outer_cost: float
+    inner_selectivity: float
+    inner_cost: float
+
+    @property
+    def outer_rank(self) -> float:
+        from repro.expr.predicates import rank
+
+        return rank(self.outer_selectivity, self.outer_cost)
+
+    @property
+    def inner_rank(self) -> float:
+        from repro.expr.predicates import rank
+
+        return rank(self.inner_selectivity, self.inner_cost)
+
+
+class CostModel:
+    """Estimates cardinalities and charged costs of plan trees."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        params: CostParams | None = None,
+        caching: bool = False,
+        global_model: bool = False,
+    ) -> None:
+        self.catalog = catalog
+        self.params = params or CostParams()
+        self.caching = caching
+        self.global_model = global_model
+
+    # -- predicate-level estimates ------------------------------------------
+
+    def ndistinct_inputs(self, predicate: Predicate) -> float:
+        """Estimated number of distinct input bindings of a predicate."""
+        total = 1.0
+        for table, attribute in predicate.input_columns():
+            total *= max(
+                1, self.catalog.table(table).stats.ndistinct(attribute)
+            )
+        return total
+
+    def invocations(self, predicate: Predicate, rows_in: float) -> float:
+        """How many times a filter is actually evaluated on ``rows_in``.
+
+        With predicate caching, repeats of a binding hit the cache, so
+        evaluations are bounded by the number of distinct bindings.
+        """
+        if self.caching and predicate.is_expensive:
+            return min(rows_in, self.ndistinct_inputs(predicate))
+        return rows_in
+
+    def filter_chain(
+        self, rows_in: float, filters: list[Predicate]
+    ) -> tuple[float, float]:
+        """Apply an ordered filter list; return (rows out, charged cost)."""
+        rows = rows_in
+        cost = 0.0
+        for predicate in filters:
+            cost += predicate.cost_per_tuple * self.invocations(
+                predicate, rows
+            )
+            rows *= predicate.selectivity
+        return rows, cost
+
+    def join_selectivity(self, predicate: Predicate) -> float:
+        """Absolute selectivity ``s``: output = s · {R} · {S}."""
+        if predicate.equijoin is not None:
+            left, right = predicate.equijoin
+            ndistinct_left = self.catalog.table(left.table).stats.ndistinct(
+                left.attribute
+            )
+            ndistinct_right = self.catalog.table(right.table).stats.ndistinct(
+                right.attribute
+            )
+            return 1.0 / max(1, ndistinct_left, ndistinct_right)
+        return predicate.selectivity
+
+    # -- node-level estimates --------------------------------------------------
+
+    def estimate_plan(self, node: PlanNode) -> Estimate:
+        if isinstance(node, Scan):
+            return self.estimate_scan(node)
+        if isinstance(node, Join):
+            return self.estimate_join(node)
+        raise PlanError(f"cannot estimate node type: {type(node).__name__}")
+
+    def base_rows(self, table: str) -> int:
+        return self.catalog.table(table).stats.cardinality
+
+    def estimate_scan(self, scan: Scan) -> Estimate:
+        entry = self.catalog.table(scan.table)
+        width = entry.schema.tuple_width
+        if scan.index_attr is not None:
+            stats = entry.stats.attribute(scan.index_attr)
+            low, high = scan.index_range  # type: ignore[misc]
+            fraction = _range_fraction(stats.low, stats.high, low, high)
+            matches = entry.cardinality * fraction
+            probe = self.params.index_height(entry.cardinality)
+            io_cost = probe + matches  # random fetches of matching RIDs
+            rows, filter_cost = self.filter_chain(matches, scan.filters)
+            return Estimate(
+                rows=rows,
+                cost=io_cost + filter_cost,
+                width=width,
+                order=(scan.table, scan.index_attr),
+            )
+        io_cost = entry.pages * self.params.seq_weight
+        rows, filter_cost = self.filter_chain(
+            float(entry.cardinality), scan.filters
+        )
+        return Estimate(rows=rows, cost=io_cost + filter_cost, width=width)
+
+    def estimate_join(self, join: Join) -> Estimate:
+        outer = self.estimate_plan(join.outer)
+        width = outer.width + self._inner_width(join)
+        selectivity = self.join_selectivity(join.primary)
+
+        if join.method is JoinMethod.INDEX_NESTED_LOOP:
+            estimate = self._estimate_index_nl(join, outer, selectivity, width)
+        else:
+            inner = self.estimate_plan(join.inner)
+            if join.method is JoinMethod.NESTED_LOOP:
+                estimate = self._estimate_nl(
+                    join, outer, inner, selectivity, width
+                )
+            elif join.method is JoinMethod.MERGE:
+                estimate = self._estimate_merge(
+                    join, outer, inner, selectivity, width
+                )
+            elif join.method is JoinMethod.HASH:
+                estimate = self._estimate_hash(
+                    join, outer, inner, selectivity, width
+                )
+            else:  # pragma: no cover - exhaustive over enum
+                raise PlanError(f"unknown join method {join.method}")
+
+        rows, filter_cost = self.filter_chain(estimate.rows, join.filters)
+        return Estimate(
+            rows=rows,
+            cost=estimate.cost + filter_cost,
+            width=width,
+            order=estimate.order,
+        )
+
+    def _inner_width(self, join: Join) -> int:
+        inner_tables = sorted(join.inner.tables())
+        return sum(
+            self.catalog.table(name).schema.tuple_width
+            for name in inner_tables
+        )
+
+    def _inner_scan(self, join: Join) -> Scan:
+        if not isinstance(join.inner, Scan):
+            raise PlanError("left-deep plans require a scan inner input")
+        return join.inner
+
+    def _nl_rescan_pages(self, join: Join, inner: Estimate) -> float:
+        """Blocks rescanned per outer tuple: base pages for a scan inner
+        (constant irrespective of its selections, per the paper); pages of
+        the materialised intermediate for a bushy inner."""
+        if isinstance(join.inner, Scan):
+            return float(self.catalog.table(join.inner.table).pages)
+        return self.params.pages_for(inner.rows, inner.width)
+
+    def _estimate_nl(
+        self,
+        join: Join,
+        outer: Estimate,
+        inner: Estimate,
+        selectivity: float,
+        width: int,
+    ) -> Estimate:
+        """Nested loop, inner materialised once then rescanned.
+
+        Per the paper, the inner *block* scan volume per outer tuple is the
+        base relation's page count, constant irrespective of inner
+        selections; inner filters are evaluated once, during
+        materialisation (their cost is inside ``inner.cost``).
+        """
+        base_pages = self._nl_rescan_pages(join, inner)
+        rescan = outer.rows * base_pages * self.params.seq_weight
+        primary_cost = join.primary.cost_per_tuple * self.invocations(
+            join.primary, outer.rows * inner.rows
+        )
+        cpu = self.params.cpu_per_tuple * (outer.rows + inner.rows)
+        rows = selectivity * outer.rows * inner.rows
+        return Estimate(
+            rows=rows,
+            cost=outer.cost + inner.cost + rescan + primary_cost + cpu,
+            width=width,
+        )
+
+    def _estimate_index_nl(
+        self, join: Join, outer: Estimate, selectivity: float, width: int
+    ) -> Estimate:
+        """Index nested loop: probe + fetch per outer tuple; no inner scan.
+
+        Inner tuples that fail the join are "filtered with zero cost"; the
+        inner scan's own filters run only on fetched matches.
+        """
+        inner_scan = self._inner_scan(join)
+        entry = self.catalog.table(inner_scan.table)
+        columns = join.join_columns()
+        if columns is None:
+            raise PlanError("index nested loop requires an equijoin primary")
+        height = self.params.index_height(entry.cardinality)
+        matches = selectivity * outer.rows * entry.cardinality
+        probe_cost = outer.rows * height
+        fetch_cost = matches  # one random heap I/O per matching RID
+        rows, inner_filter_cost = self.filter_chain(
+            matches, inner_scan.filters
+        )
+        cpu = self.params.cpu_per_tuple * outer.rows
+        return Estimate(
+            rows=rows,
+            cost=outer.cost + probe_cost + fetch_cost + inner_filter_cost + cpu,
+            width=width,
+        )
+
+    def _sort_cost(self, rows: float, width: int) -> float:
+        return self.params.sort_cost(rows, width)
+
+    def _estimate_merge(
+        self,
+        join: Join,
+        outer: Estimate,
+        inner: Estimate,
+        selectivity: float,
+        width: int,
+    ) -> Estimate:
+        columns = join.join_columns()
+        if columns is None:
+            raise PlanError("merge join requires an equijoin primary")
+        outer_column, inner_column = columns
+        outer_key = (outer_column.table, outer_column.attribute)
+        inner_key = (inner_column.table, inner_column.attribute)
+        sort_cost = 0.0
+        if outer.order != outer_key:
+            sort_cost += self._sort_cost(outer.rows, outer.width)
+        if inner.order != inner_key:
+            sort_cost += self._sort_cost(inner.rows, inner.width)
+        cpu = self.params.cpu_per_tuple * (outer.rows + inner.rows)
+        rows = selectivity * outer.rows * inner.rows
+        return Estimate(
+            rows=rows,
+            cost=outer.cost + inner.cost + sort_cost + cpu,
+            width=width,
+            order=outer_key,
+        )
+
+    def _estimate_hash(
+        self,
+        join: Join,
+        outer: Estimate,
+        inner: Estimate,
+        selectivity: float,
+        width: int,
+    ) -> Estimate:
+        if join.join_columns() is None:
+            raise PlanError("hash join requires an equijoin primary")
+        inner_pages = self.params.pages_for(inner.rows, inner.width)
+        spill = 0.0
+        if inner_pages > self.params.hash_memory_pages:
+            outer_pages = self.params.pages_for(outer.rows, outer.width)
+            spill = 2.0 * (inner_pages + outer_pages) * self.params.seq_weight
+        cpu = self.params.cpu_per_tuple * (outer.rows + inner.rows)
+        rows = selectivity * outer.rows * inner.rows
+        return Estimate(
+            rows=rows,
+            cost=outer.cost + inner.cost + spill + cpu,
+            width=width,
+        )
+
+    # -- differential per-input quantities (rank arithmetic) ---------------------
+
+    def per_input(
+        self, join: Join, outer_rows: float, inner_rows: float
+    ) -> PerInput:
+        """Per-input selectivity and differential cost of one join.
+
+        ``outer_rows`` / ``inner_rows`` are the *current* stream estimates
+        ``{R}`` / ``{S}`` — the paper computes them "on the fly as needed,
+        based on the number of selections over R at the time" (Section 5.2),
+        accepting some over-eager pullup from the resulting underestimates.
+        """
+        selectivity = self.join_selectivity(join.primary)
+        if self.global_model:
+            outer_sel = inner_sel = selectivity
+        elif self.caching and join.primary.equijoin is not None:
+            left, right = join.primary.equijoin
+            if left.table in join.outer.tables():
+                outer_col, inner_col = left, right
+            else:
+                outer_col, inner_col = right, left
+            inner_values = self.catalog.table(inner_col.table).stats.ndistinct(
+                inner_col.attribute
+            )
+            outer_values = self.catalog.table(outer_col.table).stats.ndistinct(
+                outer_col.attribute
+            )
+            outer_sel = min(1.0, selectivity * inner_values)
+            inner_sel = min(1.0, selectivity * outer_values)
+        else:
+            outer_sel = selectivity * inner_rows
+            inner_sel = selectivity * outer_rows
+
+        outer_cost, inner_cost = self._differential_costs(
+            join, outer_rows, inner_rows
+        )
+        return PerInput(
+            outer_selectivity=outer_sel,
+            outer_cost=outer_cost,
+            inner_selectivity=inner_sel,
+            inner_cost=inner_cost,
+        )
+
+    def _differential_costs(
+        self, join: Join, outer_rows: float, inner_rows: float
+    ) -> tuple[float, float]:
+        """(k, l) of the linear join cost ``k{R} + l{S} + m``, plus the
+        ``c_p{other}`` share of an expensive primary join predicate."""
+        params = self.params
+        outer_width = sum(
+            self.catalog.table(name).schema.tuple_width
+            for name in sorted(join.outer.tables())
+        )
+        inner_width = self._inner_width(join)
+
+        cpu = params.cpu_per_tuple
+        if join.method is JoinMethod.NESTED_LOOP:
+            if isinstance(join.inner, Scan):
+                rescan_pages = float(
+                    self.catalog.table(join.inner.table).pages
+                )
+            else:
+                rescan_pages = params.pages_for(inner_rows, inner_width)
+            outer_cost = rescan_pages * params.seq_weight + cpu
+            # One-time materialisation share; essentially zero.
+            inner_cost = (
+                params.seq_weight * inner_width / params.page_size + cpu
+            )
+        elif join.method is JoinMethod.INDEX_NESTED_LOOP:
+            inner_entry = self.catalog.table(self._inner_scan(join).table)
+            selectivity = self.join_selectivity(join.primary)
+            height = params.index_height(inner_entry.cardinality)
+            outer_cost = height + selectivity * inner_entry.cardinality + cpu
+            inner_cost = 0.0  # non-matching inner tuples are never touched
+        elif join.method is JoinMethod.MERGE:
+            outer_cost = (
+                2.0 * params.seq_weight * outer_width / params.page_size + cpu
+            )
+            inner_cost = (
+                2.0 * params.seq_weight * inner_width / params.page_size + cpu
+            )
+        elif join.method is JoinMethod.HASH:
+            outer_cost = (
+                params.seq_weight * outer_width / params.page_size + cpu
+            )
+            inner_cost = (
+                params.seq_weight * inner_width / params.page_size + cpu
+            )
+        else:  # pragma: no cover - exhaustive over enum
+            raise PlanError(f"unknown join method {join.method}")
+
+        if join.primary.is_expensive:
+            # Expensive primary join predicate: c_p{R}{S} does not fit the
+            # linear model; following Section 5.2 we charge each input the
+            # c_p × (current estimate of the other input) differential.
+            outer_cost += join.primary.cost_per_tuple * inner_rows
+            inner_cost += join.primary.cost_per_tuple * outer_rows
+        return outer_cost, inner_cost
+
+
+def _range_fraction(
+    low_bound: float, high_bound: float, low: object, high: object
+) -> float:
+    width = high_bound - low_bound + 1
+    if width <= 0:
+        return 0.0
+    low_value = low_bound if low is None else float(low)  # type: ignore[arg-type]
+    high_value = high_bound if high is None else float(high)  # type: ignore[arg-type]
+    span = max(0.0, min(high_value, high_bound) - max(low_value, low_bound) + 1)
+    return min(1.0, span / width)

@@ -1,0 +1,69 @@
+"""Tunable constants of the cost model.
+
+All costs are in the paper's currency: 1 unit = 1 random page I/O.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Physical constants shared by the cost model and the executor."""
+
+    #: Bytes per page.
+    page_size: int = 8192
+    #: Relative cost of a sequential page read (seeks amortised).
+    seq_weight: float = 0.25
+    #: Modelled B-tree fanout (entries per node) for height estimates.
+    index_fanout: int = 512
+    #: Pages of workspace memory for hash joins; an inner build side larger
+    #: than this forces a two-pass (Grace) hash join.
+    hash_memory_pages: int = 1024
+    #: CPU cost charged per tuple *processed by a join* (build, probe, sort,
+    #: or loop input), in random-I/O units. The paper ignores join CPU in
+    #: its analytical model but measures wall-clock time, where inflating a
+    #: join's input visibly costs something (Query 2's PullUp error). A
+    #: small non-zero default keeps that effect observable.
+    cpu_per_tuple: float = 0.005
+    #: Pages of workspace memory for sorts; inputs that fit sort in one
+    #: in-memory pass (one write + one read of runs). Larger inputs pay
+    #: extra multiway merge passes at ``sort_fanin`` runs per pass.
+    sort_memory_pages: int = 256
+    #: Number of runs merged per external-sort pass.
+    sort_fanin: int = 64
+
+    def sort_passes(self, pages: float) -> int:
+        """Number of read+write passes an external sort needs."""
+        if pages <= self.sort_memory_pages:
+            return 1
+        runs = math.ceil(pages / self.sort_memory_pages)
+        passes = 1
+        while runs > 1:
+            runs = math.ceil(runs / self.sort_fanin)
+            passes += 1
+        return passes
+
+    def sort_cost(self, rows: float, width: int) -> float:
+        """Charged cost of sorting a stream: two sequential I/Os per page
+        per pass (write runs, read them back), in random-I/O units."""
+        pages = self.pages_for(rows, width)
+        return 2.0 * pages * self.sort_passes(pages) * self.seq_weight
+
+    def pages_for(self, rows: float, width: int) -> float:
+        """Heap pages occupied by ``rows`` tuples of ``width`` bytes."""
+        if rows <= 0:
+            return 0.0
+        per_page = max(1, self.page_size // max(1, width))
+        return math.ceil(rows / per_page)
+
+    def index_height(self, entries: int) -> int:
+        """Modelled number of B-tree levels for ``entries`` index entries."""
+        levels = 1
+        capacity = self.index_fanout
+        while capacity < entries:
+            capacity *= self.index_fanout
+            levels += 1
+        return levels

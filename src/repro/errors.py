@@ -1,0 +1,105 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class CatalogError(ReproError):
+    """A catalog lookup or registration failed."""
+
+
+class UnknownRelationError(CatalogError):
+    """A relation name was not found in the catalog."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown relation: {name!r}")
+        self.name = name
+
+
+class UnknownAttributeError(CatalogError):
+    """An attribute name was not found on a relation."""
+
+    def __init__(self, relation: str, attribute: str) -> None:
+        super().__init__(f"unknown attribute: {relation!r}.{attribute!r}")
+        self.relation = relation
+        self.attribute = attribute
+
+
+class UnknownFunctionError(CatalogError):
+    """A user-defined function name was not registered."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown function: {name!r}")
+        self.name = name
+
+
+class DuplicateNameError(CatalogError):
+    """A relation, attribute, or function name was registered twice."""
+
+
+class StorageError(ReproError):
+    """A storage-layer operation failed."""
+
+
+class PageFullError(StorageError):
+    """An insert did not fit on the target page."""
+
+
+class ExecutionError(ReproError):
+    """Plan execution failed."""
+
+
+class BudgetExceededError(ExecutionError):
+    """Execution exceeded its charged-cost budget.
+
+    Models the paper's Query 5 footnote, where PullUp's plan "used up all
+    available swap space and never completed": rather than hang, the
+    executor aborts and the harness reports a DNF.
+    """
+
+    def __init__(self, charged: float, budget: float) -> None:
+        super().__init__(
+            f"execution exceeded cost budget: charged {charged:.1f} units, "
+            f"budget {budget:.1f} units"
+        )
+        self.charged = charged
+        self.budget = budget
+
+
+class PlanError(ReproError):
+    """A plan tree is malformed or an optimizer invariant was violated."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer could not produce a plan."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SQLLexError(SQLError):
+    """The lexer hit an unrecognised character sequence."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class SQLParseError(SQLError):
+    """The parser hit an unexpected token."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class BindError(SQLError):
+    """Name resolution against the catalog failed."""

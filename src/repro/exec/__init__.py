@@ -1,0 +1,15 @@
+"""Iterator-style plan executor with charged-cost accounting.
+
+Execution follows the paper's measurement methodology exactly: expensive
+functions do no real work, but every invocation is counted and charged at
+the function's declared cost in random-I/O units; page accesses are charged
+through the buffer pool; and the total "running time" of a query is the sum
+of charged units. An optional budget aborts runaway plans (the paper's
+Query 5 PullUp plan "never completed") via
+:class:`~repro.errors.BudgetExceededError`.
+"""
+
+from repro.exec.cache import CacheStats, PredicateCache
+from repro.exec.runtime import Executor, QueryResult
+
+__all__ = ["CacheStats", "Executor", "PredicateCache", "QueryResult"]

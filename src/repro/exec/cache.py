@@ -1,0 +1,92 @@
+"""Predicate caching (Section 5.1 of the paper).
+
+Montage associates with each expensive predicate a main-memory dynamic hash
+table storing the *predicate's* boolean result for each binding of its input
+variables — not the result of the functions inside it. We reproduce that:
+one table per predicate, keyed on the tuple of distinct input-column values,
+holding ``True`` / ``False`` / ``None`` (the paper's NULL for "beardless
+people").
+
+Extensions beyond the paper's default, all mentioned in Section 5.1 as
+alternatives:
+
+* *function-level* caching ([Jhi88], [HS93a]) — the executor can cache each
+  UDF's return value per argument tuple instead (``cache_mode="function"``);
+  the cache keys are then function names rather than predicate ids;
+* bounded tables with FIFO or LRU replacement ("caches can be limited in
+  size, using any of a variety of replacement schemes");
+* the cache-bypass heuristic the paper describes as "planned for Montage,
+  but not implemented yet" lives in :mod:`repro.exec.runtime`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable
+
+#: Supported replacement policies for bounded caches.
+REPLACEMENT_POLICIES = ("fifo", "lru")
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class PredicateCache:
+    """Caches results for every predicate (or function) of one execution.
+
+    Tables are keyed by an arbitrary hashable owner — a predicate id in
+    predicate mode, a function name in function mode.
+    """
+
+    max_entries_per_predicate: int | None = None
+    replacement: str = "fifo"
+    stats: CacheStats = field(default_factory=CacheStats)
+    _tables: dict[Hashable, OrderedDict[tuple, object]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if self.replacement not in REPLACEMENT_POLICIES:
+            raise ValueError(
+                f"replacement must be one of {REPLACEMENT_POLICIES}, "
+                f"got {self.replacement!r}"
+            )
+
+    def lookup(self, owner: Hashable, key: tuple) -> tuple[bool, object]:
+        """Return ``(found, value)`` for a binding of one owner."""
+        table = self._tables.get(owner)
+        if table is not None and key in table:
+            self.stats.hits += 1
+            if self.replacement == "lru":
+                table.move_to_end(key)
+            return (True, table[key])
+        self.stats.misses += 1
+        return (False, None)
+
+    def store(self, owner: Hashable, key: tuple, value: object) -> None:
+        table = self._tables.setdefault(owner, OrderedDict())
+        table[key] = value
+        limit = self.max_entries_per_predicate
+        if limit is not None and len(table) > limit:
+            table.popitem(last=False)
+            self.stats.evictions += 1
+
+    def entries(self, owner: Hashable) -> int:
+        return len(self._tables.get(owner, ()))
+
+    def total_entries(self) -> int:
+        return sum(len(table) for table in self._tables.values())

@@ -1,0 +1,444 @@
+"""Physical operators: the executor half of each cost-model formula.
+
+Each operator is an iterable over composite rows with a :class:`Scope`.
+Charging rules mirror :mod:`repro.cost.model` exactly:
+
+* sequential scans charge one sequential I/O per heap page (via the pool);
+* index probes charge one random I/O per touched B-tree node and one per
+  fetched heap tuple (via the pool, so hot pages may hit);
+* nested loop materialises the (filtered) inner once, then charges the
+  *base* relation's page count per outer-tuple rescan — the paper's
+  "constant irrespective of expensive selections on the inner";
+* sorts charge two sequential passes over the stream's pages;
+* every expensive-predicate evaluation charges the predicate's per-call
+  cost — unless the predicate cache already holds the binding's result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.catalog.catalog import Catalog
+from repro.cost.params import CostParams
+from repro.errors import ExecutionError, PlanError
+from repro.exec.cache import PredicateCache
+from repro.expr.expressions import Scope
+from repro.expr.predicates import Predicate
+from repro.plan.nodes import Join, JoinMethod, PlanNode, Scan
+from repro.storage.meter import CostMeter, IOKind
+
+
+@dataclass
+class RuntimeContext:
+    """Everything operators need at run time."""
+
+    catalog: Catalog
+    meter: CostMeter
+    params: CostParams
+    caching: bool = False
+    cache: PredicateCache | None = None
+    #: "predicate" caches the whole predicate result per input binding
+    #: (Montage's choice); "function" caches each UDF's value per argument
+    #: tuple (the [Jhi88]/[HS93a] alternative).
+    cache_mode: str = "predicate"
+    #: Predicates whose caching is bypassed because nearly every binding is
+    #: distinct (the paper's Section 5.1 planned optimisation).
+    bypass_ids: frozenset[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.cache_mode not in ("predicate", "function"):
+            raise ExecutionError(
+                f"unknown cache_mode: {self.cache_mode!r}"
+            )
+        if self.caching and self.cache is None:
+            self.cache = PredicateCache()
+        self._function_cache_registry = None
+
+    def caching_functions(self):
+        """A function registry whose UDF calls are memoised per argument
+        tuple (function-level cache mode)."""
+        if self._function_cache_registry is None:
+            self._function_cache_registry = _CachingFunctions(self)
+        return self._function_cache_registry
+
+
+class _CachingFunctions:
+    """FunctionRegistry adapter adding per-function memoisation."""
+
+    def __init__(self, ctx: RuntimeContext) -> None:
+        self._ctx = ctx
+        self._wrappers: dict[str, object] = {}
+
+    def get(self, name: str):
+        wrapper = self._wrappers.get(name)
+        if wrapper is None:
+            ctx = self._ctx
+            function = ctx.catalog.functions.get(name)
+            cache = ctx.cache
+            assert cache is not None
+
+            def wrapped(*args: object) -> object:
+                found, value = cache.lookup(name, args)
+                if found:
+                    return value
+                value = function(*args)
+                if function.cost_per_call > 0:
+                    ctx.meter.charge_function(function.cost_per_call)
+                cache.store(name, args, value)
+                return value
+
+            wrapper = wrapped
+            self._wrappers[name] = wrapper
+        return wrapper
+
+
+def evaluate_predicate(
+    predicate: Predicate, row: tuple, scope: Scope, ctx: RuntimeContext
+) -> bool:
+    """Evaluate one predicate on one row, with charging and caching.
+
+    Returns ``False`` for SQL NULL results (a WHERE conjunct only passes
+    rows for which it is true).
+    """
+    functions = ctx.catalog.functions
+    caching = (
+        ctx.caching
+        and predicate.is_expensive
+        and predicate.pred_id not in ctx.bypass_ids
+    )
+    if caching and ctx.cache_mode == "function":
+        value = predicate.expr.evaluate(
+            row, scope, ctx.caching_functions()
+        )
+        return value is True
+    if caching:
+        assert ctx.cache is not None
+        key = tuple(
+            row[scope.slot(table, attribute)]
+            for table, attribute in predicate.input_columns()
+        )
+        found, value = ctx.cache.lookup(predicate.pred_id, key)
+        if not found:
+            value = predicate.expr.evaluate(row, scope, functions)
+            ctx.meter.charge_function(predicate.cost_per_tuple)
+            ctx.cache.store(predicate.pred_id, key, value)
+        return value is True
+    value = predicate.expr.evaluate(row, scope, functions)
+    if predicate.is_expensive:
+        ctx.meter.charge_function(predicate.cost_per_tuple)
+    return value is True
+
+
+class Operator:
+    """Base class: an iterable of composite rows with a fixed scope."""
+
+    scope: Scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+
+class FilterChain(Operator):
+    """Applies an ordered predicate list to a child's output."""
+
+    def __init__(
+        self, child: Operator, filters: list[Predicate], ctx: RuntimeContext
+    ) -> None:
+        self.child = child
+        self.filters = filters
+        self.ctx = ctx
+        self.scope = child.scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        for row in self.child:
+            if all(
+                evaluate_predicate(predicate, row, self.scope, self.ctx)
+                for predicate in self.filters
+            ):
+                yield row
+
+
+class SeqScanOp(Operator):
+    def __init__(self, table: str, ctx: RuntimeContext) -> None:
+        entry = ctx.catalog.table(table)
+        if entry.heap is None:
+            raise ExecutionError(f"relation {table!r} has no heap file")
+        self.entry = entry
+        self.ctx = ctx
+        self.scope = Scope(
+            [(table, name) for name in entry.schema.attribute_names]
+        )
+
+    def __iter__(self) -> Iterator[tuple]:
+        yield from self.entry.heap.scan()
+
+
+class IndexScanOp(Operator):
+    """Range scan through a B-tree with random heap fetches (unclustered)."""
+
+    def __init__(
+        self,
+        table: str,
+        attribute: str,
+        low: object,
+        high: object,
+        ctx: RuntimeContext,
+    ) -> None:
+        entry = ctx.catalog.table(table)
+        if not entry.has_index(attribute):
+            raise ExecutionError(f"no index on {table}.{attribute}")
+        self.entry = entry
+        self.index = entry.index(attribute)
+        self.low = low
+        self.high = high
+        self.ctx = ctx
+        self.scope = Scope(
+            [(table, name) for name in entry.schema.attribute_names]
+        )
+
+    def __iter__(self) -> Iterator[tuple]:
+        for rid in self.index.range_search(self.low, self.high):
+            yield self.entry.heap.fetch_rid(rid)
+
+
+class NestedLoopJoinOp(Operator):
+    """Tuple-at-a-time nested loop; the only method that accepts an
+    arbitrary (possibly expensive) primary join predicate."""
+
+    def __init__(
+        self, join: Join, outer: Operator, inner: Operator, ctx: RuntimeContext
+    ) -> None:
+        self.join = join
+        self.outer = outer
+        self.inner = inner
+        self.ctx = ctx
+        self.scope = outer.scope.concat(inner.scope)
+        inner_node = join.inner
+        # The paper's constant-|S| rescan volume: the base relation's page
+        # count for a scan inner; for a bushy (joined) inner, the pages of
+        # the materialised intermediate.
+        if isinstance(inner_node, Scan):
+            self.inner_base_pages: int | None = ctx.catalog.table(
+                inner_node.table
+            ).pages
+        else:
+            self.inner_base_pages = None  # computed after materialisation
+
+    def __iter__(self) -> Iterator[tuple]:
+        meter = self.ctx.meter
+        cpu = self.ctx.params.cpu_per_tuple
+        inner_rows = list(self.inner)  # filters evaluated once, here
+        meter.charge_cpu(cpu * len(inner_rows))
+        rescan_pages = self.inner_base_pages
+        if rescan_pages is None:
+            width = _scope_width(self.inner.scope, self.ctx.catalog)
+            rescan_pages = int(
+                self.ctx.params.pages_for(len(inner_rows), width)
+            )
+        for outer_row in self.outer:
+            meter.charge_cpu(cpu)
+            # The paper's constant-|S| term: every outer tuple rescans the
+            # full inner's blocks.
+            meter.charge_io(IOKind.SEQUENTIAL, rescan_pages)
+            for inner_row in inner_rows:
+                row = outer_row + inner_row
+                if evaluate_predicate(
+                    self.join.primary, row, self.scope, self.ctx
+                ):
+                    yield row
+
+
+class IndexNestedLoopJoinOp(Operator):
+    """Index nested loop: probe the inner index per outer tuple."""
+
+    def __init__(self, join: Join, outer: Operator, ctx: RuntimeContext) -> None:
+        inner_scan = join.inner
+        if not isinstance(inner_scan, Scan):
+            raise PlanError("left-deep plans require a scan inner input")
+        columns = join.join_columns()
+        if columns is None:
+            raise PlanError("index nested loop requires an equijoin primary")
+        outer_column, inner_column = columns
+        entry = ctx.catalog.table(inner_scan.table)
+        if not entry.has_index(inner_column.attribute):
+            raise ExecutionError(
+                f"no index on {inner_column.table}.{inner_column.attribute}"
+            )
+        self.join = join
+        self.outer = outer
+        self.ctx = ctx
+        self.entry = entry
+        self.index = entry.index(inner_column.attribute)
+        self.inner_filters = inner_scan.filters
+        self.inner_scope = Scope(
+            [(inner_scan.table, name) for name in entry.schema.attribute_names]
+        )
+        self.outer_slot = outer.scope.slot(
+            outer_column.table, outer_column.attribute
+        )
+        self.scope = outer.scope.concat(self.inner_scope)
+
+    def __iter__(self) -> Iterator[tuple]:
+        cpu = self.ctx.params.cpu_per_tuple
+        for outer_row in self.outer:
+            self.ctx.meter.charge_cpu(cpu)
+            key = outer_row[self.outer_slot]
+            for rid in self.index.search(key):
+                inner_row = self.entry.heap.fetch_rid(rid)
+                if all(
+                    evaluate_predicate(
+                        predicate, inner_row, self.inner_scope, self.ctx
+                    )
+                    for predicate in self.inner_filters
+                ):
+                    yield outer_row + inner_row
+
+
+class MergeJoinOp(Operator):
+    """Sort-merge join on an equijoin primary."""
+
+    def __init__(
+        self, join: Join, outer: Operator, inner: Operator, ctx: RuntimeContext
+    ) -> None:
+        columns = join.join_columns()
+        if columns is None:
+            raise PlanError("merge join requires an equijoin primary")
+        outer_column, inner_column = columns
+        self.join = join
+        self.outer = outer
+        self.inner = inner
+        self.ctx = ctx
+        self.scope = outer.scope.concat(inner.scope)
+        self.outer_slot = outer.scope.slot(
+            outer_column.table, outer_column.attribute
+        )
+        self.inner_slot = inner.scope.slot(
+            inner_column.table, inner_column.attribute
+        )
+
+    def _sorted_rows(self, child: Operator, slot: int) -> list[tuple]:
+        rows = list(child)
+        rows.sort(key=lambda row: row[slot])
+        width = _scope_width(child.scope, self.ctx.catalog)
+        params = self.ctx.params
+        pages = int(params.pages_for(len(rows), width))
+        # External sort: two sequential I/Os per page per pass (write runs,
+        # read back), with extra merge passes for inputs beyond workspace.
+        self.ctx.meter.charge_io(
+            IOKind.SEQUENTIAL, 2 * pages * params.sort_passes(pages)
+        )
+        self.ctx.meter.charge_cpu(params.cpu_per_tuple * len(rows))
+        return rows
+
+    def __iter__(self) -> Iterator[tuple]:
+        outer_rows = self._sorted_rows(self.outer, self.outer_slot)
+        inner_rows = self._sorted_rows(self.inner, self.inner_slot)
+        inner_len = len(inner_rows)
+        inner_pos = 0
+        for outer_row in outer_rows:
+            key = outer_row[self.outer_slot]
+            while (
+                inner_pos < inner_len
+                and inner_rows[inner_pos][self.inner_slot] < key
+            ):
+                inner_pos += 1
+            probe = inner_pos
+            while (
+                probe < inner_len
+                and inner_rows[probe][self.inner_slot] == key
+            ):
+                yield outer_row + inner_rows[probe]
+                probe += 1
+
+
+class HashJoinOp(Operator):
+    """In-memory (or Grace, by charging) hash join on an equijoin primary."""
+
+    def __init__(
+        self, join: Join, outer: Operator, inner: Operator, ctx: RuntimeContext
+    ) -> None:
+        columns = join.join_columns()
+        if columns is None:
+            raise PlanError("hash join requires an equijoin primary")
+        outer_column, inner_column = columns
+        self.join = join
+        self.outer = outer
+        self.inner = inner
+        self.ctx = ctx
+        self.scope = outer.scope.concat(inner.scope)
+        self.outer_slot = outer.scope.slot(
+            outer_column.table, outer_column.attribute
+        )
+        self.inner_slot = inner.scope.slot(
+            inner_column.table, inner_column.attribute
+        )
+
+    def __iter__(self) -> Iterator[tuple]:
+        meter = self.ctx.meter
+        cpu = self.ctx.params.cpu_per_tuple
+        table: dict[object, list[tuple]] = {}
+        inner_count = 0
+        for inner_row in self.inner:
+            meter.charge_cpu(cpu)
+            table.setdefault(inner_row[self.inner_slot], []).append(inner_row)
+            inner_count += 1
+        inner_width = _scope_width(self.inner.scope, self.ctx.catalog)
+        inner_pages = self.ctx.params.pages_for(inner_count, inner_width)
+        if inner_pages > self.ctx.params.hash_memory_pages:
+            # Grace hash join: partition both sides to disk and back.
+            outer_rows = list(self.outer)
+            outer_width = _scope_width(self.outer.scope, self.ctx.catalog)
+            outer_pages = self.ctx.params.pages_for(
+                len(outer_rows), outer_width
+            )
+            self.ctx.meter.charge_io(
+                IOKind.SEQUENTIAL, 2 * int(inner_pages + outer_pages)
+            )
+            outer_iter: Iterator[tuple] = iter(outer_rows)
+        else:
+            outer_iter = iter(self.outer)
+        for outer_row in outer_iter:
+            meter.charge_cpu(cpu)
+            for inner_row in table.get(outer_row[self.outer_slot], ()):
+                yield outer_row + inner_row
+
+
+def _scope_width(scope: Scope, catalog: Catalog) -> int:
+    tables = sorted({table for table, _ in scope.columns})
+    return sum(catalog.table(name).schema.tuple_width for name in tables)
+
+
+def build_operator(node: PlanNode, ctx: RuntimeContext) -> Operator:
+    """Compile a plan tree into an operator tree."""
+    if isinstance(node, Scan):
+        if node.index_attr is not None:
+            low, high = node.index_range  # type: ignore[misc]
+            source: Operator = IndexScanOp(
+                node.table, node.index_attr, low, high, ctx
+            )
+        else:
+            source = SeqScanOp(node.table, ctx)
+        if node.filters:
+            return FilterChain(source, node.filters, ctx)
+        return source
+
+    if isinstance(node, Join):
+        outer = build_operator(node.outer, ctx)
+        if node.method is JoinMethod.INDEX_NESTED_LOOP:
+            joined: Operator = IndexNestedLoopJoinOp(node, outer, ctx)
+        else:
+            inner = build_operator(node.inner, ctx)
+            if node.method is JoinMethod.NESTED_LOOP:
+                joined = NestedLoopJoinOp(node, outer, inner, ctx)
+            elif node.method is JoinMethod.MERGE:
+                joined = MergeJoinOp(node, outer, inner, ctx)
+            elif node.method is JoinMethod.HASH:
+                joined = HashJoinOp(node, outer, inner, ctx)
+            else:  # pragma: no cover - exhaustive over enum
+                raise PlanError(f"unknown join method {node.method}")
+        if node.filters:
+            return FilterChain(joined, node.filters, ctx)
+        return joined
+
+    raise PlanError(f"cannot execute node type: {type(node).__name__}")

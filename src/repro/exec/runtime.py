@@ -1,0 +1,168 @@
+"""The executor facade: run a plan, return rows plus charged-cost metrics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetExceededError
+from repro.exec.cache import CacheStats, PredicateCache
+from repro.exec.operators import RuntimeContext, build_operator
+from repro.expr.expressions import QualifiedColumn, Scope
+from repro.plan.nodes import Plan, PlanNode
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the charged-cost ledger of one execution.
+
+    ``charged`` is the paper's "running time": random I/Os + weighted
+    sequential I/Os + function invocations × per-call cost. ``completed``
+    is ``False`` when the run was aborted by the cost budget — the
+    reproduction's analogue of the paper's "never completed" plans.
+    """
+
+    rows: list[tuple]
+    scope: Scope | None
+    completed: bool
+    charged: float
+    metrics: dict[str, float] = field(default_factory=dict)
+    cache_stats: CacheStats | None = None
+    cache_entries: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def column(self, table: str, attribute: str) -> list[object]:
+        """Extract one output column (for assertions in tests/examples)."""
+        assert self.scope is not None
+        slot = self.scope.slot(table, attribute)
+        return [row[slot] for row in self.rows]
+
+
+class Executor:
+    """Runs plans against a :class:`~repro.database.Database`."""
+
+    def __init__(
+        self,
+        db,
+        caching: bool = False,
+        budget: float | None = None,
+        cache_limit: int | None = None,
+        cache_mode: str = "predicate",
+        cache_replacement: str = "fifo",
+        cache_bypass: bool = False,
+        cache_bypass_threshold: float = 0.95,
+    ) -> None:
+        """``cache_mode`` selects predicate-level (Montage) or
+        function-level ([Jhi88]) memoisation; ``cache_bypass`` enables the
+        paper's Section 5.1 heuristic of not caching predicates whose
+        distinct-bindings-to-tuples ratio exceeds the threshold (caching
+        such predicates costs memory and buys nothing)."""
+        self.db = db
+        self.caching = caching
+        self.budget = budget
+        self.cache_limit = cache_limit
+        self.cache_mode = cache_mode
+        self.cache_replacement = cache_replacement
+        self.cache_bypass = cache_bypass
+        self.cache_bypass_threshold = cache_bypass_threshold
+
+    def _bypass_ids(self, node: PlanNode) -> frozenset[int]:
+        """Predicates not worth caching: nearly every binding is distinct.
+
+        The estimate follows the paper: compare the predicate's distinct
+        input bindings against the tuples that will reach it — approximated
+        here by its relation's cardinality, an upper bound on either.
+        """
+        if not self.cache_bypass:
+            return frozenset()
+        bypass: set[int] = set()
+        catalog = self.db.catalog
+        for predicate in node.all_predicates():
+            if not predicate.is_expensive:
+                continue
+            distinct = 1.0
+            for table, attribute in predicate.input_columns():
+                distinct *= max(
+                    1, catalog.table(table).stats.ndistinct(attribute)
+                )
+            tuples = max(
+                catalog.table(table).stats.cardinality
+                for table in predicate.tables
+            ) if predicate.tables else 1
+            if distinct >= self.cache_bypass_threshold * tuples:
+                bypass.add(predicate.pred_id)
+        return frozenset(bypass)
+
+    def execute(
+        self,
+        plan: Plan | PlanNode,
+        project: list[QualifiedColumn] | None = None,
+        raise_on_budget: bool = False,
+    ) -> QueryResult:
+        """Execute ``plan`` cold (fresh meter, empty buffer pool, reset
+        function counters) and return rows plus metrics.
+
+        When the cost budget is exceeded, returns a ``completed=False``
+        result (or re-raises if ``raise_on_budget``).
+        """
+        node = plan.root if isinstance(plan, Plan) else plan
+        db = self.db
+        db.meter.reset()
+        db.meter.budget = self.budget
+        db.pool.clear()
+        db.pool.reset_stats()
+        db.catalog.functions.reset_counters()
+
+        cache = (
+            PredicateCache(
+                max_entries_per_predicate=self.cache_limit,
+                replacement=self.cache_replacement,
+            )
+            if self.caching
+            else None
+        )
+        ctx = RuntimeContext(
+            catalog=db.catalog,
+            meter=db.meter,
+            params=db.params,
+            caching=self.caching,
+            cache=cache,
+            cache_mode=self.cache_mode,
+            bypass_ids=self._bypass_ids(node),
+        )
+        started = time.perf_counter()
+        rows: list[tuple] = []
+        completed = True
+        scope: Scope | None = None
+        try:
+            operator = build_operator(node, ctx)
+            scope = operator.scope
+            for row in operator:
+                rows.append(row)
+        except BudgetExceededError:
+            if raise_on_budget:
+                raise
+            completed = False
+        finally:
+            db.meter.budget = None
+        elapsed = time.perf_counter() - started
+
+        if project is not None and scope is not None and completed:
+            slots = [scope.slot(table, attribute) for table, attribute in project]
+            rows = [tuple(row[slot] for slot in slots) for row in rows]
+            scope = Scope(list(project))
+
+        return QueryResult(
+            rows=rows,
+            scope=scope,
+            completed=completed,
+            charged=db.meter.charged,
+            metrics=db.meter.snapshot(),
+            cache_stats=cache.stats if cache is not None else None,
+            cache_entries=cache.total_entries() if cache is not None else 0,
+            wall_seconds=elapsed,
+        )

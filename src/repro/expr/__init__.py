@@ -1,0 +1,35 @@
+"""Expression ASTs and predicate descriptors.
+
+Expressions are what queries say (``costly100(t3.ua1)``, ``t3.a1 = t10.a1``);
+:class:`~repro.expr.predicates.Predicate` is what the optimizer reasons
+about — a conjunct annotated with the tables it references, its per-tuple
+cost, its selectivity estimate, and hence its *rank*.
+"""
+
+from repro.expr.expressions import (
+    BinaryOp,
+    Column,
+    Comparison,
+    Const,
+    Expr,
+    FuncCall,
+    Logical,
+    Not,
+    Scope,
+)
+from repro.expr.predicates import Predicate, analyze_conjunct, rank
+
+__all__ = [
+    "BinaryOp",
+    "Column",
+    "Comparison",
+    "Const",
+    "Expr",
+    "FuncCall",
+    "Logical",
+    "Not",
+    "Predicate",
+    "Scope",
+    "analyze_conjunct",
+    "rank",
+]

@@ -1,0 +1,300 @@
+"""A small expression AST shared by the SQL front-end, optimizer, executor.
+
+Nodes are immutable dataclasses. Evaluation binds column references through
+a :class:`Scope` (a mapping from qualified column to slot in the current
+composite row) and resolves function names through the catalog's
+:class:`~repro.catalog.functions.FunctionRegistry`, which also counts
+invocations — the paper's measurement methodology hinges on those counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.catalog.functions import FunctionRegistry
+from repro.errors import PlanError
+
+#: A qualified column: (table name, attribute name).
+QualifiedColumn = tuple[str, str]
+
+
+class Scope:
+    """Maps qualified columns to slots in a composite row."""
+
+    def __init__(self, columns: list[QualifiedColumn]) -> None:
+        self.columns = list(columns)
+        self._slots = {column: slot for slot, column in enumerate(columns)}
+        if len(self._slots) != len(columns):
+            raise PlanError(f"duplicate columns in scope: {columns}")
+
+    def slot(self, table: str, attribute: str) -> int:
+        try:
+            return self._slots[(table, attribute)]
+        except KeyError:
+            raise PlanError(
+                f"column {table}.{attribute} not in scope {self.columns}"
+            ) from None
+
+    def __contains__(self, column: QualifiedColumn) -> bool:
+        return column in self._slots
+
+    def concat(self, other: "Scope") -> "Scope":
+        return Scope(self.columns + other.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Scope) and self.columns == other.columns
+
+    def __repr__(self) -> str:
+        return f"Scope({self.columns!r})"
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Abstract base for expression nodes."""
+
+    def columns(self) -> Iterator[QualifiedColumn]:
+        """Yield every qualified column referenced (with repeats)."""
+        raise NotImplementedError
+
+    def function_names(self) -> Iterator[str]:
+        """Yield every function name invoked (with repeats)."""
+        raise NotImplementedError
+
+    def evaluate(
+        self, row: tuple, scope: Scope, functions: FunctionRegistry
+    ) -> object:
+        raise NotImplementedError
+
+    def tables(self) -> frozenset[str]:
+        return frozenset(table for table, _ in self.columns())
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: object
+
+    def columns(self) -> Iterator[QualifiedColumn]:
+        return iter(())
+
+    def function_names(self) -> Iterator[str]:
+        return iter(())
+
+    def evaluate(
+        self, row: tuple, scope: Scope, functions: FunctionRegistry
+    ) -> object:
+        return self.value
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Column(Expr):
+    table: str
+    attribute: str
+
+    def columns(self) -> Iterator[QualifiedColumn]:
+        yield (self.table, self.attribute)
+
+    def function_names(self) -> Iterator[str]:
+        return iter(())
+
+    def evaluate(
+        self, row: tuple, scope: Scope, functions: FunctionRegistry
+    ) -> object:
+        return row[scope.slot(self.table, self.attribute)]
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.attribute}"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str
+    args: tuple[Expr, ...]
+
+    def columns(self) -> Iterator[QualifiedColumn]:
+        for arg in self.args:
+            yield from arg.columns()
+
+    def function_names(self) -> Iterator[str]:
+        yield self.name
+        for arg in self.args:
+            yield from arg.function_names()
+
+    def evaluate(
+        self, row: tuple, scope: Scope, functions: FunctionRegistry
+    ) -> object:
+        values = [arg.evaluate(row, scope, functions) for arg in self.args]
+        return functions.get(self.name)(*values)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"{self.name}({rendered})"
+
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise PlanError(f"unknown comparison operator: {self.op!r}")
+
+    def columns(self) -> Iterator[QualifiedColumn]:
+        yield from self.left.columns()
+        yield from self.right.columns()
+
+    def function_names(self) -> Iterator[str]:
+        yield from self.left.function_names()
+        yield from self.right.function_names()
+
+    def evaluate(
+        self, row: tuple, scope: Scope, functions: FunctionRegistry
+    ) -> object:
+        left = self.left.evaluate(row, scope, functions)
+        right = self.right.evaluate(row, scope, functions)
+        if left is None or right is None:
+            return None
+        return _COMPARATORS[self.op](left, right)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+_ARITHMETIC = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Arithmetic on column values (``t3.a1 + 10``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC:
+            raise PlanError(f"unknown arithmetic operator: {self.op!r}")
+
+    def columns(self) -> Iterator[QualifiedColumn]:
+        yield from self.left.columns()
+        yield from self.right.columns()
+
+    def function_names(self) -> Iterator[str]:
+        yield from self.left.function_names()
+        yield from self.right.function_names()
+
+    def evaluate(
+        self, row: tuple, scope: Scope, functions: FunctionRegistry
+    ) -> object:
+        left = self.left.evaluate(row, scope, functions)
+        right = self.right.evaluate(row, scope, functions)
+        if left is None or right is None:
+            return None
+        return _ARITHMETIC[self.op](left, right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Logical(Expr):
+    """AND / OR over boolean sub-expressions."""
+
+    op: str
+    operands: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in ("AND", "OR"):
+            raise PlanError(f"unknown logical operator: {self.op!r}")
+        if len(self.operands) < 2:
+            raise PlanError("logical operator needs at least two operands")
+
+    def columns(self) -> Iterator[QualifiedColumn]:
+        for operand in self.operands:
+            yield from operand.columns()
+
+    def function_names(self) -> Iterator[str]:
+        for operand in self.operands:
+            yield from operand.function_names()
+
+    def evaluate(
+        self, row: tuple, scope: Scope, functions: FunctionRegistry
+    ) -> object:
+        values = [
+            operand.evaluate(row, scope, functions)
+            for operand in self.operands
+        ]
+        if self.op == "AND":
+            if any(value is False for value in values):
+                return False
+            if any(value is None for value in values):
+                return None
+            return True
+        if any(value is True for value in values):
+            return True
+        if any(value is None for value in values):
+            return None
+        return False
+
+    def __str__(self) -> str:
+        joiner = f" {self.op} "
+        return "(" + joiner.join(str(o) for o in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def columns(self) -> Iterator[QualifiedColumn]:
+        yield from self.operand.columns()
+
+    def function_names(self) -> Iterator[str]:
+        yield from self.operand.function_names()
+
+    def evaluate(
+        self, row: tuple, scope: Scope, functions: FunctionRegistry
+    ) -> object:
+        value = self.operand.evaluate(row, scope, functions)
+        if value is None:
+            return None
+        return not value
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+def conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a WHERE expression into its top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, Logical) and expr.op == "AND":
+        flattened: list[Expr] = []
+        for operand in expr.operands:
+            flattened.extend(conjuncts(operand))
+        return flattened
+    return [expr]

@@ -1,0 +1,223 @@
+"""Predicate descriptors: the unit the placement algorithms move around.
+
+A :class:`Predicate` is one WHERE-clause conjunct annotated with everything
+the optimizer needs:
+
+* the set of tables it references (one table → a selection; two or more →
+  a join predicate);
+* its estimated per-tuple evaluation cost, in random-I/O units (simple
+  comparisons are free, per the paper's "we treat traditional simple
+  predicates as being of zero cost");
+* its estimated selectivity (System R rules for simple predicates, catalog
+  metadata for user-defined functions);
+* for equijoins, the two column references, so join methods and per-input
+  selectivities can be derived.
+
+The paper's central metric is the *rank* of a predicate,
+
+    rank = (selectivity - 1) / cost_per_tuple,
+
+computed here by :func:`rank`. Zero-cost predicates get rank −∞ so they
+always sort first — applying a free filter can never hurt.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.expr.expressions import (
+    Column,
+    Comparison,
+    Const,
+    Expr,
+    FuncCall,
+    Logical,
+    Not,
+    QualifiedColumn,
+)
+
+#: Costs at or below this are treated as "free" for rank purposes.
+ZERO_COST = 1e-9
+
+#: Fallback selectivity for range predicates with unusable bounds (System R's
+#: traditional 1/3).
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+
+_predicate_ids = itertools.count(1)
+
+
+def rank(selectivity: float, cost_per_tuple: float) -> float:
+    """The paper's rank metric.
+
+    Free operators get an infinite-magnitude rank with the sign of
+    ``selectivity - 1``: a free filter (selectivity < 1) should always run
+    first (−∞) and a free fanout operator (selectivity > 1, e.g. a zero-cost
+    expanding join) should always run last (+∞).
+    """
+    if cost_per_tuple <= ZERO_COST:
+        if selectivity < 1.0:
+            return -math.inf
+        if selectivity > 1.0:
+            return math.inf
+        return 0.0
+    return (selectivity - 1.0) / cost_per_tuple
+
+
+@dataclass(eq=False)
+class Predicate:
+    """One annotated conjunct. Identity-based equality: two structurally
+    identical conjuncts in one query are still distinct placement units."""
+
+    expr: Expr
+    tables: frozenset[str]
+    selectivity: float
+    cost_per_tuple: float
+    equijoin: tuple[Column, Column] | None = None
+    pred_id: int = field(default_factory=lambda: next(_predicate_ids))
+
+    @property
+    def is_join(self) -> bool:
+        return len(self.tables) >= 2
+
+    @property
+    def is_selection(self) -> bool:
+        return len(self.tables) <= 1
+
+    @property
+    def is_equijoin(self) -> bool:
+        return self.equijoin is not None
+
+    @property
+    def is_expensive(self) -> bool:
+        return self.cost_per_tuple > ZERO_COST
+
+    @property
+    def rank(self) -> float:
+        return rank(self.selectivity, self.cost_per_tuple)
+
+    def input_columns(self) -> tuple[QualifiedColumn, ...]:
+        """Distinct columns feeding the predicate — the cache key schema."""
+        seen: dict[QualifiedColumn, None] = {}
+        for column in self.expr.columns():
+            seen.setdefault(column, None)
+        return tuple(seen)
+
+    def table(self) -> str:
+        """The single table of a selection predicate."""
+        if not self.is_selection or not self.tables:
+            raise ValueError(f"not a single-table selection: {self}")
+        (only,) = self.tables
+        return only
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+    def __repr__(self) -> str:
+        return (
+            f"Predicate#{self.pred_id}({self.expr}, sel={self.selectivity:g},"
+            f" cost={self.cost_per_tuple:g})"
+        )
+
+
+def _column_ndistinct(catalog: Catalog, column: Column) -> int:
+    return max(1, catalog.table(column.table).stats.ndistinct(column.attribute))
+
+
+def _comparison_selectivity(catalog: Catalog, expr: Comparison) -> float:
+    left, right = expr.left, expr.right
+    # Normalise constant-on-the-left comparisons.
+    if isinstance(left, Const) and isinstance(right, Column):
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(
+            expr.op, expr.op
+        )
+        return _comparison_selectivity(
+            catalog, Comparison(flipped, right, left)
+        )
+
+    if isinstance(left, Column) and isinstance(right, Column):
+        ndistinct_left = _column_ndistinct(catalog, left)
+        ndistinct_right = _column_ndistinct(catalog, right)
+        if expr.op == "=":
+            return 1.0 / max(ndistinct_left, ndistinct_right)
+        if expr.op == "<>":
+            return 1.0 - 1.0 / max(ndistinct_left, ndistinct_right)
+        return DEFAULT_RANGE_SELECTIVITY
+
+    if isinstance(left, Column) and isinstance(right, Const):
+        stats = catalog.table(left.table).stats.attribute(left.attribute)
+        ndistinct = max(1, stats.ndistinct)
+        if expr.op == "=":
+            return 1.0 / ndistinct
+        if expr.op == "<>":
+            return 1.0 - 1.0 / ndistinct
+        value = right.value
+        if isinstance(value, (int, float)) and stats.width > 0:
+            fraction = (float(value) - stats.low) / stats.width
+            fraction = min(1.0, max(0.0, fraction))
+            if expr.op in ("<", "<="):
+                return fraction
+            return 1.0 - fraction
+        return DEFAULT_RANGE_SELECTIVITY
+
+    return DEFAULT_RANGE_SELECTIVITY
+
+
+def _estimate_selectivity(catalog: Catalog, expr: Expr) -> float:
+    """System R-style selectivity rules plus UDF catalog metadata."""
+    if isinstance(expr, FuncCall):
+        return catalog.functions.get(expr.name).selectivity
+    if isinstance(expr, Comparison):
+        function_names = list(expr.function_names())
+        if function_names:
+            # `f(x) = const` and friends: the catalog's declared selectivity
+            # for the function is the pass rate of the whole predicate.
+            selectivity = 1.0
+            for name in set(function_names):
+                selectivity *= catalog.functions.get(name).selectivity
+            return selectivity
+        return _comparison_selectivity(catalog, expr)
+    if isinstance(expr, Logical):
+        parts = [_estimate_selectivity(catalog, o) for o in expr.operands]
+        if expr.op == "AND":
+            return math.prod(parts)
+        miss = math.prod(1.0 - part for part in parts)
+        return 1.0 - miss
+    if isinstance(expr, Not):
+        return 1.0 - _estimate_selectivity(catalog, expr.operand)
+    if isinstance(expr, Const):
+        return 1.0 if expr.value else 0.0
+    return DEFAULT_RANGE_SELECTIVITY
+
+
+def _estimate_cost(catalog: Catalog, expr: Expr) -> float:
+    """Per-tuple cost: one charged call per function occurrence."""
+    return sum(
+        catalog.functions.get(name).cost_per_call
+        for name in expr.function_names()
+    )
+
+
+def _detect_equijoin(expr: Expr) -> tuple[Column, Column] | None:
+    if (
+        isinstance(expr, Comparison)
+        and expr.op == "="
+        and isinstance(expr.left, Column)
+        and isinstance(expr.right, Column)
+        and expr.left.table != expr.right.table
+    ):
+        return (expr.left, expr.right)
+    return None
+
+
+def analyze_conjunct(catalog: Catalog, expr: Expr) -> Predicate:
+    """Annotate one WHERE conjunct into a :class:`Predicate`."""
+    return Predicate(
+        expr=expr,
+        tables=expr.tables(),
+        selectivity=_estimate_selectivity(catalog, expr),
+        cost_per_tuple=_estimate_cost(catalog, expr),
+        equijoin=_detect_equijoin(expr),
+    )

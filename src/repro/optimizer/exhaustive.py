@@ -1,0 +1,169 @@
+"""Exhaustive predicate placement (Table 1's last row).
+
+Enumerates every left-deep join order, every legal slot assignment for every
+expensive movable predicate, and the join method of every join. It is the
+only algorithm here that is optimal even for *expensive primary join
+predicates* — and its complexity is prohibitive, which is the paper's point:
+the reproduction uses it as ground truth for small queries.
+
+Method choice defaults to a bottom-up greedy pass per (order, placement)
+combination, which is exact except for sort-order interactions between
+adjacent merge joins; ``method_choice="enumerate"`` removes even that
+approximation at additional (multiplicative) cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import CostModel
+from repro.errors import OptimizerError
+from repro.expr.predicates import Predicate
+from repro.optimizer.joinutil import choose_primary, eligible_methods
+from repro.optimizer.policies import rank_sorted
+from repro.optimizer.query import Query
+from repro.plan.nodes import Join, JoinMethod, Plan, Scan
+from repro.plan.streams import spine_of
+
+#: Refuse to enumerate beyond this many (order × placement) combinations.
+DEFAULT_COMBO_LIMIT = 2_000_000
+
+
+def exhaustive_plan(
+    query: Query,
+    catalog: Catalog,
+    model: CostModel,
+    method_choice: str = "greedy",
+    combo_limit: int = DEFAULT_COMBO_LIMIT,
+) -> Plan:
+    """The minimum-estimated-cost plan over the full placement space."""
+    if method_choice not in ("greedy", "enumerate"):
+        raise OptimizerError(f"unknown method_choice: {method_choice!r}")
+    tables = sorted(query.tables)
+    join_predicates = query.join_predicates()
+
+    best_root = None
+    best_cost = float("inf")
+    combos_seen = 0
+    for order in itertools.permutations(tables):
+        root, movable = _skeleton(query, order, join_predicates)
+        if root is None:
+            continue
+        if isinstance(root, Scan):
+            # Single-table query: rank order is optimal, nothing to place.
+            estimate = model.estimate_plan(root)
+            return Plan(root, estimate.cost, estimate.rows)
+        spine = spine_of(root)
+        slot_ranges = [
+            range(spine.entry_slot(predicate), spine.slots)
+            for predicate in movable
+        ]
+        for slots in itertools.product(*slot_ranges):
+            combos_seen += 1
+            if combos_seen > combo_limit:
+                raise OptimizerError(
+                    f"exhaustive placement exceeded {combo_limit} "
+                    "combinations; use a heuristic strategy"
+                )
+            spine.apply_placement(dict(zip(movable, slots)))
+            for cost in _method_costs(
+                spine, catalog, model, method_choice
+            ):
+                if cost < best_cost:
+                    best_cost = cost
+                    best_root = root.clone()
+    if best_root is None:
+        raise OptimizerError("no plan found (disconnected query graph?)")
+    estimate = model.estimate_plan(best_root)
+    return Plan(best_root, estimate.cost, estimate.rows)
+
+
+def _skeleton(query, order, join_predicates):
+    """Left-deep skeleton for one table order; returns (root, movable).
+
+    Cheap selections are pinned to their scans in rank order; expensive
+    selections and expensive secondary join predicates start at their entry
+    slot and are the movable units.
+    """
+    movable: list[Predicate] = []
+
+    def make_scan(table: str) -> Scan:
+        cheap = [
+            p for p in query.selections_on(table) if not p.is_expensive
+        ]
+        expensive = [
+            p for p in query.selections_on(table) if p.is_expensive
+        ]
+        movable.extend(expensive)
+        return Scan(filters=rank_sorted(cheap) + expensive, table=table)
+
+    root = make_scan(order[0])
+    seen = {order[0]}
+    used: set[int] = set()
+    for table in order[1:]:
+        seen.add(table)
+        connecting = [
+            p
+            for p in join_predicates
+            if table in p.tables
+            and p.tables <= seen
+            and p.pred_id not in used
+        ]
+        primary, secondaries, cheap = choose_primary(connecting)
+        used.add(primary.pred_id)
+        used.update(p.pred_id for p in secondaries)
+        cheap_secondaries = [p for p in secondaries if not p.is_expensive]
+        expensive_secondaries = [p for p in secondaries if p.is_expensive]
+        movable.extend(expensive_secondaries)
+        method = JoinMethod.HASH if cheap else JoinMethod.NESTED_LOOP
+        root = Join(
+            filters=rank_sorted(cheap_secondaries) + expensive_secondaries,
+            outer=root,
+            inner=make_scan(table),
+            method=method,
+            primary=primary,
+        )
+    return root, movable
+
+
+def _method_costs(spine, catalog: Catalog, model: CostModel, method_choice):
+    """Yield total plan cost(s) after method selection.
+
+    Greedy: choose each join's method bottom-up by subtree cost (one yield).
+    Enumerate: yield the cost of every method combination.
+    """
+    choices = []
+    for spine_join in spine.joins:
+        join = spine_join.join
+        assert isinstance(join.inner, Scan)
+        primary = join.primary
+        cheap = primary.is_equijoin and not primary.is_expensive
+        choices.append(
+            eligible_methods(catalog, primary, cheap, join.inner.table)
+        )
+
+    if method_choice == "greedy":
+        for spine_join, methods in zip(spine.joins, choices):
+            join = spine_join.join
+            best_method = min(
+                methods,
+                key=lambda method: _with_method(join, method, model),
+            )
+            join.method = best_method
+        yield model.estimate_plan(spine.top).cost
+        return
+
+    for combo in itertools.product(*choices):
+        for spine_join, method in zip(spine.joins, combo):
+            spine_join.join.method = method
+        yield model.estimate_plan(spine.top).cost
+
+
+def _with_method(join: Join, method: JoinMethod, model: CostModel) -> float:
+    previous = join.method
+    join.method = method
+    try:
+        return model.estimate_plan(join).cost
+    finally:
+        join.method = previous

@@ -1,0 +1,191 @@
+"""IK-KBZ polynomial-time join ordering [IK84, KBZ86].
+
+The paper discusses IK-KBZ as the optimizer the LDL approach was grafted
+onto [KZ88]: it linearises an *acyclic* join graph in polynomial time using
+the same rank/module machinery as Predicate Migration (both descend from
+the Monma–Sidney series–parallel results).
+
+The implementation works on the classic ASI ("adjacent sequence
+interchange") cost function:
+
+    C(ε) = 0,          T(ε) = 1,
+    C(S1 S2) = C(S1) + T(S1)·C(S2),
+    T(S1 S2) = T(S1)·T(S2),
+    rank(S)  = (T(S) − 1) / C(S).
+
+Each non-root node carries ``T = s_edge · n`` and ``C = n`` for a relation
+of cardinality ``n`` whose edge to its parent has selectivity ``s_edge``;
+a *virtual predicate node* (the LDL rewrite) carries ``T = selectivity``
+and ``C = cost_per_tuple``, which makes its rank exactly the paper's
+predicate rank. For every possible root, the precedence tree is linearised
+bottom-up — children chains are normalised into non-decreasing-rank
+modules and merged by rank — and the cheapest rooting wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OptimizerError
+
+
+@dataclass(frozen=True)
+class IKKBZNode:
+    """One node of the precedence graph: a relation or a virtual predicate."""
+
+    name: str
+    t: float
+    c: float
+
+    @property
+    def rank(self) -> float:
+        if self.c <= 0:
+            return float("-inf") if self.t < 1 else float("inf")
+        return (self.t - 1.0) / self.c
+
+
+@dataclass
+class _Chain:
+    """A normalised module: a run of nodes treated as one unit."""
+
+    names: list[str]
+    t: float
+    c: float
+
+    @property
+    def rank(self) -> float:
+        if self.c <= 0:
+            return float("-inf") if self.t < 1 else float("inf")
+        return (self.t - 1.0) / self.c
+
+    def merge(self, upper: "_Chain") -> "_Chain":
+        return _Chain(
+            names=self.names + upper.names,
+            t=self.t * upper.t,
+            c=self.c + self.t * upper.c,
+        )
+
+
+@dataclass
+class IKKBZResult:
+    order: list[str]
+    cost: float
+    root: str = ""
+    per_root_costs: dict[str, float] = field(default_factory=dict)
+
+
+def sequence_cost(nodes: list[IKKBZNode]) -> float:
+    """ASI cost of executing ``nodes`` in the given order."""
+    cost = 0.0
+    t = 1.0
+    for node in nodes:
+        cost += t * node.c
+        t *= node.t
+    return cost
+
+
+def _normalize(chains: list[_Chain]) -> list[_Chain]:
+    normalized: list[_Chain] = []
+    for chain in chains:
+        normalized.append(chain)
+        while (
+            len(normalized) >= 2
+            and normalized[-1].rank < normalized[-2].rank
+        ):
+            upper = normalized.pop()
+            lower = normalized.pop()
+            normalized.append(lower.merge(upper))
+    return normalized
+
+
+def _merge_by_rank(chain_lists: list[list[_Chain]]) -> list[_Chain]:
+    """Merge independent normalised chains into one by ascending rank."""
+    flattened = [chain for chains in chain_lists for chain in chains]
+    flattened.sort(key=lambda chain: chain.rank)
+    return flattened
+
+
+def _linearize(
+    node: str,
+    children: dict[str, list[str]],
+    values: dict[str, IKKBZNode],
+) -> list[_Chain]:
+    child_chains = [
+        _linearize(child, children, values) for child in children[node]
+    ]
+    merged = _merge_by_rank(child_chains)
+    own = values[node]
+    head = _Chain([node], own.t, own.c)
+    return _normalize([head] + merged)
+
+
+def ikkbz_order(
+    nodes: list[IKKBZNode],
+    edges: list[tuple[str, str]],
+    roots: list[str] | None = None,
+) -> IKKBZResult:
+    """Best linearisation of an acyclic precedence graph.
+
+    ``edges`` are undirected adjacencies of the (tree-shaped) query graph.
+    ``roots`` restricts the candidate first relations (default: all nodes).
+    """
+    values = {node.name: node for node in nodes}
+    if len(values) != len(nodes):
+        raise OptimizerError("duplicate node names in IK-KBZ input")
+    adjacency: dict[str, list[str]] = {name: [] for name in values}
+    for left, right in edges:
+        if left not in values or right not in values:
+            raise OptimizerError(f"edge ({left}, {right}) references unknown node")
+        adjacency[left].append(right)
+        adjacency[right].append(left)
+    if len(edges) != len(values) - 1:
+        raise OptimizerError(
+            "IK-KBZ requires a tree query graph "
+            f"({len(values)} nodes need {len(values) - 1} edges, "
+            f"got {len(edges)})"
+        )
+
+    best: IKKBZResult | None = None
+    per_root: dict[str, float] = {}
+    for root in roots or sorted(values):
+        children = _root_tree(root, adjacency)
+        chains = _linearize(root, children, values)
+        order = [name for chain in chains for name in chain.names]
+        cost = sequence_cost([values[name] for name in order])
+        per_root[root] = cost
+        if best is None or cost < best.cost:
+            best = IKKBZResult(order=order, cost=cost, root=root)
+    assert best is not None
+    best.per_root_costs = per_root
+    return best
+
+
+def ikkbz_linearize(
+    values: dict[str, IKKBZNode],
+    adjacency: dict[str, list[str]],
+    root: str,
+) -> list[str]:
+    """Linearise one rooting of a precedence tree (exposed for callers that
+    compute per-rooting node values, like the LDL/IK-KBZ strategy)."""
+    children = _root_tree(root, adjacency)
+    chains = _linearize(root, children, values)
+    return [name for chain in chains for name in chain.names]
+
+
+def _root_tree(
+    root: str, adjacency: dict[str, list[str]]
+) -> dict[str, list[str]]:
+    """Orient the undirected tree away from ``root`` (BFS)."""
+    children: dict[str, list[str]] = {name: [] for name in adjacency}
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        for neighbour in adjacency[node]:
+            if neighbour not in seen:
+                seen.add(neighbour)
+                children[node].append(neighbour)
+                frontier.append(neighbour)
+    if len(seen) != len(adjacency):
+        raise OptimizerError("IK-KBZ query graph is disconnected")
+    return children

@@ -1,0 +1,107 @@
+"""Shared join-construction rules used by every enumeration strategy."""
+
+from __future__ import annotations
+
+from repro.catalog.catalog import Catalog, TableEntry
+from repro.expr.expressions import Column, Comparison, Const
+from repro.expr.predicates import Predicate
+from repro.optimizer.query import true_predicate
+from repro.plan.nodes import JoinMethod
+
+
+def index_access(
+    entry: TableEntry, predicate: Predicate
+) -> tuple[str, int, int] | None:
+    """Decode a filter into an index access path, when possible.
+
+    Returns ``(attribute, low, high)`` — an inclusive B-tree range that is
+    exactly equivalent to ``predicate`` — for free single-column integer
+    comparisons over an indexed attribute; ``None`` otherwise.
+    """
+    if predicate.is_expensive or not predicate.is_selection:
+        return None
+    expr = predicate.expr
+    if not isinstance(expr, Comparison):
+        return None
+    column, constant, op = None, None, expr.op
+    if isinstance(expr.left, Column) and isinstance(expr.right, Const):
+        column, constant = expr.left, expr.right
+    elif isinstance(expr.left, Const) and isinstance(expr.right, Column):
+        column, constant = expr.right, expr.left
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+    if column is None or not isinstance(constant.value, int):
+        return None
+    if op not in ("=", "<", "<=", ">", ">="):
+        return None
+    if not entry.has_index(column.attribute):
+        return None
+    stats = entry.stats.attribute(column.attribute)
+    value = constant.value
+    if op == "=":
+        return (column.attribute, value, value)
+    if op == "<":
+        return (column.attribute, stats.low, value - 1)
+    if op == "<=":
+        return (column.attribute, stats.low, value)
+    if op == ">":
+        return (column.attribute, value + 1, stats.high)
+    return (column.attribute, value, stats.high)
+
+
+def choose_primary(
+    connecting: list[Predicate],
+) -> tuple[Predicate, list[Predicate], bool]:
+    """Pick the primary join predicate among the predicates connecting a new
+    inner table. Returns ``(primary, secondaries, primary_is_cheap_equijoin)``.
+
+    Preference order: the most selective cheap equijoin (it enables merge,
+    hash, and index joins); otherwise the minimal-rank connecting predicate
+    (footnote 1 of the paper) for a plain nested loop — this is how an
+    *expensive primary join predicate* arises; otherwise a trivially-true
+    predicate (cross product).
+    """
+    cheap_equijoins = [
+        p for p in connecting if p.is_equijoin and not p.is_expensive
+    ]
+    if cheap_equijoins:
+        primary = min(cheap_equijoins, key=lambda p: p.selectivity)
+        cheap = True
+    elif connecting:
+        primary = min(connecting, key=lambda p: p.rank)
+        cheap = False
+    else:
+        primary = true_predicate()
+        cheap = False
+    secondaries = [p for p in connecting if p is not primary]
+    return primary, secondaries, cheap
+
+
+def eligible_methods(
+    catalog: Catalog,
+    primary: Predicate,
+    cheap_equijoin: bool,
+    inner_table: str,
+    allowed: tuple[JoinMethod, ...] = tuple(JoinMethod),
+    include_dominated: bool = True,
+) -> list[JoinMethod]:
+    """Join methods valid for one (primary predicate, inner table) pair.
+
+    With ``include_dominated=False``, plain nested loop is skipped when a
+    cheap equijoin primary exists: under the linear cost model its cost
+    (full inner rescans) strictly dominates hash join's and it contributes
+    no interesting order, so enumerating it only burns planning time.
+    """
+    if not cheap_equijoin:
+        return [JoinMethod.NESTED_LOOP]
+    candidates = [JoinMethod.HASH, JoinMethod.MERGE]
+    if include_dominated:
+        candidates.append(JoinMethod.NESTED_LOOP)
+    methods = [m for m in candidates if m in allowed]
+    assert primary.equijoin is not None
+    left, right = primary.equijoin
+    inner_column = left if left.table == inner_table else right
+    if JoinMethod.INDEX_NESTED_LOOP in allowed and catalog.table(
+        inner_table
+    ).has_index(inner_column.attribute):
+        methods.append(JoinMethod.INDEX_NESTED_LOOP)
+    return methods

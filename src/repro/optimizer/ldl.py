@@ -1,0 +1,273 @@
+"""The LDL algorithm (Section 3.1): expensive predicates as virtual joins.
+
+LDL [CGK89] rewrites each expensive predicate into a join with a virtual
+relation of infinite cardinality whose per-tuple join cost is the function's
+cost, then runs an ordinary join-ordering optimizer. Because System R-style
+optimizers explore only *left-deep* trees, a virtual predicate-join can
+never sit directly above an inner relation's scan — the optimal bushy plan
+of the paper's Figure 1 is unreachable, and LDL is structurally forced into
+over-eager pullup from inner inputs.
+
+We implement the rewrite directly as a dynamic program over states
+``(tables joined, expensive predicates applied)``: applying an expensive
+predicate is a step in the left-deep sequence, exactly like joining its
+virtual relation. This also exhibits the paper's complexity complaint —
+the DP is exponential in tables *plus* expensive predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import CostModel
+from repro.errors import OptimizerError
+from repro.expr.predicates import Predicate
+from repro.optimizer.joinutil import choose_primary, eligible_methods
+from repro.optimizer.policies import rank_sorted
+from repro.optimizer.query import Query
+from repro.plan.nodes import Join, Plan, PlanNode, Scan
+
+State = tuple[frozenset[str], frozenset[int]]
+
+
+@dataclass
+class _LDLCandidate:
+    node: PlanNode
+    cost: float
+    rows: float
+    order: object
+
+
+def ldl_plan(
+    query: Query,
+    catalog: Catalog,
+    model: CostModel,
+    bushy: bool = False,
+) -> Plan:
+    """Best plan with expensive predicates as virtual join steps.
+
+    ``bushy=True`` additionally pairs arbitrary disjoint sub-states — the
+    bushy System R modification the paper names as the escape from LDL's
+    forced inner pullup (at yet more enumeration cost). With it, the
+    Figure 1 optimal plan becomes reachable: a virtual predicate join can
+    sit directly above the inner relation's scan.
+    """
+    tables = sorted(query.tables)
+    join_predicates = query.join_predicates()
+    # The virtual relations: expensive selections and expensive secondary
+    # join predicates. (An expensive predicate may still end up as a plain
+    # nested-loop *primary* when it is the only connector.)
+    virtual = {
+        p.pred_id: p
+        for p in query.predicates
+        if p.is_expensive
+    }
+
+    def candidate_of(node: PlanNode) -> _LDLCandidate:
+        estimate = model.estimate_plan(node)
+        return _LDLCandidate(node, estimate.cost, estimate.rows, estimate.order)
+
+    dp: dict[State, list[_LDLCandidate]] = {}
+    for table in tables:
+        scan = _cheap_scan(query, table)
+        dp[(frozenset({table}), frozenset())] = [candidate_of(scan)]
+
+    total_steps = len(tables) + len(virtual)
+    for step in range(1, total_steps):
+        current_states = [
+            state for state in dp if len(state[0]) + len(state[1]) == step
+        ]
+        successors: dict[State, list[_LDLCandidate]] = {}
+        for state in current_states:
+            joined, applied = state
+            for candidate in dp[state]:
+                _apply_transitions(
+                    query,
+                    catalog,
+                    model,
+                    candidate,
+                    joined,
+                    applied,
+                    virtual,
+                    join_predicates,
+                    successors,
+                    candidate_of,
+                )
+                if bushy:
+                    _apply_bushy_pairings(
+                        catalog,
+                        model,
+                        dp,
+                        state,
+                        candidate,
+                        join_predicates,
+                        successors,
+                        candidate_of,
+                    )
+        for state, candidates in successors.items():
+            dp[state] = _prune(dp.get(state, []) + candidates)
+
+    final_state = (frozenset(tables), frozenset(virtual))
+    final = dp.get(final_state)
+    if not final:
+        raise OptimizerError("LDL could not build a complete plan")
+    best = min(final, key=lambda candidate: candidate.cost)
+    return Plan(best.node, best.cost, best.rows)
+
+
+def _cheap_scan(query: Query, table: str) -> Scan:
+    cheap = [p for p in query.selections_on(table) if not p.is_expensive]
+    return Scan(filters=rank_sorted(cheap), table=table)
+
+
+def _apply_transitions(
+    query,
+    catalog,
+    model,
+    candidate,
+    joined,
+    applied,
+    virtual,
+    join_predicates,
+    successors,
+    candidate_of,
+) -> None:
+    # (a) Apply one pending expensive predicate on top of the current plan —
+    # the virtual-relation join step.
+    for pred_id, predicate in virtual.items():
+        if pred_id in applied or not predicate.tables <= joined:
+            continue
+        node = candidate.node.clone()
+        node.filters = rank_sorted(node.filters + [predicate])
+        state = (joined, applied | {pred_id})
+        successors.setdefault(state, []).append(candidate_of(node))
+
+    # (b) Join one more base table.
+    remaining = [t for t in query.tables if t not in joined]
+    connectable = []
+    for table in remaining:
+        connecting = [
+            p
+            for p in join_predicates
+            if table in p.tables
+            and p.tables <= joined | {table}
+            and p.pred_id not in applied
+        ]
+        if connecting:
+            connectable.append((table, connecting))
+    if not connectable and remaining:
+        # Cross products only when the graph is disconnected.
+        connectable = [(table, []) for table in remaining]
+    for table, connecting in connectable:
+        primary, secondaries, cheap = choose_primary(connecting)
+        cheap_secondaries = [p for p in secondaries if not p.is_expensive]
+        new_applied = set(applied)
+        if primary.is_expensive:
+            new_applied.add(primary.pred_id)
+        for method in eligible_methods(catalog, primary, cheap, table):
+            join = Join(
+                filters=rank_sorted(cheap_secondaries),
+                outer=candidate.node.clone(),
+                inner=_cheap_scan(query, table),
+                method=method,
+                primary=primary,
+            )
+            state = (joined | {table}, frozenset(new_applied))
+            successors.setdefault(state, []).append(candidate_of(join))
+
+
+def _state_key(state: State) -> tuple:
+    return (sorted(state[0]), sorted(state[1]))
+
+
+def _apply_bushy_pairings(
+    catalog,
+    model,
+    dp,
+    state,
+    candidate,
+    join_predicates,
+    successors,
+    candidate_of,
+) -> None:
+    """Pair this state with every finalized disjoint state (bushy join)."""
+    from repro.plan.nodes import JoinMethod
+
+    joined, applied = state
+    my_size = len(joined) + len(applied)
+    for other_state, other_candidates in list(dp.items()):
+        other_joined, other_applied = other_state
+        other_size = len(other_joined) + len(other_applied)
+        if other_size > my_size:
+            continue
+        if other_size == my_size and _state_key(other_state) >= _state_key(
+            state
+        ):
+            continue  # the symmetric iteration handles it
+        if joined & other_joined or applied & other_applied:
+            continue
+        combined_tables = joined | other_joined
+        connecting = [
+            p
+            for p in join_predicates
+            if p.tables <= combined_tables
+            and p.tables & joined
+            and p.tables & other_joined
+            and p.pred_id not in applied | other_applied
+        ]
+        if not connecting:
+            continue
+        primary, secondaries, cheap = choose_primary(connecting)
+        cheap_secondaries = [p for p in secondaries if not p.is_expensive]
+        new_applied = set(applied | other_applied)
+        if primary.is_expensive:
+            new_applied.add(primary.pred_id)
+        methods = (
+            [JoinMethod.HASH, JoinMethod.MERGE]
+            if cheap
+            else [JoinMethod.NESTED_LOOP]
+        )
+        for other in other_candidates:
+            for method in methods:
+                for outer_node, inner_node in (
+                    (candidate.node, other.node),
+                    (other.node, candidate.node),
+                ):
+                    join = Join(
+                        filters=rank_sorted(list(cheap_secondaries)),
+                        outer=outer_node.clone(),
+                        inner=inner_node.clone(),
+                        method=method,
+                        primary=primary,
+                    )
+                    new_state = (combined_tables, frozenset(new_applied))
+                    successors.setdefault(new_state, []).append(
+                        candidate_of(join)
+                    )
+
+
+def _prune(candidates: list[_LDLCandidate]) -> list[_LDLCandidate]:
+    best = min(candidates, key=lambda candidate: candidate.cost)
+    kept = [best]
+    by_order: dict[object, _LDLCandidate] = {}
+    for candidate in candidates:
+        if candidate.order is None:
+            continue
+        current = by_order.get(candidate.order)
+        if current is None or candidate.cost < current.cost:
+            by_order[candidate.order] = candidate
+    kept.extend(c for c in by_order.values() if c is not best)
+    return kept
+
+
+def inner_pullup_violations(root: PlanNode) -> list[Predicate]:
+    """Expensive predicates sitting on a join's *inner* scan — structurally
+    impossible for LDL; exposed so tests can assert the over-eagerness."""
+    violations: list[Predicate] = []
+    for node in root.walk():
+        if isinstance(node, Join) and isinstance(node.inner, Scan):
+            violations.extend(
+                p for p in node.inner.filters if p.is_expensive
+            )
+    return violations

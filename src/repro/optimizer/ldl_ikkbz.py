@@ -1,0 +1,227 @@
+"""LDL over IK-KBZ: the [KZ88] pipeline the paper discusses in Section 3.1.
+
+[KZ88] proposed running the LDL rewrite (expensive predicates as virtual
+relations) through the polynomial-time IK-KBZ join-ordering algorithm
+instead of System R's exponential DP. The combination inherits both
+parents' limits, which the paper points out:
+
+* IK-KBZ handles only *tree* (acyclic) query graphs of cheap equijoins, so
+  an expensive primary join predicate is out of scope;
+* left-deep linearisation forces the LDL over-eager pullup from inner
+  inputs;
+* the ASI cost function is a heuristic proxy — the final plan is re-costed
+  with the real per-input model here, but the *ordering* decisions are
+  IK-KBZ's.
+
+Virtual predicate nodes attach to their relation with T = selectivity and
+C = cost-per-tuple, which makes their ASI rank exactly the paper's
+predicate rank.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import CostModel
+from repro.errors import OptimizerError
+from repro.expr.predicates import Predicate
+from repro.optimizer.ikkbz import IKKBZNode, ikkbz_linearize, sequence_cost
+from repro.optimizer.joinutil import choose_primary, eligible_methods
+from repro.optimizer.policies import rank_sorted
+from repro.optimizer.query import Query
+from repro.plan.nodes import Join, JoinMethod, Plan, Scan
+from repro.plan.streams import spine_of
+
+
+def ldl_ikkbz_plan(
+    query: Query,
+    catalog: Catalog,
+    model: CostModel,
+    bushy: bool = False,
+) -> Plan:
+    """Plan via the LDL rewrite linearised by IK-KBZ.
+
+    Raises :class:`OptimizerError` when the query is outside IK-KBZ's
+    scope (non-equijoin or expensive join predicates, cyclic join graph,
+    disconnected graph). IK-KBZ is inherently left-deep; ``bushy`` is
+    accepted for interface uniformity and ignored.
+    """
+    del bushy
+    _validate(query)
+    order = _best_order(query, catalog, model)
+    return _build_plan(query, catalog, model, order)
+
+
+def _validate(query: Query) -> None:
+    for predicate in query.join_predicates():
+        if predicate.is_expensive:
+            raise OptimizerError(
+                "ldl-ikkbz cannot handle expensive join predicates"
+            )
+        if not predicate.is_equijoin:
+            raise OptimizerError(
+                "ldl-ikkbz requires equijoin join predicates"
+            )
+
+
+def _graph(query: Query, model: CostModel):
+    """Tree edges (most selective predicate per table pair) and leftovers."""
+    edges: dict[frozenset[str], Predicate] = {}
+    secondaries: list[Predicate] = []
+    for predicate in query.join_predicates():
+        pair = frozenset(predicate.tables)
+        current = edges.get(pair)
+        if current is None:
+            edges[pair] = predicate
+        else:
+            chosen, other = sorted(
+                (current, predicate),
+                key=lambda p: model.join_selectivity(p),
+            )
+            edges[pair] = chosen
+            secondaries.append(other)
+    return edges, secondaries
+
+
+def _best_order(
+    query: Query, catalog: Catalog, model: CostModel
+) -> list[str]:
+    edges, _ = _graph(query, model)
+    if len(edges) != len(query.tables) - 1:
+        raise OptimizerError(
+            "ldl-ikkbz requires a tree query graph "
+            f"({len(query.tables)} tables need {len(query.tables) - 1} "
+            f"distinct join edges, got {len(edges)})"
+        )
+
+    filtered_rows: dict[str, float] = {}
+    scan_cost: dict[str, float] = {}
+    for table in query.tables:
+        entry = catalog.table(table)
+        rows = float(entry.stats.cardinality)
+        for predicate in query.selections_on(table):
+            if not predicate.is_expensive:
+                rows *= predicate.selectivity
+        filtered_rows[table] = max(rows, 1e-9)
+        scan_cost[table] = entry.pages * model.params.seq_weight
+
+    adjacency: dict[str, list[str]] = {t: [] for t in query.tables}
+    edge_selectivity: dict[tuple[str, str], float] = {}
+    for pair, predicate in edges.items():
+        left, right = sorted(pair)
+        adjacency[left].append(right)
+        adjacency[right].append(left)
+        s = model.join_selectivity(predicate)
+        edge_selectivity[(left, right)] = s
+        edge_selectivity[(right, left)] = s
+
+    virtual: list[tuple[str, str, Predicate]] = []
+    for position, predicate in enumerate(query.predicates):
+        if predicate.is_expensive and predicate.is_selection:
+            name = f"__pred{position}"
+            host = predicate.table()
+            adjacency.setdefault(name, []).append(host)
+            adjacency[host].append(name)
+            virtual.append((name, host, predicate))
+
+    cpu = model.params.cpu_per_tuple
+    best_order: list[str] | None = None
+    best_cost = float("inf")
+    for root in query.tables:
+        values: dict[str, IKKBZNode] = {}
+        parents = _orient(root, adjacency)
+        for node, parent in parents.items():
+            if node.startswith("__pred"):
+                predicate = next(p for n, _, p in virtual if n == node)
+                values[node] = IKKBZNode(
+                    node, predicate.selectivity, predicate.cost_per_tuple
+                )
+            elif parent is None:
+                values[node] = IKKBZNode(
+                    node, filtered_rows[node], scan_cost[node]
+                )
+            else:
+                t = edge_selectivity[(parent, node)] * filtered_rows[node]
+                # ASI join-cost proxy: CPU per produced tuple plus the
+                # relation's own scan, amortised per prefix tuple.
+                values[node] = IKKBZNode(node, t, max(cpu * t, 1e-9))
+        order = ikkbz_linearize(values, adjacency, root)
+        cost = sequence_cost([values[name] for name in order])
+        if cost < best_cost:
+            best_cost = cost
+            best_order = order
+    assert best_order is not None
+    return best_order
+
+
+def _orient(root: str, adjacency: dict[str, list[str]]) -> dict[str, str | None]:
+    parents: dict[str, str | None] = {root: None}
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        for neighbour in adjacency[node]:
+            if neighbour not in parents:
+                parents[neighbour] = node
+                frontier.append(neighbour)
+    if len(parents) != len(adjacency):
+        raise OptimizerError("ldl-ikkbz query graph is disconnected")
+    return parents
+
+
+def _build_plan(
+    query: Query, catalog: Catalog, model: CostModel, order: list[str]
+) -> Plan:
+    """Realise an IK-KBZ order as a left-deep plan with greedy methods."""
+    _, extra_secondaries = _graph(query, model)
+    virtual = {
+        f"__pred{position}": predicate
+        for position, predicate in enumerate(query.predicates)
+        if predicate.is_expensive and predicate.is_selection
+    }
+    used: set[int] = set()
+
+    def cheap_scan(table: str) -> Scan:
+        cheap = [
+            p for p in query.selections_on(table) if not p.is_expensive
+        ]
+        return Scan(filters=rank_sorted(cheap), table=table)
+
+    root = None
+    seen: set[str] = set()
+    for step in order:
+        if step in virtual:
+            predicate = virtual[step]
+            if root is None:
+                raise OptimizerError("ldl-ikkbz order starts with a predicate")
+            root.filters = rank_sorted(root.filters + [predicate])
+            continue
+        if root is None:
+            root = cheap_scan(step)
+            seen.add(step)
+            continue
+        seen.add(step)
+        connecting = [
+            p
+            for p in query.join_predicates()
+            if step in p.tables
+            and p.tables <= seen
+            and p.pred_id not in used
+        ]
+        primary, secondaries, cheap = choose_primary(connecting)
+        used.add(primary.pred_id)
+        used.update(p.pred_id for p in secondaries)
+        root = Join(
+            filters=rank_sorted(secondaries),
+            outer=root,
+            inner=cheap_scan(step),
+            method=JoinMethod.HASH if cheap else JoinMethod.NESTED_LOOP,
+            primary=primary,
+        )
+    assert root is not None
+
+    if isinstance(root, Join):
+        from repro.optimizer.exhaustive import _method_costs
+
+        spine = spine_of(root)
+        list(_method_costs(spine, catalog, model, "greedy"))
+    estimate = model.estimate_plan(root)
+    return Plan(root, estimate.cost, estimate.rows)

@@ -1,0 +1,417 @@
+"""Predicate Migration (Section 4.4): series–parallel placement.
+
+Given a plan with a fixed join order, Predicate Migration computes the
+optimal interleaving of predicates and joins along each stream. The key
+insight beyond PullRank: when two adjacent stream elements are *out of rank
+order* (the upper one's rank is below the lower's), they must be treated as
+one group whose rank composes as
+
+    rank(J1 J2) = (sel(J1)·sel(J2) − 1) / (cost(J1) + sel(J1)·cost(J2)),
+
+and predicates are pulled above or pushed below the *group* — the
+multi-join pullup PullRank cannot do. This is the Monma–Sidney
+series–parallel algorithm using parallel chains [MS79].
+
+Two practical points the implementation handles, both from the paper:
+
+* The chain a predicate may climb contains not only the joins but also the
+  *other* placed predicates of lower rank — a selection already pulled
+  above a join filters the stream and can make crossing the pair
+  profitable when crossing the join alone is not. We therefore rebuild
+  each predicate's chain from the current placement of everything else and
+  iterate to a fixpoint ("repeatedly applies ... until no progress is
+  made").
+* Per-input join selectivities and differential costs depend on the
+  current stream cardinalities ``{R}``/``{S}``, which depend on placement
+  (Section 5.2's "on the fly" estimates) — another reason for the
+  fixpoint iteration. A selection on the *inner* table of its entry join
+  crosses that join on the join's inner per-input quantities and rides the
+  combined stream above it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cost.model import CostModel
+from repro.expr.predicates import Predicate, rank
+from repro.plan.nodes import Plan, PlanNode
+from repro.plan.streams import Spine, movable_predicates, spine_of
+
+#: Safety bound on fixpoint iterations (each pass is monotone in practice;
+#: the bound only guards against estimate oscillation).
+MAX_ITERATIONS = 16
+
+
+@dataclass(frozen=True)
+class Module:
+    """A group of adjacent stream elements treated as one operator."""
+
+    selectivity: float
+    cost: float
+    start: int
+    end: int
+
+    @property
+    def rank(self) -> float:
+        return rank(self.selectivity, self.cost)
+
+    def merge(self, upper: "Module") -> "Module":
+        """Series composition: this module followed by ``upper``."""
+        return Module(
+            selectivity=self.selectivity * upper.selectivity,
+            cost=self.cost + self.selectivity * upper.cost,
+            start=self.start,
+            end=upper.end,
+        )
+
+
+def normalize_modules(stream_items: list[Module]) -> list[Module]:
+    """Merge adjacent modules while ranks decrease, yielding a chain of
+    non-decreasing rank — the parallel-chains normal form."""
+    modules: list[Module] = []
+    for module in stream_items:
+        modules.append(module)
+        while len(modules) >= 2 and modules[-1].rank < modules[-2].rank:
+            upper = modules.pop()
+            lower = modules.pop()
+            modules.append(lower.merge(upper))
+    return modules
+
+
+@dataclass(frozen=True)
+class ChainItem:
+    """One element of a predicate's climbable chain.
+
+    ``slot_after`` is the spine slot the predicate occupies once it has
+    climbed past this element: ``position + 1`` for the join at spine
+    position ``position``; the owning slot itself for another predicate
+    (climbing past a same-slot, lower-rank predicate does not cross a
+    join).
+    """
+
+    module: Module
+    slot_after: int
+
+
+def climb_chain(
+    predicate_rank: float, items: list[ChainItem], entry_slot: int
+) -> int:
+    """Best slot for a predicate with the given chain above its entry.
+
+    Normalises the chain into non-decreasing-rank groups, then climbs past
+    every group whose rank is below the predicate's own.
+    """
+    stack: list[ChainItem] = []
+    for item in items:
+        stack.append(item)
+        while (
+            len(stack) >= 2
+            and stack[-1].module.rank < stack[-2].module.rank
+        ):
+            upper = stack.pop()
+            lower = stack.pop()
+            stack.append(
+                ChainItem(lower.module.merge(upper.module), upper.slot_after)
+            )
+    slot = entry_slot
+    for item in stack:
+        if predicate_rank > item.module.rank:
+            slot = max(slot, item.slot_after)
+        else:
+            break
+    return slot
+
+
+def optimal_slot(
+    predicate_rank: float, joins: list[Module], entry_slot: int
+) -> int:
+    """Best slot against a pure join chain (``joins[i]`` at position ``i``).
+
+    The simple form used when no other movable predicates interfere;
+    :func:`migrate_node` builds richer chains via :func:`climb_chain`.
+    """
+    items = [
+        ChainItem(module, module.end + 1) for module in joins[entry_slot:]
+    ]
+    return climb_chain(predicate_rank, items, entry_slot)
+
+
+def spine_join_modules(
+    spine: Spine, model: CostModel
+) -> tuple[list[Module], list[Module]]:
+    """Per-join (outer-stream, inner-stream) modules, computed with the
+    *current* placement's stream cardinalities."""
+    leaf_estimate = model.estimate_plan(spine.leaf)
+    stream_rows = leaf_estimate.rows
+    outer_modules: list[Module] = []
+    inner_modules: list[Module] = []
+    for spine_join in spine.joins:
+        join = spine_join.join
+        inner_estimate = model.estimate_plan(join.inner)
+        per_input = model.per_input(join, stream_rows, inner_estimate.rows)
+        position = spine_join.position
+        outer_modules.append(
+            Module(
+                selectivity=per_input.outer_selectivity,
+                cost=per_input.outer_cost,
+                start=position,
+                end=position,
+            )
+        )
+        inner_modules.append(
+            Module(
+                selectivity=per_input.inner_selectivity,
+                cost=per_input.inner_cost,
+                start=position,
+                end=position,
+            )
+        )
+        stream_rows *= per_input.outer_selectivity
+        for predicate in join.filters:
+            stream_rows *= predicate.selectivity
+    return outer_modules, inner_modules
+
+
+def _on_spine_stream(
+    spine: Spine, predicate: Predicate, slot: int, entry: int
+) -> bool:
+    """Is a predicate at ``slot`` part of the spine's combined stream?
+
+    Everything is, except an inner-table selection sitting on its own
+    relation's scan (its filtering is then inside the entry join's module).
+    """
+    if not predicate.is_selection:
+        return True
+    if predicate.tables <= spine.leaf.tables():
+        return True
+    return slot > entry
+
+
+def _chain_for(
+    spine: Spine,
+    predicate: Predicate,
+    outer_modules: list[Module],
+    inner_modules: list[Module],
+    current_slots: dict[Predicate, int],
+) -> list[ChainItem]:
+    """The ordered chain of elements ``predicate`` could climb past."""
+    entry = spine.entry_slot(predicate)
+    inner_entry = (
+        predicate.is_selection
+        and not predicate.tables <= spine.leaf.tables()
+        and entry < len(spine.joins)
+    )
+
+    # Key: (slot index, 0=predicate/1=join, rank) for stable stream order —
+    # predicates execute within a slot, the join at position i moves the
+    # stream from slot i to slot i + 1 afterwards.
+    keyed: list[tuple[tuple, ChainItem]] = []
+    for position in range(entry, len(spine.joins)):
+        module = (
+            inner_modules[position]
+            if inner_entry and position == entry
+            else outer_modules[position]
+        )
+        keyed.append(
+            ((position, 1, 0.0), ChainItem(module, position + 1))
+        )
+    for other, slot in current_slots.items():
+        if other is predicate or other.rank > predicate.rank:
+            continue
+        other_entry = spine.entry_slot(other)
+        if slot <= entry:
+            continue  # at or below this predicate's entry: always earlier
+        if not _on_spine_stream(spine, other, slot, other_entry):
+            continue
+        module = Module(other.selectivity, other.cost_per_tuple, -1, -1)
+        keyed.append(((slot, 0, other.rank), ChainItem(module, slot)))
+    keyed.sort(key=lambda pair: pair[0])
+    return [item for _, item in keyed]
+
+
+def migrate_node(root: PlanNode, model: CostModel) -> None:
+    """Optimally re-place all movable predicates of ``root`` in place."""
+    spine = spine_of(root)
+    movable = movable_predicates(spine)
+    current_slots = {
+        predicate: _current_slot(spine, predicate) for predicate in movable
+    }
+    previous: dict[Predicate, int] | None = None
+    for _ in range(MAX_ITERATIONS):
+        outer_modules, inner_modules = spine_join_modules(spine, model)
+        placements: dict[Predicate, int] = {}
+        for predicate in movable:
+            chain = _chain_for(
+                spine, predicate, outer_modules, inner_modules, current_slots
+            )
+            placements[predicate] = climb_chain(
+                predicate.rank, chain, spine.entry_slot(predicate)
+            )
+        if placements == previous:
+            break
+        spine.apply_placement(placements)
+        current_slots = placements
+        previous = placements
+
+
+def _current_slot(spine: Spine, predicate: Predicate) -> int:
+    """Slot of a predicate's current position in the tree."""
+    owner = spine.top.find_filter(predicate)
+    for spine_join in spine.joins:
+        if owner is spine_join.join:
+            return spine_join.slot
+        if owner is spine_join.join.inner:
+            return spine.entry_slot(predicate)
+    return spine.entry_slot(predicate)
+
+
+def migrate_plan(plan: Plan, model: CostModel) -> Plan:
+    """Migrate a (cloned) plan and return it with refreshed estimates.
+
+    Left-deep plans use the spine algorithm; bushy plans fall back to the
+    paper's per-path formulation (:func:`migrate_bushy_node`).
+    """
+    from repro.plan.nodes import Join, Scan
+
+    migrated = plan.clone()
+    left_deep = all(
+        isinstance(node.inner, Scan)
+        for node in migrated.root.walk()
+        if isinstance(node, Join)
+    )
+    if left_deep:
+        migrate_node(migrated.root, model)
+    else:
+        migrate_bushy_node(migrated.root, model)
+    estimate = model.estimate_plan(migrated.root)
+    migrated.estimated_cost = estimate.cost
+    migrated.estimated_rows = estimate.rows
+    return migrated
+
+
+# -- bushy trees: the paper's per-path formulation ---------------------------
+
+
+def _path_modules(path, model: CostModel) -> list[Module]:
+    """Per-step (selectivity, differential cost) modules along one path,
+    using each join's per-input quantities for the side the path ascends
+    from, with current-placement stream estimates."""
+    stream_rows = model.estimate_plan(path.leaf).rows
+    modules: list[Module] = []
+    for step in path.steps:
+        join = step.join
+        if step.from_outer:
+            other_rows = model.estimate_plan(join.inner).rows
+            per_input = model.per_input(join, stream_rows, other_rows)
+            selectivity = per_input.outer_selectivity
+            cost = per_input.outer_cost
+        else:
+            other_rows = model.estimate_plan(join.outer).rows
+            per_input = model.per_input(join, other_rows, stream_rows)
+            selectivity = per_input.inner_selectivity
+            cost = per_input.inner_cost
+        modules.append(
+            Module(selectivity, cost, step.position, step.position)
+        )
+        stream_rows *= selectivity
+        for predicate in join.filters:
+            stream_rows *= predicate.selectivity
+    return modules
+
+
+def migrate_bushy_node(root: PlanNode, model: CostModel) -> None:
+    """Predicate Migration for arbitrary trees: apply the series–parallel
+    placement to each root-to-leaf path until no progress is made."""
+    from repro.plan.paths import current_slot_on_path, root_paths
+
+    for _ in range(MAX_ITERATIONS):
+        changed = False
+        for path in root_paths(root):
+            path_nodes = path.nodes()
+            movable = [
+                predicate
+                for node in path_nodes
+                for predicate in node.filters
+            ]
+            if not movable:
+                continue
+            modules = _path_modules(path, model)
+            current = {
+                predicate: current_slot_on_path(path, root, predicate)
+                for predicate in movable
+            }
+            for predicate in movable:
+                entry = path.entry_slot(predicate)
+                items: list[tuple[tuple, ChainItem]] = []
+                for position in range(entry, len(path.steps)):
+                    items.append((
+                        (position, 1, 0.0),
+                        ChainItem(modules[position], position + 1),
+                    ))
+                for other in movable:
+                    if other is predicate or other.rank > predicate.rank:
+                        continue
+                    slot = current.get(other)
+                    if slot is None or slot <= entry:
+                        continue
+                    items.append((
+                        (slot, 0, other.rank),
+                        ChainItem(
+                            Module(
+                                other.selectivity,
+                                other.cost_per_tuple,
+                                -1,
+                                -1,
+                            ),
+                            slot,
+                        ),
+                    ))
+                items.sort(key=lambda pair: pair[0])
+                target = climb_chain(
+                    predicate.rank,
+                    [item for _, item in items],
+                    entry,
+                )
+                if target == current.get(predicate):
+                    continue
+                owner = next(
+                    node for node in root.walk()
+                    if predicate in node.filters
+                )
+                destination = path.node_at_slot(root, predicate, target)
+                if destination is owner:
+                    continue
+                owner.filters.remove(predicate)
+                destination.filters = sorted(
+                    destination.filters + [predicate],
+                    key=lambda p: p.rank,
+                )
+                current[predicate] = target
+                changed = True
+        if not changed:
+            break
+
+
+def group_rank(
+    selectivities: list[float], costs: list[float]
+) -> float:
+    """The paper's displayed formula for the rank of a join group, exposed
+    for tests: rank(J1..Jk) with series composition."""
+    if not selectivities or len(selectivities) != len(costs):
+        raise ValueError("need matching non-empty selectivity/cost lists")
+    module = Module(selectivities[0], costs[0], 0, 0)
+    for position in range(1, len(selectivities)):
+        module = module.merge(
+            Module(selectivities[position], costs[position], position, position)
+        )
+    return module.rank
+
+
+def is_rank_ordered(values: list[float]) -> bool:
+    """True when a stream's ranks are non-decreasing (no groups needed)."""
+    return all(
+        earlier <= later or math.isclose(earlier, later)
+        for earlier, later in zip(values, values[1:])
+    )

@@ -1,0 +1,136 @@
+"""The optimizer facade: one call, one strategy name, one plan."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import CostModel
+from repro.cost.params import CostParams
+from repro.errors import OptimizerError
+from repro.optimizer.exhaustive import exhaustive_plan
+from repro.optimizer.ldl import ldl_plan
+from repro.optimizer.ldl_ikkbz import ldl_ikkbz_plan
+from repro.optimizer.migration import migrate_plan
+from repro.optimizer.policies import (
+    MigrationPhaseOnePolicy,
+    PullRankPolicy,
+    PullUpPolicy,
+    PushDownPolicy,
+)
+from repro.optimizer.query import Query
+from repro.optimizer.systemr import SystemRPlanner
+from repro.plan.nodes import Plan
+
+
+def _policy_strategy(policy_factory):
+    def strategy(
+        query: Query, catalog: Catalog, model: CostModel, bushy: bool = False
+    ) -> Plan:
+        planner = SystemRPlanner(catalog, model, policy_factory(), bushy=bushy)
+        return planner.plan(query)
+
+    return strategy
+
+
+def migration_strategy(
+    query: Query, catalog: Catalog, model: CostModel, bushy: bool = False
+) -> Plan:
+    """Predicate Migration: PullRank enumeration with unpruneable retention,
+    then series–parallel migration of every retained plan (Section 4.4).
+    With ``bushy=True``, enumeration covers bushy trees and migration runs
+    the paper's per-root-to-leaf-path formulation."""
+    planner = SystemRPlanner(
+        catalog, model, MigrationPhaseOnePolicy(), bushy=bushy
+    )
+    candidates = planner.final_candidates(query)
+    best: Plan | None = None
+    for candidate in candidates:
+        migrated = migrate_plan(
+            Plan(candidate.node, candidate.estimate.cost,
+                 candidate.estimate.rows),
+            model,
+        )
+        if best is None or migrated.estimated_cost < best.estimated_cost:
+            best = migrated
+    assert best is not None
+    return best
+
+
+def exhaustive_strategy(
+    query: Query, catalog: Catalog, model: CostModel, bushy: bool = False
+) -> Plan:
+    # Exhaustive placement enumerates left-deep orders; it is already the
+    # optimal baseline for the workloads (bushy shapes add nothing for
+    # standard joins under the linear model's left-deep assumptions).
+    del bushy
+    return exhaustive_plan(query, catalog, model)
+
+
+STRATEGIES = {
+    "pushdown": _policy_strategy(PushDownPolicy),
+    "pullup": _policy_strategy(PullUpPolicy),
+    "pullrank": _policy_strategy(PullRankPolicy),
+    "migration": migration_strategy,
+    "ldl": ldl_plan,
+    "ldl-ikkbz": ldl_ikkbz_plan,
+    "exhaustive": exhaustive_strategy,
+}
+
+
+@dataclass
+class OptimizedPlan:
+    """A plan plus how it was obtained."""
+
+    plan: Plan
+    strategy: str
+    planning_seconds: float
+    query_name: str = ""
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def estimated_cost(self) -> float:
+        assert self.plan.estimated_cost is not None
+        return self.plan.estimated_cost
+
+
+def optimize(
+    db,
+    query: Query,
+    strategy: str = "migration",
+    caching: bool = False,
+    global_model: bool = False,
+    params: CostParams | None = None,
+    bushy: bool = False,
+) -> OptimizedPlan:
+    """Optimize ``query`` against ``db`` with the named placement strategy.
+
+    ``caching`` switches the cost model to value-based rank arithmetic
+    (Section 5.1) — pair it with ``Executor(db, caching=True)``.
+    ``global_model`` selects the discarded [HS93a] cost model (ablation).
+    ``bushy`` enables bushy join trees for the enumeration-based strategies
+    (the paper's suggested fix for LDL's left-deep limitation).
+    """
+    try:
+        strategy_fn = STRATEGIES[strategy]
+    except KeyError:
+        raise OptimizerError(
+            f"unknown strategy {strategy!r}; "
+            f"choose one of {sorted(STRATEGIES)}"
+        ) from None
+    model = CostModel(
+        db.catalog,
+        params or db.params,
+        caching=caching,
+        global_model=global_model,
+    )
+    started = time.perf_counter()
+    plan = strategy_fn(query, db.catalog, model, bushy=bushy)
+    elapsed = time.perf_counter() - started
+    return OptimizedPlan(
+        plan=plan,
+        strategy=strategy,
+        planning_seconds=elapsed,
+        query_name=query.name,
+    )

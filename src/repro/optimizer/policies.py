@@ -1,0 +1,118 @@
+"""Placement policies: the per-join pullup rules of Sections 4.1–4.3.
+
+A policy is the strategy-specific piece of the System R enumerator. It is
+consulted twice: when a base scan is formed (how to order that table's
+selections) and every time a join node is constructed (which filters to pull
+up from the two inputs). Policies mutate freshly-cloned nodes, so shared
+subplans in the DP table are never corrupted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.model import CostModel, PerInput
+from repro.expr.predicates import Predicate
+from repro.plan.nodes import Join, PlanNode, Scan
+
+
+def rank_sorted(predicates: list[Predicate]) -> list[Predicate]:
+    """Ascending rank — the optimal execution order for selections
+    (Section 4.1). Free predicates (rank −∞) come first."""
+    return sorted(predicates, key=lambda predicate: predicate.rank)
+
+
+@dataclass
+class JoinContext:
+    """What a policy sees when one join is constructed."""
+
+    outer_rows: float
+    inner_rows: float
+    per_input: PerInput
+
+
+class PlacementPolicy:
+    """Default behaviour: classic pushdown with rank-ordered selections."""
+
+    name = "base"
+
+    def place_scan(
+        self, scan: Scan, selections: list[Predicate], model: CostModel
+    ) -> None:
+        scan.filters = rank_sorted(selections)
+
+    def on_join(
+        self, join: Join, model: CostModel, ctx: JoinContext
+    ) -> bool:
+        """Mutate the join's (cloned) inputs; return True to mark the
+        subplan unpruneable (used only by Predicate Migration)."""
+        return False
+
+    # -- shared pull helpers ---------------------------------------------
+
+    @staticmethod
+    def _pull(join: Join, source: PlanNode, chosen: list[Predicate]) -> None:
+        for predicate in chosen:
+            source.filters.remove(predicate)
+        join.filters = rank_sorted(join.filters + chosen)
+
+
+class PushDownPolicy(PlacementPolicy):
+    """PushDown+ (Section 4.1): never pull; only rank-order selections."""
+
+    name = "pushdown"
+
+
+class PullUpPolicy(PlacementPolicy):
+    """PullUp (Section 4.2): every costly selection is pulled to the very
+    top of each enumerated subplan."""
+
+    name = "pullup"
+
+    def on_join(
+        self, join: Join, model: CostModel, ctx: JoinContext
+    ) -> bool:
+        for source in (join.outer, join.inner):
+            expensive = [p for p in source.filters if p.is_expensive]
+            self._pull(join, source, expensive)
+        return False
+
+
+class PullRankPolicy(PlacementPolicy):
+    """PullRank (Section 4.3): pull a filter above the new join exactly when
+    its rank exceeds the join's rank for that input. Considers only the
+    filters at the top of each input — one join at a time, no multi-join
+    group pullups (the Figure 6 failure mode)."""
+
+    name = "pullrank"
+
+    #: When True, declining to pull an expensive predicate marks the subplan
+    #: unpruneable — the System R modification Predicate Migration needs.
+    mark_unpruneable = False
+
+    def on_join(
+        self, join: Join, model: CostModel, ctx: JoinContext
+    ) -> bool:
+        unpruneable = False
+        for source, input_rank in (
+            (join.outer, ctx.per_input.outer_rank),
+            (join.inner, ctx.per_input.inner_rank),
+        ):
+            pulled = [p for p in source.filters if p.rank > input_rank]
+            declined_expensive = [
+                p
+                for p in source.filters
+                if p.is_expensive and p.rank <= input_rank
+            ]
+            self._pull(join, source, pulled)
+            if declined_expensive:
+                unpruneable = True
+        return unpruneable and self.mark_unpruneable
+
+
+class MigrationPhaseOnePolicy(PullRankPolicy):
+    """PullRank with unpruneable marking: the enumeration phase of
+    Predicate Migration (Section 4.4)."""
+
+    name = "migration-enumeration"
+    mark_unpruneable = True

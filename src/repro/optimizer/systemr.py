@@ -1,0 +1,376 @@
+"""System R-style dynamic-programming join enumeration (left-deep).
+
+This is the substrate every placement algorithm plugs into, as in Montage.
+The enumerator keeps, per table subset: the cheapest subplan, the cheapest
+subplan per interesting order, and — when the policy requests it — all
+*unpruneable* subplans (those still holding an expensive predicate that was
+not pulled up; Section 4.4 explains why Predicate Migration must retain
+them). Cross products are considered only when no join predicate connects a
+subset, per System R tradition.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import CostModel, Estimate
+from repro.errors import OptimizerError
+from repro.expr.predicates import Predicate
+from repro.optimizer.joinutil import (
+    choose_primary,
+    eligible_methods,
+    index_access,
+)
+from repro.optimizer.policies import (
+    JoinContext,
+    PlacementPolicy,
+    rank_sorted,
+)
+from repro.optimizer.query import Query
+from repro.plan.nodes import Join, JoinMethod, Plan, PlanNode, Scan
+
+
+def _shape(node: PlanNode):
+    if isinstance(node, Scan):
+        return node.table
+    assert isinstance(node, Join)
+    return (_shape(node.outer), _shape(node.inner))
+
+
+def _skeleton_key(node: PlanNode) -> tuple:
+    """Join-tree shape plus the top join's method — the identity that
+    matters to Predicate Migration's post-processing (it re-places all
+    movable predicates on the retained skeleton)."""
+    top_method = node.method if isinstance(node, Join) else None
+    return (_shape(node), top_method)
+
+
+@dataclass
+class Candidate:
+    """One retained subplan for a table subset."""
+
+    node: PlanNode
+    estimate: Estimate
+    unpruneable: bool = False
+
+    @property
+    def cost(self) -> float:
+        return self.estimate.cost
+
+
+@dataclass
+class PlannerStats:
+    """Instrumentation: how much work the enumeration did."""
+
+    joins_built: int = 0
+    candidates_kept: int = 0
+    unpruneable_kept: int = 0
+
+
+class SystemRPlanner:
+    """Left-deep DP enumerator parameterised by a placement policy."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        model: CostModel,
+        policy: PlacementPolicy | None = None,
+        methods: tuple[JoinMethod, ...] = tuple(JoinMethod),
+        bushy: bool = False,
+    ) -> None:
+        """``bushy=True`` additionally enumerates bushy join trees (both
+        join inputs may be composites) — the System R modification the
+        paper mentions as the fix for LDL's left-deep limitation."""
+        self.catalog = catalog
+        self.model = model
+        self.policy = policy or PlacementPolicy()
+        self.methods = methods
+        self.bushy = bushy
+        self.stats = PlannerStats()
+
+    # -- public API --------------------------------------------------------
+
+    def plan(self, query: Query) -> Plan:
+        """The cheapest complete plan under this policy."""
+        candidates = self.final_candidates(query)
+        best = min(candidates, key=lambda candidate: candidate.cost)
+        return Plan(
+            root=best.node,
+            estimated_cost=best.estimate.cost,
+            estimated_rows=best.estimate.rows,
+        )
+
+    def final_candidates(self, query: Query) -> list[Candidate]:
+        """All retained complete plans: cheapest, interesting orders, and
+        unpruneable subplans (Predicate Migration post-processes these)."""
+        self.stats = PlannerStats()
+        table_list = sorted(query.tables)
+        join_predicates = query.join_predicates()
+
+        dp: dict[frozenset[str], list[Candidate]] = {}
+        for table in table_list:
+            dp[frozenset({table})] = self._prune(
+                self._base_candidates(query, table)
+            )
+
+        for size in range(2, len(table_list) + 1):
+            for subset_tuple in itertools.combinations(table_list, size):
+                subset = frozenset(subset_tuple)
+                candidates = self._extend(query, dp, subset, join_predicates)
+                if not candidates:
+                    candidates = self._extend(
+                        query, dp, subset, join_predicates, allow_cross=True
+                    )
+                if candidates:
+                    dp[subset] = self._prune(candidates)
+
+        final = dp.get(frozenset(table_list))
+        if not final:
+            raise OptimizerError(
+                f"could not connect tables {table_list}; "
+                "query graph may be malformed"
+            )
+        return final
+
+    # -- enumeration internals -------------------------------------------------
+
+    def _base_scan(self, query: Query, table: str) -> Scan:
+        scan = Scan(filters=[], table=table)
+        self.policy.place_scan(
+            scan, list(query.selections_on(table)), self.model
+        )
+        return scan
+
+    def _base_candidates(self, query: Query, table: str) -> list[Candidate]:
+        """Access-path selection for one base relation.
+
+        Besides the sequential scan, consider a B-tree index scan for each
+        free (zero-cost) single-column range or equality filter over an
+        indexed attribute; the chosen filter becomes the access path and
+        leaves the filter list. Index scans also carry an interesting
+        order, which the pruner retains for merge joins above.
+        """
+        seq_scan = self._base_scan(query, table)
+        candidates = [Candidate(seq_scan, self.model.estimate_plan(seq_scan))]
+        entry = self.catalog.table(table)
+        for predicate in seq_scan.filters:
+            access = index_access(entry, predicate)
+            if access is None:
+                continue
+            attribute, low, high = access
+            index_scan = Scan(
+                filters=[p for p in seq_scan.filters if p is not predicate],
+                table=table,
+                index_attr=attribute,
+                index_range=(low, high),
+            )
+            candidates.append(
+                Candidate(index_scan, self.model.estimate_plan(index_scan))
+            )
+        return candidates
+
+    def _extend(
+        self,
+        query: Query,
+        dp: dict[frozenset[str], list[Candidate]],
+        subset: frozenset[str],
+        join_predicates: list[Predicate],
+        allow_cross: bool = False,
+    ) -> list[Candidate]:
+        candidates: list[Candidate] = []
+        for inner_table in subset:
+            outer_set = subset - {inner_table}
+            outer_candidates = dp.get(outer_set)
+            if not outer_candidates:
+                continue
+            connecting = [
+                predicate
+                for predicate in join_predicates
+                if inner_table in predicate.tables
+                and predicate.tables <= subset
+            ]
+            if not connecting and not allow_cross:
+                continue
+            for outer_candidate in outer_candidates:
+                candidates.extend(
+                    self._build_joins(
+                        query, outer_candidate, inner_table, connecting
+                    )
+                )
+        if self.bushy:
+            candidates.extend(
+                self._extend_bushy(dp, subset, join_predicates, allow_cross)
+            )
+        return candidates
+
+    def _extend_bushy(
+        self,
+        dp: dict[frozenset[str], list[Candidate]],
+        subset: frozenset[str],
+        join_predicates: list[Predicate],
+        allow_cross: bool,
+    ) -> list[Candidate]:
+        """Bushy partitions: both sides composite (|inner side| >= 2; the
+        singleton-inner case is the left-deep extension above)."""
+        candidates: list[Candidate] = []
+        members = sorted(subset)
+        for mask in range(1, 1 << len(members)):
+            inner_set = frozenset(
+                member
+                for position, member in enumerate(members)
+                if mask & (1 << position)
+            )
+            if len(inner_set) < 2 or len(inner_set) >= len(subset):
+                continue
+            outer_set = subset - inner_set
+            outer_candidates = dp.get(outer_set)
+            inner_candidates = dp.get(inner_set)
+            if not outer_candidates or not inner_candidates:
+                continue
+            connecting = [
+                p
+                for p in join_predicates
+                if p.tables <= subset
+                and p.tables & outer_set
+                and p.tables & inner_set
+            ]
+            if not connecting and not allow_cross:
+                continue
+            primary, secondaries, cheap = choose_primary(connecting)
+            methods = (
+                [JoinMethod.HASH, JoinMethod.MERGE]
+                if cheap
+                else [JoinMethod.NESTED_LOOP]
+            )
+            for outer_candidate in outer_candidates:
+                for inner_candidate in inner_candidates:
+                    for method in methods:
+                        if method not in self.methods:
+                            continue
+                        join = Join(
+                            filters=rank_sorted(list(secondaries)),
+                            outer=outer_candidate.node.clone(),
+                            inner=inner_candidate.node.clone(),
+                            method=method,
+                            primary=primary,
+                        )
+                        ctx = JoinContext(
+                            outer_rows=outer_candidate.estimate.rows,
+                            inner_rows=inner_candidate.estimate.rows,
+                            per_input=self.model.per_input(
+                                join,
+                                outer_candidate.estimate.rows,
+                                inner_candidate.estimate.rows,
+                            ),
+                        )
+                        unpruneable_here = self.policy.on_join(
+                            join, self.model, ctx
+                        )
+                        estimate = self.model.estimate_plan(join)
+                        self.stats.joins_built += 1
+                        candidates.append(
+                            Candidate(
+                                node=join,
+                                estimate=estimate,
+                                unpruneable=(
+                                    unpruneable_here
+                                    or outer_candidate.unpruneable
+                                    or inner_candidate.unpruneable
+                                ),
+                            )
+                        )
+        return candidates
+
+    def _build_joins(
+        self,
+        query: Query,
+        outer_candidate: Candidate,
+        inner_table: str,
+        connecting: list[Predicate],
+    ) -> list[Candidate]:
+        primary, secondaries, cheap = choose_primary(connecting)
+        built: list[Candidate] = []
+        for method in eligible_methods(
+            self.catalog,
+            primary,
+            cheap,
+            inner_table,
+            self.methods,
+            include_dominated=False,
+        ):
+            outer = outer_candidate.node.clone()
+            inner = self._base_scan(query, inner_table)
+            join = Join(
+                filters=rank_sorted(secondaries),
+                outer=outer,
+                inner=inner,
+                method=method,
+                primary=primary,
+            )
+            inner_estimate = self.model.estimate_plan(inner)
+            ctx = JoinContext(
+                outer_rows=outer_candidate.estimate.rows,
+                inner_rows=inner_estimate.rows,
+                per_input=self.model.per_input(
+                    join,
+                    outer_candidate.estimate.rows,
+                    inner_estimate.rows,
+                ),
+            )
+            unpruneable_here = self.policy.on_join(join, self.model, ctx)
+            estimate = self.model.estimate_plan(join)
+            self.stats.joins_built += 1
+            built.append(
+                Candidate(
+                    node=join,
+                    estimate=estimate,
+                    unpruneable=(
+                        unpruneable_here or outer_candidate.unpruneable
+                    ),
+                )
+            )
+        return built
+
+    def _prune(self, candidates: list[Candidate]) -> list[Candidate]:
+        """Keep min-cost overall, min-cost per interesting order, and the
+        unpruneable candidates.
+
+        Unpruneable candidates are deduplicated to the cheapest per
+        (spine table order, top join method): Predicate Migration re-places
+        every movable predicate on the retained skeleton anyway, so two
+        unpruneable subplans differing only in lower-join methods or in
+        current predicate positions are interchangeable for its purposes.
+        This keeps the paper's worst case ("exhaustively enumerates the
+        space of join orders") while bounding the method-combination
+        blowup.
+        """
+        kept: list[Candidate] = []
+        best = min(candidates, key=lambda candidate: candidate.cost)
+        kept.append(best)
+        by_order: dict[object, Candidate] = {}
+        for candidate in candidates:
+            order = candidate.estimate.order
+            if order is None:
+                continue
+            current = by_order.get(order)
+            if current is None or candidate.cost < current.cost:
+                by_order[order] = candidate
+        for candidate in by_order.values():
+            if candidate is not best:
+                kept.append(candidate)
+        by_skeleton: dict[object, Candidate] = {}
+        for candidate in candidates:
+            if not candidate.unpruneable:
+                continue
+            key = _skeleton_key(candidate.node)
+            current = by_skeleton.get(key)
+            if current is None or candidate.cost < current.cost:
+                by_skeleton[key] = candidate
+        for candidate in by_skeleton.values():
+            if candidate not in kept:
+                kept.append(candidate)
+                self.stats.unpruneable_kept += 1
+        self.stats.candidates_kept += len(kept)
+        return kept

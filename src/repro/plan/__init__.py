@@ -1,0 +1,25 @@
+"""Physical plan trees.
+
+Plans are left-deep join trees (as in Montage) whose nodes carry ordered
+lists of *placed* predicates: a :class:`~repro.plan.nodes.Scan`'s filters run
+right after the scan, a :class:`~repro.plan.nodes.Join`'s filters run on the
+join's output. Predicate placement algorithms work by moving
+:class:`~repro.expr.predicates.Predicate` objects between these lists.
+"""
+
+from repro.plan.nodes import Join, JoinMethod, Plan, PlanNode, Scan
+from repro.plan.display import explain, plan_tree
+from repro.plan.streams import Spine, SpineJoin, spine_of
+
+__all__ = [
+    "Join",
+    "JoinMethod",
+    "Plan",
+    "PlanNode",
+    "Scan",
+    "Spine",
+    "SpineJoin",
+    "explain",
+    "plan_tree",
+    "spine_of",
+]

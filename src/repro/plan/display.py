@@ -1,0 +1,54 @@
+"""Plan pretty-printing: ASCII trees like the paper's Figures 1, 2, 6, 7."""
+
+from __future__ import annotations
+
+from repro.plan.nodes import Join, Plan, PlanNode, Scan
+
+
+def _node_label(node: PlanNode) -> str:
+    if isinstance(node, Join):
+        return f"{node.method.value}-join  [{node.primary}]"
+    assert isinstance(node, Scan)
+    return str(node)
+
+
+def _render(node: PlanNode, prefix: str, is_last: bool, lines: list[str]) -> None:
+    connector = "└─ " if is_last else "├─ "
+    child_prefix = prefix + ("   " if is_last else "│  ")
+    label = _node_label(node)
+    lines.append(prefix + connector + label)
+    for predicate in reversed(node.filters):
+        lines.append(child_prefix + f"· filter: {predicate}")
+    children = node.children()
+    for position, child in enumerate(children):
+        _render(child, child_prefix, position == len(children) - 1, lines)
+
+
+def plan_tree(plan: Plan | PlanNode) -> str:
+    """Render a plan as an ASCII tree, filters listed top-down per node."""
+    root = plan.root if isinstance(plan, Plan) else plan
+    lines: list[str] = [_node_label(root)]
+    for predicate in reversed(root.filters):
+        lines.append(f"· filter: {predicate}")
+    children = root.children()
+    for position, child in enumerate(children):
+        _render(child, "", position == len(children) - 1, lines)
+    return "\n".join(lines)
+
+
+def explain(plan: Plan, cost_model=None) -> str:
+    """Plan tree plus estimated totals (and per-node detail if a cost model
+    is supplied)."""
+    lines = [plan_tree(plan)]
+    if cost_model is not None:
+        estimate = cost_model.estimate_plan(plan.root)
+        lines.append(
+            f"estimated rows={estimate.rows:.0f} "
+            f"cost={estimate.cost:.1f} units"
+        )
+    elif plan.estimated_cost is not None:
+        lines.append(
+            f"estimated rows={plan.estimated_rows:.0f} "
+            f"cost={plan.estimated_cost:.1f} units"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,242 @@
+"""Plan tree node types.
+
+A plan is a binary tree of :class:`Scan` and :class:`Join` nodes. Trees are
+left-deep — the inner (right) input of every join is a base-relation scan —
+matching Montage and the System R enumerator. Each node owns an ordered
+``filters`` list: the predicates applied to that node's output, in execution
+order. Placement algorithms mutate these lists (on clones; enumerated
+subplans are shared).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.catalog.catalog import Catalog
+from repro.errors import PlanError
+from repro.expr.expressions import Scope
+from repro.expr.predicates import Predicate
+
+
+class JoinMethod(enum.Enum):
+    """Physical join methods, with the paper's linear cost shapes."""
+
+    NESTED_LOOP = "nested-loop"
+    INDEX_NESTED_LOOP = "index-nested-loop"
+    MERGE = "merge"
+    HASH = "hash"
+
+
+@dataclass
+class PlanNode:
+    """Base class. ``filters`` apply to this node's output, in order."""
+
+    filters: list[Predicate]
+
+    def tables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def children(self) -> list["PlanNode"]:
+        raise NotImplementedError
+
+    def scope(self, catalog: Catalog) -> Scope:
+        raise NotImplementedError
+
+    def clone(self) -> "PlanNode":
+        """Deep-copy the tree structure; predicates are shared."""
+        raise NotImplementedError
+
+    # -- traversal helpers -------------------------------------------------
+
+    def walk(self) -> Iterator["PlanNode"]:
+        """Pre-order traversal."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def all_predicates(self) -> list[Predicate]:
+        """Every placed predicate in the tree (filters plus join primaries)."""
+        placed: list[Predicate] = []
+        for node in self.walk():
+            if isinstance(node, Join):
+                placed.append(node.primary)
+            placed.extend(node.filters)
+        return placed
+
+    def find_filter(self, predicate: Predicate) -> "PlanNode | None":
+        """The node whose filter list currently holds ``predicate``."""
+        for node in self.walk():
+            if predicate in node.filters:
+                return node
+        return None
+
+    def remove_filter(self, predicate: Predicate) -> None:
+        node = self.find_filter(predicate)
+        if node is None:
+            raise PlanError(f"predicate not placed in this plan: {predicate}")
+        node.filters.remove(predicate)
+
+    def base_scans(self) -> list["Scan"]:
+        return [node for node in self.walk() if isinstance(node, Scan)]
+
+
+@dataclass
+class Scan(PlanNode):
+    """Sequential (or index) scan of a base relation plus its filters.
+
+    ``index_attr`` selects an index-scan access path for a leading zero-cost
+    range/equality filter; ``None`` means a full sequential scan.
+    """
+
+    table: str = ""
+    index_attr: str | None = None
+    index_range: tuple[object, object] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.table:
+            raise PlanError("Scan requires a table name")
+        if (self.index_attr is None) != (self.index_range is None):
+            raise PlanError("index_attr and index_range must be set together")
+
+    def tables(self) -> frozenset[str]:
+        return frozenset({self.table})
+
+    def children(self) -> list[PlanNode]:
+        return []
+
+    def scope(self, catalog: Catalog) -> Scope:
+        schema = catalog.table(self.table).schema
+        return Scope([(self.table, name) for name in schema.attribute_names])
+
+    def clone(self) -> "Scan":
+        return Scan(
+            filters=list(self.filters),
+            table=self.table,
+            index_attr=self.index_attr,
+            index_range=self.index_range,
+        )
+
+    def __str__(self) -> str:
+        access = (
+            f"IndexScan({self.table}.{self.index_attr})"
+            if self.index_attr
+            else f"SeqScan({self.table})"
+        )
+        return access
+
+
+@dataclass
+class Join(PlanNode):
+    """A join node: outer (left) input, inner (right) input, method.
+
+    ``primary`` is the primary join predicate — intrinsic to the join method
+    (the index/sort/hash match, or the chosen predicate for a plain nested
+    loop). ``filters`` hold everything applied to the join's output:
+    pulled-up selections and secondary join predicates, in execution order.
+    """
+
+    outer: PlanNode = None  # type: ignore[assignment]
+    inner: PlanNode = None  # type: ignore[assignment]
+    method: JoinMethod = JoinMethod.NESTED_LOOP
+    primary: Predicate = None  # type: ignore[assignment]
+    _tables: frozenset[str] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.outer is None or self.inner is None:
+            raise PlanError("Join requires outer and inner inputs")
+        if self.primary is None:
+            raise PlanError("Join requires a primary join predicate")
+        self._tables = self.outer.tables() | self.inner.tables()
+        if self.method is not JoinMethod.NESTED_LOOP:
+            if not self.primary.is_equijoin:
+                raise PlanError(
+                    f"{self.method.value} join requires an equijoin primary "
+                    f"predicate, got {self.primary}"
+                )
+
+    def tables(self) -> frozenset[str]:
+        return self._tables
+
+    def children(self) -> list[PlanNode]:
+        return [self.outer, self.inner]
+
+    def scope(self, catalog: Catalog) -> Scope:
+        return self.outer.scope(catalog).concat(self.inner.scope(catalog))
+
+    def clone(self) -> "Join":
+        return Join(
+            filters=list(self.filters),
+            outer=self.outer.clone(),
+            inner=self.inner.clone(),
+            method=self.method,
+            primary=self.primary,
+        )
+
+    def join_columns(self) -> tuple[object, object] | None:
+        """(outer column, inner column) of an equijoin primary, oriented."""
+        if self.primary.equijoin is None:
+            return None
+        left, right = self.primary.equijoin
+        if left.table in self.outer.tables():
+            return (left, right)
+        return (right, left)
+
+    def __str__(self) -> str:
+        return f"{self.method.value}-join[{self.primary}]"
+
+
+@dataclass
+class Plan:
+    """A complete plan: the root node plus optimizer annotations."""
+
+    root: PlanNode
+    estimated_cost: float | None = None
+    estimated_rows: float | None = None
+
+    def clone(self) -> "Plan":
+        return Plan(
+            root=self.root.clone(),
+            estimated_cost=self.estimated_cost,
+            estimated_rows=self.estimated_rows,
+        )
+
+    def tables(self) -> frozenset[str]:
+        return self.root.tables()
+
+
+def validate_placement(plan: PlanNode, catalog: Catalog) -> None:
+    """Check that every placed predicate only references in-scope tables.
+
+    Raises :class:`PlanError` on a violation. Used by tests and by the
+    optimizer's debug mode to catch placement bugs — the paper stresses how
+    subtle those are.
+    """
+    for node in plan.walk():
+        in_scope = node.tables()
+        placed = list(node.filters)
+        if isinstance(node, Join):
+            placed.append(node.primary)
+        for predicate in placed:
+            if not predicate.tables <= in_scope:
+                raise PlanError(
+                    f"predicate {predicate} references tables "
+                    f"{set(predicate.tables) - set(in_scope)} that are not "
+                    f"in scope at node {node}"
+                )
+        if isinstance(node, Join):
+            # Secondary join predicates must sit at-or-above their primary:
+            # a join-predicate filter here must span both inputs or be a
+            # selection pulled up from below.
+            for predicate in node.filters:
+                if predicate.is_join and not (
+                    predicate.tables & node.outer.tables()
+                    and predicate.tables & node.inner.tables()
+                    or predicate.tables <= node.outer.tables()
+                    or predicate.tables <= node.inner.tables()
+                ):
+                    raise PlanError(
+                        f"join predicate {predicate} placed below its "
+                        f"primary join"
+                    )

@@ -1,0 +1,146 @@
+"""Root-to-leaf paths through arbitrary (bushy) plan trees.
+
+The full Predicate Migration algorithm "repeatedly applies the
+Series-Parallel Algorithm ... to each root-to-leaf path in the plan tree
+until no progress is made". For left-deep trees the outer spine
+(:mod:`repro.plan.streams`) is the only path that matters; for bushy trees
+every leaf induces a path, and a predicate can migrate along any path that
+passes through its current node. This module enumerates those paths and
+exposes the same slot abstraction the spine uses:
+
+* slot ``0`` — below every join of the path (realised on the predicate's
+  own relation's scan);
+* slot ``i + 1`` — on the path's ``i``-th join (bottom-up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.expr.predicates import Predicate
+from repro.plan.nodes import Join, PlanNode, Scan
+
+
+@dataclass
+class PathStep:
+    """One join on a root-to-leaf path.
+
+    ``from_outer`` says which child the path ascends from — the side whose
+    stream quantities govern migration along this path.
+    """
+
+    join: Join
+    from_outer: bool
+    position: int
+
+    @property
+    def slot(self) -> int:
+        return self.position + 1
+
+
+@dataclass
+class RootPath:
+    """One root-to-leaf path: a leaf scan plus the joins above it."""
+
+    leaf: Scan
+    steps: list[PathStep]
+
+    @property
+    def slots(self) -> int:
+        return len(self.steps) + 1
+
+    def nodes(self) -> list[PlanNode]:
+        return [self.leaf] + [step.join for step in self.steps]
+
+    def tables_at_slot(self, slot: int) -> frozenset[str]:
+        if slot == 0:
+            return self.leaf.tables()
+        return self.steps[slot - 1].join.tables()
+
+    def entry_slot(self, predicate: Predicate) -> int:
+        """Lowest legal slot on this path.
+
+        Selections may always sink to their own relation's scan, encoded as
+        the slot below the first join whose scope covers them; join
+        predicates must stay at or above the join that unites their tables.
+        """
+        if predicate.is_selection:
+            if predicate.tables <= self.leaf.tables():
+                return 0
+            for step in self.steps:
+                if predicate.tables <= step.join.tables():
+                    return step.position
+            raise PlanError(f"{predicate} is not in scope on this path")
+        for step in self.steps:
+            if predicate.tables <= step.join.tables():
+                return step.slot
+        raise PlanError(f"{predicate} is not in scope on this path")
+
+    def node_at_slot(self, root: PlanNode, predicate: Predicate, slot: int):
+        """Realise a slot: the predicate's scan at its entry (selections),
+        otherwise the path join at ``slot - 1``."""
+        entry = self.entry_slot(predicate)
+        if slot < entry:
+            raise PlanError(f"slot {slot} below entry {entry} for {predicate}")
+        if slot == entry and predicate.is_selection:
+            return scan_of(root, predicate)
+        return self.steps[slot - 1].join
+
+
+def scan_of(root: PlanNode, predicate: Predicate) -> Scan:
+    """The base scan of a single-table predicate's relation, tree-wide."""
+    for node in root.walk():
+        if isinstance(node, Scan) and predicate.tables <= node.tables():
+            return node
+    raise PlanError(f"no scan for {predicate} in this plan")
+
+
+def root_paths(root: PlanNode) -> list[RootPath]:
+    """All root-to-leaf paths of a plan tree (one per base scan)."""
+    paths: list[RootPath] = []
+
+    def descend(node: PlanNode, above: list[PathStep]) -> None:
+        if isinstance(node, Scan):
+            # ``above`` is accumulated by prepending on the way down, so it
+            # is already bottom-up (leaf-adjacent join first).
+            steps = [
+                PathStep(step.join, step.from_outer, position)
+                for position, step in enumerate(above)
+            ]
+            paths.append(RootPath(leaf=node, steps=steps))
+            return
+        assert isinstance(node, Join)
+        descend(
+            node.outer, [PathStep(node, True, -1)] + above
+        )
+        descend(
+            node.inner, [PathStep(node, False, -1)] + above
+        )
+
+    descend(root, [])
+    return paths
+
+
+def current_slot_on_path(
+    path: RootPath, root: PlanNode, predicate: Predicate
+) -> int | None:
+    """The slot a predicate currently occupies on ``path``, or ``None`` if
+    its owning node is not on the path (scans of selections count as their
+    path entry)."""
+    owner = None
+    for node in root.walk():
+        if predicate in node.filters:
+            owner = node
+            break
+    if owner is None:
+        return None
+    if isinstance(owner, Scan) and predicate.is_selection:
+        try:
+            return path.entry_slot(predicate)
+        except PlanError:
+            return None
+    for step in path.steps:
+        if owner is step.join:
+            return step.slot
+    return None

@@ -1,0 +1,164 @@
+"""Spine extraction: the outer root-to-leaf path of a left-deep plan.
+
+Predicate Migration reasons about "streams" — root-to-leaf paths through the
+plan tree. In a left-deep tree, the outer spine (leftmost leaf up to the
+root) contains every join, and every legal predicate position is either a
+slot on the spine's leaf scan, on an inner scan, or on one of the spine's
+join nodes. :class:`Spine` exposes that slot structure:
+
+* slot ``0`` — below every join (on the owning table's scan);
+* slot ``i + 1`` — on join ``i``'s output (``i`` counted bottom-up).
+
+A predicate's *entry slot* is the lowest slot where all its tables are in
+scope. Placement algorithms compute a target slot per predicate and
+:meth:`Spine.apply_placement` rewrites the plan's filter lists accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.expr.predicates import Predicate
+from repro.plan.nodes import Join, PlanNode, Scan
+
+
+@dataclass
+class SpineJoin:
+    """One join on the spine, bottom-up position ``position`` (0-based)."""
+
+    join: Join
+    position: int
+
+    @property
+    def slot(self) -> int:
+        """The placement slot directly above this join."""
+        return self.position + 1
+
+
+@dataclass
+class Spine:
+    """The outer spine of a left-deep plan."""
+
+    leaf: Scan
+    joins: list[SpineJoin]
+
+    @property
+    def top(self) -> PlanNode:
+        return self.joins[-1].join if self.joins else self.leaf
+
+    @property
+    def slots(self) -> int:
+        """Number of placement slots (leaf slot plus one per join)."""
+        return len(self.joins) + 1
+
+    def tables_at_slot(self, slot: int) -> frozenset[str]:
+        """Tables in scope at a slot."""
+        if slot == 0:
+            return self.leaf.tables()
+        return self.joins[slot - 1].join.tables()
+
+    def scan_of(self, predicate: Predicate) -> Scan:
+        """The base scan of a single-table predicate's relation."""
+        if predicate.tables <= self.leaf.tables():
+            return self.leaf
+        for spine_join in self.joins:
+            inner = spine_join.join.inner
+            if isinstance(inner, Scan) and predicate.tables <= inner.tables():
+                return inner
+        raise PlanError(
+            f"predicate {predicate} references tables outside this plan"
+        )
+
+    def entry_slot(self, predicate: Predicate) -> int:
+        """Lowest legal slot for ``predicate``.
+
+        A *selection*'s entry slot is its relation's scan: slot 0 for the
+        spine leaf, slot ``k`` (realised on the inner scan, physically below
+        join ``k``) for the inner table of join ``k``. A *join predicate*'s
+        entry slot is just above the join that brings its tables together
+        (slot ``k + 1``) — it can never sink below its primary.
+        """
+        if predicate.is_selection:
+            if predicate.tables <= self.leaf.tables():
+                return 0
+            for spine_join in self.joins:
+                inner = spine_join.join.inner
+                if (
+                    isinstance(inner, Scan)
+                    and predicate.tables <= inner.tables()
+                ):
+                    return spine_join.position
+            raise PlanError(
+                f"predicate {predicate} references tables outside this plan"
+            )
+        for spine_join in self.joins:
+            if predicate.tables <= spine_join.join.tables():
+                return spine_join.slot
+        raise PlanError(
+            f"predicate {predicate} references tables outside this plan"
+        )
+
+    def node_at_slot(self, predicate: Predicate, slot: int) -> PlanNode:
+        """The plan node whose filter list realises placement at ``slot``.
+
+        At its entry slot a selection sits on its relation's scan (below
+        its entry join); any higher slot ``s`` means join ``s - 1``'s
+        filter list.
+        """
+        entry = self.entry_slot(predicate)
+        if slot < entry:
+            raise PlanError(
+                f"slot {slot} below entry slot {entry} for {predicate}"
+            )
+        if slot == entry and predicate.is_selection:
+            return self.scan_of(predicate)
+        return self.joins[slot - 1].join
+
+    def apply_placement(
+        self, placements: dict[Predicate, int], order_key=None
+    ) -> None:
+        """Rewrite filter lists so each predicate sits at its target slot.
+
+        Predicates sharing a node are ordered by ``order_key`` (default:
+        ascending rank — optimal for selections, per Section 4.1).
+        """
+        if order_key is None:
+            order_key = lambda predicate: predicate.rank  # noqa: E731
+        for predicate in placements:
+            owner = self.top.find_filter(predicate)
+            if owner is None:
+                raise PlanError(f"predicate {predicate} not in plan")
+            owner.filters.remove(predicate)
+        for predicate, slot in sorted(
+            placements.items(), key=lambda item: order_key(item[0])
+        ):
+            node = self.node_at_slot(predicate, slot)
+            node.filters.append(predicate)
+
+
+def spine_of(root: PlanNode) -> Spine:
+    """Extract the spine of a left-deep plan (inner inputs must be scans)."""
+    joins: list[Join] = []
+    node = root
+    while isinstance(node, Join):
+        if not isinstance(node.inner, Scan):
+            raise PlanError("plan is not left-deep: inner input is a join")
+        joins.append(node)
+        node = node.outer
+    if not isinstance(node, Scan):
+        raise PlanError(f"unexpected leaf node: {node}")
+    joins.reverse()
+    return Spine(
+        leaf=node,
+        joins=[SpineJoin(join, position) for position, join in enumerate(joins)],
+    )
+
+
+def movable_predicates(spine: Spine) -> list[Predicate]:
+    """Every predicate a placement algorithm may move on this spine:
+    all filters everywhere in the tree (join primaries stay put)."""
+    movable: list[Predicate] = []
+    for node in spine.top.walk():
+        movable.extend(node.filters)
+    return movable

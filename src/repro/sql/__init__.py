@@ -1,0 +1,24 @@
+"""A small SQL front-end for the Montage SQL subset the paper exercises.
+
+Supported grammar: ``SELECT`` list (``*`` or columns), ``FROM`` a list of
+base tables, and a ``WHERE`` tree of comparisons, arithmetic, boolean
+connectives, user-defined function calls, and ``IN (SELECT …)`` subqueries.
+
+Subqueries follow the Montage treatment described in Section 5.1: an ``IN``
+predicate is desugared into an *expensive predicate* — a synthetic function
+whose arguments are the outer-query columns feeding the predicate, whose
+per-call cost is a scan of the subquery's table, and whose results are
+memoised by the predicate cache keyed on those arguments (the paper's
+``(student.mother, student.dept)`` example).
+"""
+
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse
+from repro.sql.binder import bind
+
+__all__ = ["Token", "bind", "parse", "tokenize"]
+
+
+def compile_query(db, sql: str, name: str = ""):
+    """Parse and bind one SQL statement into an optimizer Query."""
+    return bind(db, parse(sql), name=name)

@@ -1,0 +1,60 @@
+"""Raw (unresolved) SQL AST — column references may be unqualified."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class SqlExpr:
+    """Base class for raw expressions."""
+
+
+@dataclass(frozen=True)
+class SqlLiteral(SqlExpr):
+    value: object  # int | float | str | bool | None
+
+
+@dataclass(frozen=True)
+class SqlColumnRef(SqlExpr):
+    table: str | None
+    column: str
+
+
+@dataclass(frozen=True)
+class SqlFuncCall(SqlExpr):
+    name: str
+    args: tuple[SqlExpr, ...]
+
+
+@dataclass(frozen=True)
+class SqlBinary(SqlExpr):
+    op: str  # comparison or arithmetic operator
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class SqlLogical(SqlExpr):
+    op: str  # "AND" | "OR"
+    operands: tuple[SqlExpr, ...]
+
+
+@dataclass(frozen=True)
+class SqlNot(SqlExpr):
+    operand: SqlExpr
+
+
+@dataclass(frozen=True)
+class SqlIn(SqlExpr):
+    """``needle IN (SELECT …)`` — desugared by the binder into an
+    expensive predicate, per the paper's Section 5.1."""
+
+    needle: SqlExpr
+    subquery: "SelectStmt"
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    select: tuple[SqlColumnRef, ...] | None  # None means SELECT *
+    tables: tuple[str, ...]
+    where: SqlExpr | None

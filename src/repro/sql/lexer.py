@@ -1,0 +1,102 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLLexError
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "TRUE",
+    "FALSE",
+    "NULL",
+}
+
+#: Multi-character operators first so maximal munch works.
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")
+
+PUNCTUATION = ("(", ")", ",", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | OP | PUNCT | EOF
+    text: str
+    position: int
+
+
+def tokenize(sql: str) -> list[Token]:
+    tokens: list[Token] = []
+    position = 0
+    length = len(sql)
+    while position < length:
+        ch = sql[position]
+        if ch.isspace():
+            position += 1
+            continue
+        if ch == "-" and sql.startswith("--", position):
+            newline = sql.find("\n", position)
+            position = length if newline < 0 else newline + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = position
+            while position < length and (
+                sql[position].isalnum() or sql[position] == "_"
+            ):
+                position += 1
+            word = sql[start:position]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, start))
+            else:
+                tokens.append(Token("IDENT", word, start))
+            continue
+        if ch.isdigit():
+            start = position
+            while position < length and sql[position].isdigit():
+                position += 1
+            if position < length and sql[position] == ".":
+                position += 1
+                while position < length and sql[position].isdigit():
+                    position += 1
+            tokens.append(Token("NUMBER", sql[start:position], start))
+            continue
+        if ch == "'":
+            start = position
+            position += 1
+            chunks: list[str] = []
+            while True:
+                if position >= length:
+                    raise SQLLexError("unterminated string literal", start)
+                if sql[position] == "'":
+                    if position + 1 < length and sql[position + 1] == "'":
+                        chunks.append("'")
+                        position += 2
+                        continue
+                    position += 1
+                    break
+                chunks.append(sql[position])
+                position += 1
+            tokens.append(Token("STRING", "".join(chunks), start))
+            continue
+        matched_op = next(
+            (op for op in OPERATORS if sql.startswith(op, position)), None
+        )
+        if matched_op is not None:
+            tokens.append(Token("OP", matched_op, position))
+            position += len(matched_op)
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token("PUNCT", ch, position))
+            position += 1
+            continue
+        raise SQLLexError(f"unexpected character {ch!r}", position)
+    tokens.append(Token("EOF", "", length))
+    return tokens

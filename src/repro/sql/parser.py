@@ -1,0 +1,186 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from repro.errors import SQLParseError
+from repro.sql.ast import (
+    SelectStmt,
+    SqlBinary,
+    SqlColumnRef,
+    SqlExpr,
+    SqlFuncCall,
+    SqlIn,
+    SqlLiteral,
+    SqlLogical,
+    SqlNot,
+)
+from repro.sql.lexer import Token, tokenize
+
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            actual = self.peek()
+            raise SQLParseError(
+                f"expected {text or kind}, found {actual.text or actual.kind!r}",
+                actual.position,
+            )
+        return token
+
+    # -- grammar -------------------------------------------------------------
+
+    def select_stmt(self) -> SelectStmt:
+        self.expect("KEYWORD", "SELECT")
+        select: tuple[SqlColumnRef, ...] | None
+        if self.accept("OP", "*"):
+            select = None
+        else:
+            items = [self.column_ref()]
+            while self.accept("PUNCT", ","):
+                items.append(self.column_ref())
+            select = tuple(items)
+        self.expect("KEYWORD", "FROM")
+        tables = [self.expect("IDENT").text]
+        while self.accept("PUNCT", ","):
+            tables.append(self.expect("IDENT").text)
+        where: SqlExpr | None = None
+        if self.accept("KEYWORD", "WHERE"):
+            where = self.expression()
+        return SelectStmt(select=select, tables=tuple(tables), where=where)
+
+    def column_ref(self) -> SqlColumnRef:
+        first = self.expect("IDENT").text
+        if self.accept("PUNCT", "."):
+            return SqlColumnRef(table=first, column=self.expect("IDENT").text)
+        return SqlColumnRef(table=None, column=first)
+
+    def expression(self) -> SqlExpr:
+        return self.or_expr()
+
+    def or_expr(self) -> SqlExpr:
+        operands = [self.and_expr()]
+        while self.accept("KEYWORD", "OR"):
+            operands.append(self.and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return SqlLogical("OR", tuple(operands))
+
+    def and_expr(self) -> SqlExpr:
+        operands = [self.not_expr()]
+        while self.accept("KEYWORD", "AND"):
+            operands.append(self.not_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return SqlLogical("AND", tuple(operands))
+
+    def not_expr(self) -> SqlExpr:
+        if self.accept("KEYWORD", "NOT"):
+            return SqlNot(self.not_expr())
+        return self.predicate()
+
+    def predicate(self) -> SqlExpr:
+        left = self.additive()
+        if self.accept("KEYWORD", "IN"):
+            self.expect("PUNCT", "(")
+            subquery = self.select_stmt()
+            self.expect("PUNCT", ")")
+            return SqlIn(needle=left, subquery=subquery)
+        token = self.peek()
+        if token.kind == "OP" and token.text in _COMPARISONS:
+            self.advance()
+            op = "<>" if token.text == "!=" else token.text
+            return SqlBinary(op, left, self.additive())
+        return left
+
+    def additive(self) -> SqlExpr:
+        left = self.multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.text in ("+", "-"):
+                self.advance()
+                left = SqlBinary(token.text, left, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self) -> SqlExpr:
+        left = self.primary()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.text in ("*", "/"):
+                self.advance()
+                left = SqlBinary(token.text, left, self.primary())
+            else:
+                return left
+
+    def primary(self) -> SqlExpr:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return SqlLiteral(value)
+        if token.kind == "STRING":
+            self.advance()
+            return SqlLiteral(token.text)
+        if token.kind == "KEYWORD" and token.text in ("TRUE", "FALSE", "NULL"):
+            self.advance()
+            return SqlLiteral(
+                {"TRUE": True, "FALSE": False, "NULL": None}[token.text]
+            )
+        if self.accept("PUNCT", "("):
+            inner = self.expression()
+            self.expect("PUNCT", ")")
+            return inner
+        if token.kind == "IDENT":
+            self.advance()
+            if self.check("PUNCT", "("):
+                self.advance()
+                args: list[SqlExpr] = []
+                if not self.check("PUNCT", ")"):
+                    args.append(self.expression())
+                    while self.accept("PUNCT", ","):
+                        args.append(self.expression())
+                self.expect("PUNCT", ")")
+                return SqlFuncCall(token.text, tuple(args))
+            if self.accept("PUNCT", "."):
+                return SqlColumnRef(
+                    table=token.text, column=self.expect("IDENT").text
+                )
+            return SqlColumnRef(table=None, column=token.text)
+        raise SQLParseError(
+            f"unexpected token {token.text or token.kind!r}", token.position
+        )
+
+
+def parse(sql: str) -> SelectStmt:
+    """Parse one SELECT statement (a trailing semicolon is allowed)."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.select_stmt()
+    parser.accept("PUNCT", ";")
+    parser.expect("EOF")
+    return statement

@@ -1,0 +1,26 @@
+"""Page-based storage engine with I/O accounting.
+
+This package stands in for Montage's storage layer. It is deliberately
+simple — fixed-width tuples in heap pages, an LRU buffer pool, bulk-loadable
+B-trees — but every page access flows through the buffer pool and is charged
+to a :class:`~repro.storage.meter.CostMeter` in the paper's currency
+(1 unit = 1 random page I/O). All performance comparisons in the
+reproduction are expressed in these charged units, matching the paper's
+"relative, not absolute" methodology.
+"""
+
+from repro.storage.meter import CostMeter, IOKind
+from repro.storage.page import Page, RID
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile
+from repro.storage.btree import BTree
+
+__all__ = [
+    "BTree",
+    "BufferPool",
+    "CostMeter",
+    "HeapFile",
+    "IOKind",
+    "Page",
+    "RID",
+]

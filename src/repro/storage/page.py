@@ -1,0 +1,53 @@
+"""Fixed-capacity pages of fixed-width tuples.
+
+A page holds at most ``page_size // tuple_width`` tuples. Tuples are plain
+Python tuples; the *byte* accounting (the paper's 100-byte tuples, 8 KB
+pages) is modelled through the declared widths rather than through actual
+serialisation, which keeps the simulator honest about page counts and I/O
+volume without paying Python serialisation overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PageFullError
+
+#: Default page size in bytes.
+DEFAULT_PAGE_SIZE = 8192
+
+#: A record identifier: (page number, slot within page).
+RID = tuple[int, int]
+
+
+def tuples_per_page(page_size: int, tuple_width: int) -> int:
+    """How many fixed-width tuples fit on one page (always at least 1)."""
+    return max(1, page_size // tuple_width)
+
+
+@dataclass
+class Page:
+    """One heap page: a slotted array of tuples with a fixed capacity."""
+
+    page_no: int
+    capacity: int
+    rows: list[tuple] = field(default_factory=list)
+
+    def insert(self, row: tuple) -> int:
+        """Append ``row``; return its slot. Raises when the page is full."""
+        if self.is_full:
+            raise PageFullError(
+                f"page {self.page_no} is full (capacity {self.capacity})"
+            )
+        self.rows.append(row)
+        return len(self.rows) - 1
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.rows) >= self.capacity
+
+    def slot(self, slot_no: int) -> tuple:
+        return self.rows[slot_no]
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite.
+
+A session-scoped synthetic database at a small scale keeps the suite fast;
+executions reset meters and counters per run, so sharing is safe. Tests
+that mutate catalog contents build their own database.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.datagen import build_database
+from repro.database import Database
+from repro.expr.expressions import Column, Comparison, FuncCall
+from repro.expr.predicates import analyze_conjunct
+
+#: Scale used across the suite: tN has N x 100 tuples (t10 = 1000).
+TEST_SCALE = 100
+
+
+@pytest.fixture(scope="session")
+def db() -> Database:
+    database = build_database(scale=TEST_SCALE, seed=42)
+    from repro.bench.workloads import ensure_workload_functions
+
+    ensure_workload_functions(database)
+    return database
+
+
+@pytest.fixture()
+def fresh_db() -> Database:
+    """A private database for tests that mutate catalog state."""
+    return build_database(scale=20, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_db() -> Database:
+    """A very small database for exhaustive/execution-equivalence tests."""
+    database = build_database(scale=20, seed=11)
+    from repro.bench.workloads import ensure_workload_functions
+
+    ensure_workload_functions(database)
+    return database
+
+
+def equijoin(db: Database, left: tuple[str, str], right: tuple[str, str]):
+    """Helper: an analyzed cheap equijoin predicate."""
+    return analyze_conjunct(
+        db.catalog,
+        Comparison("=", Column(*left), Column(*right)),
+    )
+
+
+def costly_filter(db: Database, name: str, column: tuple[str, str]):
+    """Helper: an analyzed expensive UDF selection."""
+    return analyze_conjunct(db.catalog, FuncCall(name, (Column(*column),)))

@@ -1,0 +1,95 @@
+"""Unit tests: estimate-accuracy instrumentation and the stress harness."""
+
+import pytest
+
+from repro.bench.accuracy import (
+    NodeAccuracy,
+    format_accuracy,
+    measure_accuracy,
+    worst_q_error,
+)
+from repro.bench.stress import random_sql, stress_optimizer
+from repro.optimizer import Query, optimize
+from tests.conftest import costly_filter, equijoin
+
+
+class TestNodeAccuracy:
+    def test_q_error_symmetric(self):
+        over = NodeAccuracy("n", 0, estimated_rows=100, actual_rows=50)
+        under = NodeAccuracy("n", 0, estimated_rows=50, actual_rows=100)
+        assert over.q_error == pytest.approx(under.q_error) == 2.0
+
+    def test_perfect_estimate(self):
+        exact = NodeAccuracy("n", 0, estimated_rows=100, actual_rows=100)
+        assert exact.q_error == 1.0
+
+    def test_zero_actual_guarded(self):
+        entry = NodeAccuracy("n", 0, estimated_rows=10, actual_rows=0)
+        assert entry.q_error == 20.0  # vs the 0.5 floor
+
+
+class TestMeasureAccuracy:
+    def make_plan(self, db):
+        query = Query(
+            tables=["t2", "t3"],
+            predicates=[
+                equijoin(db, ("t2", "ua1"), ("t3", "a1")),
+                costly_filter(db, "costly100", ("t3", "u20")),
+            ],
+        )
+        return optimize(db, query, strategy="migration").plan
+
+    def test_covers_every_node(self, tiny_db):
+        plan = self.make_plan(tiny_db)
+        rows = measure_accuracy(tiny_db, plan)
+        assert len(rows) == len(list(plan.root.walk()))
+        assert rows[0].depth == 0
+
+    def test_base_scans_exact(self, tiny_db):
+        plan = self.make_plan(tiny_db)
+        rows = measure_accuracy(tiny_db, plan)
+        for entry in rows:
+            if entry.label.startswith("SeqScan") and "filter" not in entry.label:
+                assert entry.q_error == 1.0
+
+    def test_meter_left_clean(self, tiny_db):
+        plan = self.make_plan(tiny_db)
+        measure_accuracy(tiny_db, plan)
+        assert tiny_db.meter.charged == 0.0
+
+    def test_format_contains_rows(self, tiny_db):
+        plan = self.make_plan(tiny_db)
+        text = format_accuracy("t", measure_accuracy(tiny_db, plan))
+        assert "q-err" in text and "SeqScan" in text
+
+    def test_worst_q_error_empty(self):
+        assert worst_q_error([]) == 1.0
+
+
+class TestStress:
+    def test_random_sql_deterministic(self):
+        import random
+
+        a = [random_sql(random.Random(3), ["t1", "t2"]) for _ in range(5)]
+        b = [random_sql(random.Random(3), ["t1", "t2"]) for _ in range(5)]
+        assert a == b
+
+    def test_random_sql_parses(self, tiny_db):
+        import random
+
+        from repro.sql import compile_query
+
+        rng = random.Random(1)
+        for _ in range(20):
+            sql = random_sql(rng, ["t1", "t2", "t3"])
+            query = compile_query(tiny_db, sql)
+            assert query.tables
+
+    def test_stress_run_is_clean(self, tiny_db):
+        report = stress_optimizer(tiny_db, queries=10, seed=5)
+        assert report.queries_run == 10
+        assert report.clean, report.summary()
+
+    def test_summary_mentions_status(self, tiny_db):
+        report = stress_optimizer(tiny_db, queries=3, seed=5)
+        assert "CLEAN" in report.summary()

@@ -1,0 +1,149 @@
+"""Unit tests: the benchmark harness, reporting, and eagerness metric."""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    build_workload,
+    eagerness_score,
+    fixed_order_outcomes,
+    format_matrix,
+    format_outcomes,
+    outcome_by_strategy,
+    run_strategies,
+)
+from repro.bench.harness import best_outcome
+
+
+class TestRunStrategies:
+    def test_outcomes_cover_requested_strategies(self, db):
+        workload = build_workload(db, "q1")
+        outcomes = run_strategies(
+            db, workload.query, strategies=("pushdown", "migration")
+        )
+        assert [o.strategy for o in outcomes] == ["pushdown", "migration"]
+
+    def test_relative_anchored_at_best(self, db):
+        workload = build_workload(db, "q1")
+        outcomes = run_strategies(
+            db, workload.query, strategies=("pushdown", "migration")
+        )
+        best = best_outcome(outcomes)
+        assert best.relative == pytest.approx(1.0)
+        worst = outcome_by_strategy(outcomes, "pushdown")
+        assert worst.relative > 1.0
+
+    def test_optimize_only_mode(self, db):
+        workload = build_workload(db, "q1")
+        outcomes = run_strategies(
+            db, workload.query, strategies=("migration",), execute=False
+        )
+        assert not outcomes[0].executed
+        assert math.isnan(outcomes[0].charged)
+
+    def test_budget_produces_dnf(self, db):
+        workload = build_workload(db, "q1")
+        outcomes = run_strategies(
+            db, workload.query, strategies=("pushdown",), budget=10.0
+        )
+        assert outcomes[0].dnf
+
+    def test_missing_strategy_lookup_raises(self, db):
+        workload = build_workload(db, "q1")
+        outcomes = run_strategies(
+            db, workload.query, strategies=("migration",)
+        )
+        with pytest.raises(KeyError):
+            outcome_by_strategy(outcomes, "pushdown")
+
+
+class TestReport:
+    def test_format_contains_all_strategies(self, db):
+        workload = build_workload(db, "q1")
+        outcomes = run_strategies(
+            db, workload.query, strategies=("pushdown", "migration")
+        )
+        text = format_outcomes("Query 1", outcomes)
+        assert "pushdown" in text and "migration" in text
+        assert "#" in text  # bars
+
+    def test_dnf_rendered(self, db):
+        workload = build_workload(db, "q1")
+        outcomes = run_strategies(
+            db, workload.query, strategies=("pushdown",), budget=10.0
+        )
+        text = format_outcomes("Query 1", outcomes)
+        assert "DNF" in text
+
+    def test_matrix_formatting(self, db):
+        from repro.bench.applicability import ApplicabilityCell
+
+        matrix = {
+            "q1": {
+                "pushdown": ApplicabilityCell("q1", "pushdown", 3.3, True),
+                "migration": ApplicabilityCell("q1", "migration", 1.0, True),
+            }
+        }
+        text = format_matrix(matrix, strategies=("pushdown", "migration"))
+        assert "3.3x" in text and "ok" in text
+
+
+class TestEagerness:
+    def test_pushdown_zero_pullup_one(self, db):
+        workload = build_workload(db, "q4")
+        outcomes = run_strategies(
+            db,
+            workload.query,
+            strategies=("pushdown", "pullup"),
+            execute=False,
+        )
+        pushdown = eagerness_score(outcome_by_strategy(outcomes, "pushdown").plan)
+        pullup = eagerness_score(outcome_by_strategy(outcomes, "pullup").plan)
+        assert pushdown == pytest.approx(0.0)
+        assert pullup == pytest.approx(1.0)
+
+    def test_no_expensive_predicates_returns_none(self, db):
+        from repro.optimizer import Query, optimize
+        from tests.conftest import equijoin
+
+        query = Query(
+            tables=["t3", "t10"],
+            predicates=[equijoin(db, ("t3", "a1"), ("t10", "ua1"))],
+        )
+        plan = optimize(db, query, strategy="pushdown").plan
+        assert eagerness_score(plan) is None
+
+
+class TestFixedOrder:
+    def test_pullrank_fails_on_q4_fixed_order(self, db):
+        """Figures 6-8: with the join order fixed, PullRank cannot do the
+        group pullup and is many times worse than Migration."""
+        workload = build_workload(db, "q4")
+        outcomes = fixed_order_outcomes(
+            db, workload.query, ("t3", "t6", "t10")
+        )
+        pullrank = outcome_by_strategy(outcomes, "pullrank")
+        migration = outcome_by_strategy(outcomes, "migration")
+        exhaustive = outcome_by_strategy(outcomes, "exhaustive")
+        assert pullrank.charged > 5 * migration.charged
+        assert migration.charged == pytest.approx(
+            exhaustive.charged, rel=0.01
+        )
+
+    def test_fixed_order_strategies_same_rows(self, db):
+        workload = build_workload(db, "q4")
+        outcomes = fixed_order_outcomes(
+            db, workload.query, ("t3", "t6", "t10")
+        )
+        row_sets = {
+            outcome.strategy: sorted(
+                tuple(sorted(row)) for row in
+                __import__("repro.exec", fromlist=["Executor"]).Executor(
+                    db
+                ).execute(outcome.plan).rows
+            )
+            for outcome in outcomes
+        }
+        reference = next(iter(row_sets.values()))
+        assert all(rows == reference for rows in row_sets.values())

@@ -1,0 +1,257 @@
+"""Tests for bushy-tree support: path machinery, bushy enumeration, bushy
+LDL (the paper's stated fix for LDL's left-deep limitation), and bushy
+Predicate Migration."""
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.exec import Executor
+from repro.optimizer import Query, optimize
+from repro.optimizer.ldl import inner_pullup_violations
+from repro.optimizer.migration import migrate_plan
+from repro.plan.nodes import Join, JoinMethod, Plan, Scan, validate_placement
+from repro.plan.paths import root_paths, scan_of
+from tests.conftest import costly_filter, equijoin
+
+
+def bushy_tree(db):
+    """(t1 ⋈ t2) ⋈ (t3 ⋈ t6): a genuinely bushy shape."""
+    left = Join(
+        filters=[],
+        outer=Scan(filters=[], table="t1"),
+        inner=Scan(filters=[], table="t2"),
+        method=JoinMethod.HASH,
+        primary=equijoin(db, ("t1", "ua1"), ("t2", "a1")),
+    )
+    right = Join(
+        filters=[],
+        outer=Scan(filters=[], table="t3"),
+        inner=Scan(filters=[], table="t6"),
+        method=JoinMethod.HASH,
+        primary=equijoin(db, ("t3", "ua1"), ("t6", "a1")),
+    )
+    return Join(
+        filters=[],
+        outer=left,
+        inner=right,
+        method=JoinMethod.HASH,
+        primary=equijoin(db, ("t2", "ua1"), ("t3", "a1")),
+    )
+
+
+class TestRootPaths:
+    def test_one_path_per_leaf(self, db):
+        paths = root_paths(bushy_tree(db))
+        assert len(paths) == 4
+        assert sorted(p.leaf.table for p in paths) == ["t1", "t2", "t3", "t6"]
+
+    def test_steps_bottom_up(self, db):
+        tree = bushy_tree(db)
+        path = next(p for p in root_paths(tree) if p.leaf.table == "t1")
+        assert len(path.steps) == 2
+        assert path.steps[0].join is tree.outer
+        assert path.steps[1].join is tree
+        assert path.steps[0].from_outer and path.steps[1].from_outer
+
+    def test_inner_side_flags(self, db):
+        tree = bushy_tree(db)
+        path = next(p for p in root_paths(tree) if p.leaf.table == "t6")
+        assert not path.steps[0].from_outer  # t6 is inner of t3⋈t6
+        assert not path.steps[1].from_outer  # right subtree is inner of root
+
+    def test_entry_slots(self, db):
+        tree = bushy_tree(db)
+        path = next(p for p in root_paths(tree) if p.leaf.table == "t1")
+        on_t1 = costly_filter(db, "costly100", ("t1", "u20"))
+        on_t2 = costly_filter(db, "costly100", ("t2", "u20"))
+        on_t6 = costly_filter(db, "costly100", ("t6", "u20"))
+        assert path.entry_slot(on_t1) == 0
+        assert path.entry_slot(on_t2) == 0  # below join 0, on t2's scan
+        assert path.entry_slot(on_t6) == 1  # in scope above the root-1 join
+
+    def test_scan_of_finds_leaf_anywhere(self, db):
+        tree = bushy_tree(db)
+        on_t6 = costly_filter(db, "costly100", ("t6", "u20"))
+        assert scan_of(tree, on_t6).table == "t6"
+
+    def test_left_deep_tree_has_linear_paths(self, db):
+        left_deep = Join(
+            filters=[],
+            outer=Join(
+                filters=[],
+                outer=Scan(filters=[], table="t1"),
+                inner=Scan(filters=[], table="t2"),
+                method=JoinMethod.HASH,
+                primary=equijoin(db, ("t1", "ua1"), ("t2", "a1")),
+            ),
+            inner=Scan(filters=[], table="t3"),
+            method=JoinMethod.HASH,
+            primary=equijoin(db, ("t2", "ua1"), ("t3", "a1")),
+        )
+        paths = root_paths(left_deep)
+        lengths = sorted(len(p.steps) for p in paths)
+        assert lengths == [1, 2, 2]
+
+
+class TestBushyExecution:
+    def test_bushy_plan_executes_correctly(self, tiny_db):
+        tree = bushy_tree(tiny_db)
+        result = Executor(tiny_db).execute(Plan(tree))
+        # Reference: chain of hash semantics via brute force.
+        tables = ["t1", "t2", "t3", "t6"]
+        entries = {t: tiny_db.catalog.table(t) for t in tables}
+        rows = {t: entries[t].heap.all_rows() for t in tables}
+        pos = lambda t, c: entries[t].schema.position(c)  # noqa: E731
+        expected = sorted(
+            a + b + c + d
+            for a in rows["t1"]
+            for b in rows["t2"]
+            if a[pos("t1", "ua1")] == b[pos("t2", "a1")]
+            for c in rows["t3"]
+            if b[pos("t2", "ua1")] == c[pos("t3", "a1")]
+            for d in rows["t6"]
+            if c[pos("t3", "ua1")] == d[pos("t6", "a1")]
+        )
+        assert sorted(result.rows) == expected
+
+    def test_nl_with_bushy_inner_charges_materialised_pages(self, tiny_db):
+        inner = Join(
+            filters=[],
+            outer=Scan(filters=[], table="t1"),
+            inner=Scan(filters=[], table="t2"),
+            method=JoinMethod.HASH,
+            primary=equijoin(tiny_db, ("t1", "ua1"), ("t2", "a1")),
+        )
+        tree = Join(
+            filters=[],
+            outer=Scan(filters=[], table="t3"),
+            inner=inner,
+            method=JoinMethod.NESTED_LOOP,
+            primary=equijoin(tiny_db, ("t3", "ua1"), ("t1", "a1")),
+        )
+        model = CostModel(tiny_db.catalog, tiny_db.params)
+        estimate = model.estimate_plan(tree)
+        result = Executor(tiny_db).execute(Plan(tree))
+        assert result.completed
+        assert result.charged == pytest.approx(estimate.cost, rel=0.3)
+
+
+class TestBushyEnumeration:
+    def make_query(self, db):
+        return Query(
+            tables=["t1", "t2", "t3", "t6"],
+            predicates=[
+                equijoin(db, ("t1", "ua1"), ("t2", "a1")),
+                equijoin(db, ("t2", "ua1"), ("t3", "a1")),
+                equijoin(db, ("t3", "ua1"), ("t6", "a1")),
+                costly_filter(db, "costly100", ("t2", "ua1")),
+            ],
+        )
+
+    def test_bushy_never_worse_than_left_deep(self, db):
+        query = self.make_query(db)
+        left_deep = optimize(db, query, strategy="migration")
+        bushy = optimize(db, query, strategy="migration", bushy=True)
+        assert bushy.estimated_cost <= left_deep.estimated_cost + 1e-6
+
+    def test_bushy_plans_are_valid_and_correct(self, tiny_db):
+        query = self.make_query(tiny_db)
+        reference = None
+        for bushy in (False, True):
+            plan = optimize(
+                tiny_db, query, strategy="pullrank", bushy=bushy
+            ).plan
+            validate_placement(plan.root, tiny_db.catalog)
+            rows = sorted(
+                tuple(sorted(row))
+                for row in Executor(tiny_db).execute(plan).rows
+            )
+            if reference is None:
+                reference = rows
+            else:
+                assert rows == reference
+
+
+class TestBushyLDL:
+    """Section 3.1: 'A System R optimizer can be modified to explore the
+    space of bushy trees' — which removes LDL's forced inner pullup."""
+
+    def ldl_example(self, db):
+        return Query(
+            tables=["t3", "t6"],
+            predicates=[
+                equijoin(db, ("t3", "ua20"), ("t6", "ua20")),
+                costly_filter(db, "costly100sel90", ("t3", "u20")),
+                costly_filter(db, "costly100sel90", ("t6", "u100")),
+            ],
+        )
+
+    def test_bushy_ldl_reaches_figure1_plan(self, db):
+        query = self.ldl_example(db)
+        left_deep = optimize(db, query, strategy="ldl")
+        bushy = optimize(db, query, strategy="ldl", bushy=True)
+        migration = optimize(db, query, strategy="migration")
+        assert bushy.estimated_cost < left_deep.estimated_cost
+        assert bushy.estimated_cost == pytest.approx(
+            migration.estimated_cost, rel=0.01
+        )
+
+    def test_bushy_ldl_places_selection_on_inner_side(self, db):
+        """The defining structural change: the inner relation's expensive
+        selection may now run before the join (as a virtual join over the
+        inner subtree)."""
+        query = self.ldl_example(db)
+        plan = optimize(db, query, strategy="ldl", bushy=True).plan
+        # The left-deep invariant no longer holds in spirit: both expensive
+        # selections execute below the top join.
+        assert not plan.root.filters or not any(
+            p.is_expensive for p in plan.root.filters
+        )
+
+    def test_left_deep_ldl_still_constrained(self, db):
+        query = self.ldl_example(db)
+        plan = optimize(db, query, strategy="ldl").plan
+        assert inner_pullup_violations(plan.root) == []
+
+
+class TestBushyMigration:
+    def test_migrates_predicates_on_bushy_trees(self, db):
+        tree = bushy_tree(db)
+        predicate = costly_filter(db, "costly100sel10", ("t6", "u20"))
+        tree.filters.append(predicate)
+        model = CostModel(db.catalog, db.params)
+        before = model.estimate_plan(tree).cost
+        migrated = migrate_plan(Plan(tree), model)
+        assert migrated.estimated_cost <= before
+        validate_placement(migrated.root, db.catalog)
+        placed = [
+            p for node in migrated.root.walk() for p in node.filters
+        ]
+        assert placed == [predicate]
+
+    def test_bushy_migration_pushes_selective_predicate_down(self, db):
+        """Both joins on t1's path pass every t1-stream tuple (rank 0), so
+        a selective expensive predicate on t1 belongs on its scan; place it
+        badly at the root and let migration push it down the path."""
+        tree = bushy_tree(db)
+        predicate = costly_filter(db, "costly100sel10", ("t1", "ua1"))
+        tree.filters.append(predicate)
+        model = CostModel(db.catalog, db.params)
+        migrated = migrate_plan(Plan(tree), model)
+        owner = next(
+            node
+            for node in migrated.root.walk()
+            if predicate in node.filters
+        )
+        assert isinstance(owner, Scan) and owner.table == "t1"
+
+    def test_bushy_migration_keeps_predicate_above_selective_joins(self, db):
+        """On t6's path both joins are selective over the stream (each
+        filters it by half), so the expensive predicate is rank-optimal at
+        the root — migration must leave it there."""
+        tree = bushy_tree(db)
+        predicate = costly_filter(db, "costly100sel10", ("t6", "u20"))
+        tree.filters.append(predicate)
+        model = CostModel(db.catalog, db.params)
+        migrated = migrate_plan(Plan(tree), model)
+        assert predicate in migrated.root.filters

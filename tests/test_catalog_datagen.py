@@ -1,0 +1,109 @@
+"""Unit tests: synthetic database generation (Section 2 / Table 2)."""
+
+import pytest
+
+from repro.catalog.datagen import (
+    build_database,
+    generate_column,
+    relation_cardinality,
+)
+from repro.errors import CatalogError
+
+
+class TestRelationCardinality:
+    def test_tn_convention(self):
+        assert relation_cardinality("t3", 1000) == 3000
+        assert relation_cardinality("t10", 1000) == 10_000
+
+    def test_bad_name_raises(self):
+        with pytest.raises(CatalogError):
+            relation_cardinality("emp", 1000)
+
+
+class TestGenerateColumn:
+    def test_repetition_exact(self):
+        import random
+
+        values = generate_column(100, 20, random.Random(0))
+        counts = {value: values.count(value) for value in set(values)}
+        assert set(counts.values()) == {20}
+        assert len(counts) == 5
+
+    def test_unique_column_is_permutation(self):
+        import random
+
+        values = generate_column(50, 1, random.Random(0))
+        assert sorted(values) == list(range(50))
+
+    def test_remainder_folded_into_last_value(self):
+        import random
+
+        values = generate_column(10, 3, random.Random(0))
+        assert max(values) == 10 // 3 - 1  # ndistinct = 3, values 0..2
+
+
+class TestBuildDatabase:
+    def test_relation_cardinalities(self, db):
+        from tests.conftest import TEST_SCALE
+
+        for n in range(1, 11):
+            assert db.catalog.table(f"t{n}").cardinality == n * TEST_SCALE
+
+    def test_indexes_follow_naming(self, db):
+        t3 = db.catalog.table("t3")
+        assert t3.has_index("a1") and t3.has_index("a20")
+        assert not t3.has_index("ua1") and not t3.has_index("u20")
+
+    def test_indexes_are_complete(self, db):
+        t5 = db.catalog.table("t5")
+        index = t5.index("a1")
+        assert index.entries == t5.cardinality
+        index.check_invariants()
+
+    def test_index_points_at_right_rows(self, db):
+        t2 = db.catalog.table("t2")
+        index = t2.index("a20")
+        position = t2.schema.position("a20")
+        db.meter.reset()
+        for rid in index.search(3):
+            assert t2.heap.fetch_rid(rid)[position] == 3
+        db.meter.reset()
+
+    def test_deterministic_in_seed(self):
+        a = build_database(scale=10, seed=5)
+        b = build_database(scale=10, seed=5)
+        assert (
+            a.catalog.table("t3").heap.all_rows()
+            == b.catalog.table("t3").heap.all_rows()
+        )
+
+    def test_seed_changes_data(self):
+        a = build_database(scale=10, seed=5)
+        b = build_database(scale=10, seed=6)
+        assert (
+            a.catalog.table("t3").heap.all_rows()
+            != b.catalog.table("t3").heap.all_rows()
+        )
+
+    def test_standard_functions_registered(self, db):
+        for cost in (1, 10, 100, 1000):
+            assert f"costly{cost}" in db.catalog.functions
+
+    def test_meter_clean_after_build(self):
+        database = build_database(scale=10, seed=1)
+        assert database.meter.charged == 0.0
+        assert database.pool.stats.accesses == 0
+
+    def test_database_size_tracks_scale(self):
+        small = build_database(scale=10, seed=1)
+        # t1..t10 = 55 x scale tuples at 100 bytes, plus index pages.
+        assert small.size_bytes() > 55 * 10 * 100
+
+    def test_paper_scale_is_about_110_megabytes(self):
+        # Checked arithmetically, not by building the big database: 550k
+        # tuples x 100 bytes = ~52 MB of heap plus indexes and slack —
+        # the same order as the paper's 110 MB.
+        from repro.catalog.datagen import PAPER_SCALE
+
+        heap_bytes = 55 * PAPER_SCALE * 100
+        assert 40e6 < heap_bytes < 120e6

@@ -1,0 +1,96 @@
+"""Unit tests: UDF registry, synthetic booleans, invocation accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog.functions import (
+    FunctionRegistry,
+    synthetic_boolean,
+)
+from repro.errors import DuplicateNameError, UnknownFunctionError
+
+
+class TestSyntheticBoolean:
+    def test_deterministic(self):
+        fn = synthetic_boolean(0.5, seed=3)
+        assert [fn(i) for i in range(50)] == [fn(i) for i in range(50)]
+
+    def test_extremes(self):
+        always = synthetic_boolean(1.0)
+        never = synthetic_boolean(0.0)
+        assert all(always(i) for i in range(100))
+        assert not any(never(i) for i in range(100))
+
+    def test_out_of_range_selectivity_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_boolean(1.5)
+
+    def test_seed_changes_outcomes(self):
+        a = synthetic_boolean(0.5, seed=1)
+        b = synthetic_boolean(0.5, seed=2)
+        assert [a(i) for i in range(200)] != [b(i) for i in range(200)]
+
+    @given(st.floats(0.05, 0.95), st.integers(0, 10))
+    @settings(max_examples=20)
+    def test_measured_selectivity_converges(self, selectivity, seed):
+        fn = synthetic_boolean(selectivity, seed=seed)
+        passes = sum(fn(i) for i in range(4000))
+        assert abs(passes / 4000 - selectivity) < 0.05
+
+    def test_multi_argument(self):
+        fn = synthetic_boolean(0.5, seed=9)
+        assert isinstance(fn(1, "x", None), bool)
+
+
+class TestFunctionRegistry:
+    def test_register_and_call_counts(self):
+        registry = FunctionRegistry()
+        f = registry.register("f", cost_per_call=10.0, selectivity=0.4)
+        f(1)
+        f(2)
+        assert f.calls == 2
+        assert f.charged == 20.0
+
+    def test_costly_shorthand(self):
+        registry = FunctionRegistry()
+        registry.register_costly(100)
+        f = registry.get("costly100")
+        assert f.cost_per_call == 100.0
+
+    def test_duplicate_rejected(self):
+        registry = FunctionRegistry()
+        registry.register("f", cost_per_call=1.0)
+        with pytest.raises(DuplicateNameError):
+            registry.register("f", cost_per_call=1.0)
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownFunctionError):
+            FunctionRegistry().get("nope")
+
+    def test_contains_and_names(self):
+        registry = FunctionRegistry()
+        registry.register("b", cost_per_call=1.0)
+        registry.register("a", cost_per_call=1.0)
+        assert "a" in registry and "nope" not in registry
+        assert registry.names() == ["a", "b"]
+
+    def test_reset_counters(self):
+        registry = FunctionRegistry()
+        f = registry.register("f", cost_per_call=5.0)
+        f(1)
+        registry.reset_counters()
+        assert f.calls == 0
+        assert registry.total_charged() == 0.0
+
+    def test_totals(self):
+        registry = FunctionRegistry()
+        f = registry.register("f", cost_per_call=5.0)
+        g = registry.register("g", cost_per_call=2.0)
+        f(1), g(1), g(2)
+        assert registry.total_calls() == 3
+        assert registry.total_charged() == 9.0
+
+    def test_custom_python_function(self):
+        registry = FunctionRegistry()
+        registry.register("double", lambda x: 2 * x, cost_per_call=1.0)
+        assert registry.get("double")(21) == 42

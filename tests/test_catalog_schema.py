@@ -1,0 +1,76 @@
+"""Unit tests: schema descriptors and the attribute naming convention."""
+
+import pytest
+
+from repro.catalog.schema import (
+    Attribute,
+    RelationSchema,
+    parse_attribute_name,
+)
+from repro.errors import DuplicateNameError, UnknownAttributeError
+
+
+class TestNamingConvention:
+    def test_indexed_attribute(self):
+        assert parse_attribute_name("a20") == (True, 20)
+
+    def test_unindexed_prefix(self):
+        assert parse_attribute_name("ua1") == (False, 1)
+
+    def test_bare_u_number_is_unindexed(self):
+        # The paper's "a column named u20" example.
+        assert parse_attribute_name("u20") == (False, 20)
+
+    def test_unique_attribute(self):
+        assert parse_attribute_name("a1") == (True, 1)
+
+    def test_large_repetition(self):
+        assert parse_attribute_name("ua100") == (False, 100)
+
+    def test_nonconforming_name_defaults(self):
+        assert parse_attribute_name("picture") == (False, 1)
+
+    def test_zero_repetition_clamped(self):
+        indexed, repetition = parse_attribute_name("a0")
+        assert repetition == 1
+
+    def test_attribute_from_name(self):
+        attribute = Attribute.from_name("a20")
+        assert attribute.indexed and attribute.repetition == 20
+
+
+class TestRelationSchema:
+    def make(self):
+        return RelationSchema.from_names("t1", ["a1", "ua20", "u100"])
+
+    def test_positions_in_order(self):
+        schema = self.make()
+        assert [schema.position(n) for n in ("a1", "ua20", "u100")] == [0, 1, 2]
+
+    def test_attribute_lookup(self):
+        schema = self.make()
+        assert schema.attribute("ua20").repetition == 20
+        assert not schema.attribute("ua20").indexed
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            self.make().position("nope")
+
+    def test_has_attribute(self):
+        schema = self.make()
+        assert schema.has_attribute("a1")
+        assert not schema.has_attribute("b2")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(DuplicateNameError):
+            RelationSchema.from_names("t1", ["a1", "a1"])
+
+    def test_indexed_attribute_list(self):
+        assert self.make().indexed_attributes == ["a1"]
+
+    def test_default_tuple_width_is_100_bytes(self):
+        # "All tuples are 100 bytes wide" (Section 2).
+        assert self.make().tuple_width == 100
+
+    def test_len(self):
+        assert len(self.make()) == 3

@@ -1,0 +1,96 @@
+"""Tests for the command-line driver (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+SQL = (
+    "SELECT * FROM t3, t10 "
+    "WHERE t3.a1 = t10.ua1 AND costly100(t10.u20)"
+)
+
+
+class TestCli:
+    def test_basic_run(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--sql", SQL, "--scale", "20", "--seed", "7"
+        )
+        assert code == 0
+        assert "strategy: migration" in out
+        assert "charged" in out
+
+    def test_explain_only(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--sql", SQL, "--scale", "20", "--explain-only"
+        )
+        assert code == 0
+        assert "join" in out
+        assert "charged" not in out
+
+    def test_strategy_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--sql", SQL, "--scale", "20",
+            "--strategy", "pushdown", "--explain-only",
+        )
+        assert code == 0
+        assert "strategy: pushdown" in out
+
+    def test_compare_table(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--sql", SQL, "--scale", "20", "--compare"
+        )
+        assert code == 0
+        for strategy in ("pushdown", "migration", "exhaustive"):
+            assert strategy in out
+
+    def test_workload_q1(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--workload", "q1", "--scale", "20", "--explain-only"
+        )
+        assert code == 0
+        assert "Query 1" in out
+
+    def test_rows_printed(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--sql", SQL, "--scale", "20", "--rows", "3"
+        )
+        assert code == 0
+        assert out.strip().count("(") >= 3
+
+    def test_budget_dnf_exit_code(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--sql", SQL, "--scale", "20",
+            "--strategy", "pushdown", "--budget", "10",
+        )
+        assert code == 2
+        assert "DNF" in out
+
+    def test_bad_sql_reports_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "--sql", "SELECT * FROM nope", "--scale", "20"
+        )
+        assert code == 1
+        assert "unknown relation" in err
+
+    def test_caching_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--sql", SQL, "--scale", "20", "--caching"
+        )
+        assert code == 0
+
+    def test_parser_rejects_sql_and_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--sql", "x", "--workload", "q1"]
+            )
+
+    def test_parser_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--compare"])

@@ -1,0 +1,259 @@
+"""Unit and property tests: the per-input linear cost model (Section 3.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cost.model import CostModel
+from repro.cost.params import CostParams
+from repro.plan.nodes import Join, JoinMethod, Scan
+from tests.conftest import costly_filter, equijoin
+
+
+@pytest.fixture()
+def model(db):
+    return CostModel(db.catalog, db.params)
+
+
+def two_table_join(db, method, filters=None, inner_filters=None):
+    return Join(
+        filters=filters or [],
+        outer=Scan(filters=[], table="t3"),
+        inner=Scan(filters=inner_filters or [], table="t10"),
+        method=method,
+        primary=equijoin(db, ("t3", "a1"), ("t10", "ua1")),
+    )
+
+
+class TestScanEstimates:
+    def test_seq_scan_cost_and_rows(self, db, model):
+        estimate = model.estimate_scan(Scan(filters=[], table="t3"))
+        entry = db.catalog.table("t3")
+        assert estimate.rows == entry.cardinality
+        assert estimate.cost == pytest.approx(
+            entry.pages * db.params.seq_weight
+        )
+
+    def test_filters_reduce_rows_and_add_cost(self, db, model):
+        predicate = costly_filter(db, "costly100", ("t3", "u20"))
+        estimate = model.estimate_scan(
+            Scan(filters=[predicate], table="t3")
+        )
+        entry = db.catalog.table("t3")
+        assert estimate.rows == pytest.approx(entry.cardinality * 0.5)
+        assert estimate.cost == pytest.approx(
+            entry.pages * db.params.seq_weight + 100.0 * entry.cardinality
+        )
+
+    def test_filter_order_matters_for_cost(self, db, model):
+        cheap_selective = costly_filter(db, "costly100sel10", ("t3", "u20"))
+        expensive = costly_filter(db, "costly100", ("t3", "u100"))
+        good = model.estimate_scan(
+            Scan(filters=[cheap_selective, expensive], table="t3")
+        )
+        bad = model.estimate_scan(
+            Scan(filters=[expensive, cheap_selective], table="t3")
+        )
+        assert good.cost < bad.cost
+        assert good.rows == pytest.approx(bad.rows)
+
+
+class TestJoinEstimates:
+    def test_output_cardinality_formula(self, db, model):
+        join = two_table_join(db, JoinMethod.HASH)
+        estimate = model.estimate_join(join)
+        t3 = db.catalog.table("t3").cardinality
+        t10 = db.catalog.table("t10").cardinality
+        selectivity = model.join_selectivity(join.primary)
+        assert estimate.rows == pytest.approx(selectivity * t3 * t10)
+
+    def test_methods_agree_on_cardinality(self, db, model):
+        rows = {
+            method: model.estimate_join(two_table_join(db, method)).rows
+            for method in JoinMethod
+        }
+        values = list(rows.values())
+        assert all(v == pytest.approx(values[0]) for v in values)
+
+    def test_merge_join_charges_sorts(self, db, model):
+        hash_est = model.estimate_join(two_table_join(db, JoinMethod.HASH))
+        merge_est = model.estimate_join(two_table_join(db, JoinMethod.MERGE))
+        assert merge_est.cost > hash_est.cost
+        assert merge_est.order == ("t3", "a1")
+
+    def test_nested_loop_rescans_full_base_pages(self, db, model):
+        """The paper's key point: inner selections do not shrink the
+        rescan volume of a nested loop."""
+        predicate = costly_filter(db, "costly100sel10", ("t10", "u20"))
+        unfiltered = model.estimate_join(
+            two_table_join(db, JoinMethod.NESTED_LOOP)
+        )
+        filtered = model.estimate_join(
+            two_table_join(
+                db, JoinMethod.NESTED_LOOP, inner_filters=[predicate]
+            )
+        )
+        pages = db.catalog.table("t10").pages
+        outer_rows = db.catalog.table("t3").cardinality
+        rescan = outer_rows * pages * db.params.seq_weight
+        # Both estimates contain the same full-base rescan term.
+        assert unfiltered.cost > rescan
+        assert filtered.cost > rescan
+
+    def test_index_nl_charges_probes_and_fetches(self, db, model):
+        join = Join(
+            filters=[],
+            outer=Scan(filters=[], table="t3"),
+            inner=Scan(filters=[], table="t10"),
+            method=JoinMethod.INDEX_NESTED_LOOP,
+            primary=equijoin(db, ("t3", "ua1"), ("t10", "a1")),
+        )
+        estimate = model.estimate_join(join)
+        outer_rows = db.catalog.table("t3").cardinality
+        inner_card = db.catalog.table("t10").cardinality
+        height = db.params.index_height(inner_card)
+        matches = model.join_selectivity(join.primary) * outer_rows * inner_card
+        expected_io = outer_rows * height + matches
+        assert estimate.cost >= expected_io
+
+    def test_hash_spill_charged_when_inner_large(self, db):
+        params = CostParams(hash_memory_pages=1)
+        model = CostModel(db.catalog, params)
+        spilled = model.estimate_join(two_table_join(db, JoinMethod.HASH))
+        roomy = CostModel(db.catalog, CostParams(hash_memory_pages=10_000))
+        in_memory = roomy.estimate_join(two_table_join(db, JoinMethod.HASH))
+        assert spilled.cost > in_memory.cost
+
+    def test_expensive_primary_join_quadratic_term(self, db, model):
+        from repro.expr.expressions import Column, FuncCall
+        from repro.expr.predicates import analyze_conjunct
+
+        primary = analyze_conjunct(
+            db.catalog,
+            FuncCall("expjoin10", (Column("t3", "u20"), Column("t10", "u20"))),
+        )
+        join = Join(
+            filters=[],
+            outer=Scan(filters=[], table="t3"),
+            inner=Scan(filters=[], table="t10"),
+            method=JoinMethod.NESTED_LOOP,
+            primary=primary,
+        )
+        estimate = model.estimate_join(join)
+        pairs = (
+            db.catalog.table("t3").cardinality
+            * db.catalog.table("t10").cardinality
+        )
+        assert estimate.cost >= 10.0 * pairs
+
+
+class TestLinearity:
+    """Join cost must fit k{R} + l{S} + m (Section 3.2) for every method
+    with a cheap primary: we check that cost is affine in the outer input
+    by varying the outer's filter selectivity through a synthetic filter."""
+
+    @given(st.sampled_from(list(JoinMethod)))
+    @settings(max_examples=8, deadline=None)
+    def test_cost_affine_in_outer_rows(self, db, method):
+        model = CostModel(db.catalog, db.params)
+        if method is JoinMethod.INDEX_NESTED_LOOP:
+            primary = equijoin(db, ("t3", "ua1"), ("t10", "a1"))
+        else:
+            primary = equijoin(db, ("t3", "a1"), ("t10", "ua1"))
+
+        def cost_with_outer_rows(selectivity: float) -> float:
+            from repro.expr.expressions import Const, Comparison, Column
+            from repro.expr.predicates import Predicate
+
+            filler = Predicate(
+                expr=Comparison("<", Column("t3", "a1"), Const(1)),
+                tables=frozenset({"t3"}),
+                selectivity=selectivity,
+                cost_per_tuple=0.0,
+            )
+            join = Join(
+                filters=[],
+                outer=Scan(filters=[filler], table="t3"),
+                inner=Scan(filters=[], table="t10"),
+                method=method,
+                primary=primary,
+            )
+            return model.estimate_join(join).cost
+
+        c0, c1, c2 = (
+            cost_with_outer_rows(0.0),
+            cost_with_outer_rows(0.5),
+            cost_with_outer_rows(1.0),
+        )
+        # Affine: midpoint cost = mean of endpoint costs (modulo page
+        # rounding in sort costs).
+        tolerance = 2.0  # pages x seq_weight rounding slack
+        assert abs((c0 + c2) / 2 - c1) <= tolerance
+
+
+class TestPerInput:
+    def test_selectivities_differ_per_input(self, db, model):
+        """The paper's primary-key join example: R(100) x S(1000) on keys
+        passes all of R but a tenth of S."""
+        join = two_table_join(db, JoinMethod.HASH)
+        t3 = db.catalog.table("t3").cardinality
+        t10 = db.catalog.table("t10").cardinality
+        per_input = model.per_input(join, t3, t10)
+        selectivity = model.join_selectivity(join.primary)
+        assert per_input.outer_selectivity == pytest.approx(selectivity * t10)
+        assert per_input.inner_selectivity == pytest.approx(selectivity * t3)
+        assert per_input.outer_selectivity != per_input.inner_selectivity
+
+    def test_global_model_uses_raw_selectivity(self, db):
+        model = CostModel(db.catalog, db.params, global_model=True)
+        join = two_table_join(db, JoinMethod.HASH)
+        per_input = model.per_input(join, 300, 1000)
+        selectivity = model.join_selectivity(join.primary)
+        assert per_input.outer_selectivity == pytest.approx(selectivity)
+        assert per_input.inner_selectivity == pytest.approx(selectivity)
+
+    def test_caching_mode_value_based_and_bounded(self, db):
+        model = CostModel(db.catalog, db.params, caching=True)
+        join = two_table_join(db, JoinMethod.HASH)
+        per_input = model.per_input(join, 300, 1000)
+        assert per_input.outer_selectivity <= 1.0
+        assert per_input.inner_selectivity <= 1.0
+
+    def test_nested_loop_outer_cost_is_base_pages(self, db, model):
+        join = two_table_join(db, JoinMethod.NESTED_LOOP)
+        per_input = model.per_input(join, 300, 1000)
+        pages = db.catalog.table("t10").pages
+        assert per_input.outer_cost == pytest.approx(
+            pages * db.params.seq_weight + db.params.cpu_per_tuple
+        )
+
+    def test_expensive_primary_adds_cross_term(self, db, model):
+        from repro.expr.expressions import Column, FuncCall
+        from repro.expr.predicates import analyze_conjunct
+
+        primary = analyze_conjunct(
+            db.catalog,
+            FuncCall("expjoin10", (Column("t3", "u20"), Column("t10", "u20"))),
+        )
+        join = Join(
+            filters=[],
+            outer=Scan(filters=[], table="t3"),
+            inner=Scan(filters=[], table="t10"),
+            method=JoinMethod.NESTED_LOOP,
+            primary=primary,
+        )
+        per_input = model.per_input(join, 300, 1000)
+        assert per_input.outer_cost >= 10.0 * 1000
+        assert per_input.inner_cost >= 10.0 * 300
+
+
+class TestInvocationEstimates:
+    def test_caching_bounds_invocations_by_values(self, db):
+        model = CostModel(db.catalog, db.params, caching=True)
+        predicate = costly_filter(db, "costly100", ("t3", "u20"))
+        ndistinct = db.catalog.table("t3").stats.ndistinct("u20")
+        assert model.invocations(predicate, 10_000) == ndistinct
+        assert model.invocations(predicate, 3) == 3
+
+    def test_no_caching_invocations_equal_rows(self, db, model):
+        predicate = costly_filter(db, "costly100", ("t3", "u20"))
+        assert model.invocations(predicate, 123) == 123

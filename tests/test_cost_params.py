@@ -1,0 +1,95 @@
+"""Unit tests: the cost-model constants and derived formulas."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cost.params import CostParams
+
+
+class TestPagesFor:
+    def test_basic(self):
+        params = CostParams(page_size=8192)
+        assert params.pages_for(81, 100) == 1
+        assert params.pages_for(82, 100) == 2
+
+    def test_zero_rows(self):
+        assert CostParams().pages_for(0, 100) == 0.0
+
+    def test_wide_tuples(self):
+        params = CostParams(page_size=1000)
+        assert params.pages_for(10, 5000) == 10  # one tuple per page
+
+
+class TestIndexHeight:
+    def test_single_level(self):
+        params = CostParams(index_fanout=512)
+        assert params.index_height(1) == 1
+        assert params.index_height(512) == 1
+
+    def test_two_levels(self):
+        params = CostParams(index_fanout=512)
+        assert params.index_height(513) == 2
+        assert params.index_height(512 * 512) == 2
+
+    def test_three_levels(self):
+        params = CostParams(index_fanout=512)
+        assert params.index_height(512 * 512 + 1) == 3
+
+    def test_paper_probe_bound(self):
+        # "typically 3 I/Os or less" at realistic cardinalities.
+        params = CostParams()
+        assert params.index_height(10_000_000) <= 3
+
+
+class TestSortModel:
+    def test_in_memory_single_pass(self):
+        params = CostParams(sort_memory_pages=256)
+        assert params.sort_passes(256) == 1
+
+    def test_one_merge_pass(self):
+        params = CostParams(sort_memory_pages=256, sort_fanin=64)
+        assert params.sort_passes(257) == 2
+        assert params.sort_passes(256 * 64) == 2
+
+    def test_two_merge_passes(self):
+        params = CostParams(sort_memory_pages=256, sort_fanin=64)
+        assert params.sort_passes(256 * 64 + 1) == 3
+
+    def test_sort_cost_formula(self):
+        params = CostParams(
+            page_size=8192, seq_weight=0.25, sort_memory_pages=256
+        )
+        rows, width = 810, 100  # 10 pages, one pass
+        assert params.sort_cost(rows, width) == pytest.approx(
+            2 * 10 * 1 * 0.25
+        )
+
+    def test_sort_cost_zero_rows(self):
+        assert CostParams().sort_cost(0, 100) == 0.0
+
+    @given(st.floats(1, 1e7))
+    def test_passes_monotone_in_pages(self, pages):
+        params = CostParams(sort_memory_pages=64, sort_fanin=8)
+        assert params.sort_passes(pages) <= params.sort_passes(pages * 2)
+
+    @given(st.integers(1, 10**7))
+    def test_passes_logarithmic(self, pages):
+        params = CostParams(sort_memory_pages=64, sort_fanin=8)
+        runs = max(1, math.ceil(pages / 64))
+        expected_merges = 0 if runs == 1 else math.ceil(
+            math.log(runs, 8)
+        )
+        assert params.sort_passes(pages) <= 1 + expected_merges + 1
+
+
+class TestDefaults:
+    def test_paper_currency(self):
+        params = CostParams()
+        assert params.seq_weight == 0.25
+        assert params.page_size == 8192
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CostParams().seq_weight = 0.5  # type: ignore[misc]

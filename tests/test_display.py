@@ -1,0 +1,64 @@
+"""Unit tests: plan rendering (the Figure 1/2/6/7 style trees)."""
+
+from repro.cost.model import CostModel
+from repro.plan import Plan, explain, plan_tree
+from repro.plan.nodes import Join, JoinMethod, Scan
+from tests.conftest import costly_filter, equijoin
+
+
+def sample_plan(db):
+    predicate = costly_filter(db, "costly100", ("t10", "u20"))
+    join = Join(
+        filters=[predicate],
+        outer=Scan(filters=[], table="t3"),
+        inner=Scan(filters=[], table="t10"),
+        method=JoinMethod.MERGE,
+        primary=equijoin(db, ("t3", "a1"), ("t10", "ua1")),
+    )
+    return Plan(join)
+
+
+class TestPlanTree:
+    def test_contains_nodes_and_filters(self, db):
+        text = plan_tree(sample_plan(db))
+        assert "merge-join" in text
+        assert "SeqScan(t3)" in text and "SeqScan(t10)" in text
+        assert "costly100(t10.u20)" in text
+
+    def test_tree_structure_characters(self, db):
+        text = plan_tree(sample_plan(db))
+        assert "├─" in text and "└─" in text
+
+    def test_outer_rendered_before_inner(self, db):
+        text = plan_tree(sample_plan(db))
+        assert text.index("SeqScan(t3)") < text.index("SeqScan(t10)")
+
+    def test_accepts_bare_nodes(self, db):
+        text = plan_tree(Scan(filters=[], table="t3"))
+        assert text == "SeqScan(t3)"
+
+    def test_filters_listed_execution_bottom_up(self, db):
+        cheap = costly_filter(db, "costly1", ("t3", "u20"))
+        pricey = costly_filter(db, "costly100", ("t3", "u100"))
+        scan = Scan(filters=[cheap, pricey], table="t3")
+        text = plan_tree(scan)
+        # Display shows the pipeline top-down: last-executed filter first.
+        assert text.index("costly100") < text.index("costly1(")
+
+
+class TestExplain:
+    def test_explain_with_model_appends_estimates(self, db):
+        model = CostModel(db.catalog, db.params)
+        text = explain(sample_plan(db), model)
+        assert "estimated rows=" in text and "cost=" in text
+
+    def test_explain_with_stored_estimates(self, db):
+        plan = sample_plan(db)
+        plan.estimated_cost = 123.0
+        plan.estimated_rows = 45.0
+        text = explain(plan)
+        assert "cost=123.0" in text
+
+    def test_explain_plain(self, db):
+        text = explain(sample_plan(db))
+        assert "merge-join" in text

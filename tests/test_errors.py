@@ -1,0 +1,63 @@
+"""Unit tests: the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            errors.CatalogError,
+            errors.StorageError,
+            errors.ExecutionError,
+            errors.PlanError,
+            errors.OptimizerError,
+            errors.SQLError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception):
+        assert issubclass(exception, errors.ReproError)
+
+    def test_specific_catalog_errors(self):
+        assert issubclass(errors.UnknownRelationError, errors.CatalogError)
+        assert issubclass(errors.UnknownAttributeError, errors.CatalogError)
+        assert issubclass(errors.UnknownFunctionError, errors.CatalogError)
+        assert issubclass(errors.DuplicateNameError, errors.CatalogError)
+
+    def test_sql_errors(self):
+        assert issubclass(errors.SQLLexError, errors.SQLError)
+        assert issubclass(errors.SQLParseError, errors.SQLError)
+        assert issubclass(errors.BindError, errors.SQLError)
+
+    def test_budget_is_execution_error(self):
+        assert issubclass(errors.BudgetExceededError, errors.ExecutionError)
+
+
+class TestMessages:
+    def test_unknown_relation_names_it(self):
+        error = errors.UnknownRelationError("emp")
+        assert "emp" in str(error)
+        assert error.name == "emp"
+
+    def test_unknown_attribute_names_both(self):
+        error = errors.UnknownAttributeError("emp", "salary")
+        assert "emp" in str(error) and "salary" in str(error)
+
+    def test_budget_carries_numbers(self):
+        error = errors.BudgetExceededError(1234.5, 1000.0)
+        assert error.charged == 1234.5
+        assert error.budget == 1000.0
+        assert "1234.5" in str(error)
+
+    def test_lex_error_position(self):
+        error = errors.SQLLexError("bad char", 17)
+        assert "17" in str(error)
+        assert error.position == 17
+
+    def test_catch_all_with_base(self):
+        try:
+            raise errors.UnknownFunctionError("f")
+        except errors.ReproError as caught:
+            assert caught.name == "f"

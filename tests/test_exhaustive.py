@@ -1,0 +1,83 @@
+"""Unit tests: exhaustive placement — the ground-truth optimizer."""
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.errors import OptimizerError
+from repro.optimizer.exhaustive import exhaustive_plan
+from repro.optimizer.optimizer import STRATEGIES, optimize
+from repro.optimizer.query import Query
+from tests.conftest import costly_filter, equijoin
+
+
+def model_of(db, **kwargs):
+    return CostModel(db.catalog, db.params, **kwargs)
+
+
+class TestExhaustiveBasics:
+    def test_single_table(self, db):
+        query = Query(
+            tables=["t3"],
+            predicates=[costly_filter(db, "costly100", ("t3", "u20"))],
+        )
+        plan = exhaustive_plan(query, db.catalog, model_of(db))
+        assert plan.estimated_cost is not None
+
+    def test_combo_limit_enforced(self, db):
+        query = Query(
+            tables=["t1", "t2", "t3"],
+            predicates=[
+                equijoin(db, ("t1", "ua1"), ("t2", "a1")),
+                equijoin(db, ("t2", "ua1"), ("t3", "a1")),
+                costly_filter(db, "costly100", ("t1", "u20")),
+            ],
+        )
+        with pytest.raises(OptimizerError):
+            exhaustive_plan(query, db.catalog, model_of(db), combo_limit=2)
+
+    def test_enumerate_methods_not_worse_than_greedy(self, db):
+        query = Query(
+            tables=["t3", "t10"],
+            predicates=[
+                equijoin(db, ("t3", "a1"), ("t10", "ua1")),
+                costly_filter(db, "costly100", ("t10", "u20")),
+            ],
+        )
+        greedy = exhaustive_plan(
+            query, db.catalog, model_of(db), method_choice="greedy"
+        )
+        enumerated = exhaustive_plan(
+            query, db.catalog, model_of(db), method_choice="enumerate"
+        )
+        assert enumerated.estimated_cost <= greedy.estimated_cost + 1e-6
+
+    def test_bad_method_choice_rejected(self, db):
+        query = Query(tables=["t3"], predicates=[])
+        with pytest.raises(OptimizerError):
+            exhaustive_plan(query, db.catalog, model_of(db), method_choice="x")
+
+
+class TestExhaustiveIsLowerBound:
+    """Table 1: Exhaustive works for all queries — its estimate must lower-
+    bound every heuristic's on every workload query."""
+
+    @pytest.mark.parametrize(
+        "key", ["q1", "q2", "q3", "q4", "q5", "ldl_example"]
+    )
+    def test_lower_bounds_heuristics(self, db, key):
+        from repro.bench.workloads import build_workload
+
+        workload = build_workload(db, key)
+        exhaustive = optimize(db, workload.query, strategy="exhaustive")
+        for strategy in STRATEGIES:
+            if strategy == "exhaustive":
+                continue
+            try:
+                other = optimize(db, workload.query, strategy=strategy)
+            except OptimizerError:
+                # Some strategies have a restricted scope (ldl-ikkbz
+                # rejects expensive join predicates / cyclic graphs).
+                continue
+            assert (
+                exhaustive.estimated_cost <= other.estimated_cost + 1e-6
+            ), f"{strategy} beat exhaustive on {key}"

@@ -1,0 +1,177 @@
+"""Unit tests: the expression AST, evaluation, and NULL semantics."""
+
+import pytest
+
+from repro.catalog.functions import FunctionRegistry
+from repro.errors import PlanError
+from repro.expr.expressions import (
+    BinaryOp,
+    Column,
+    Comparison,
+    Const,
+    FuncCall,
+    Logical,
+    Not,
+    Scope,
+    conjuncts,
+)
+
+
+@pytest.fixture()
+def env():
+    scope = Scope([("t", "a"), ("t", "b"), ("s", "a")])
+    registry = FunctionRegistry()
+    registry.register("double", lambda x: 2 * x, cost_per_call=1.0)
+    registry.register("is_even", lambda x: x % 2 == 0, cost_per_call=1.0)
+    row = (5, None, 7)
+    return row, scope, registry
+
+
+class TestScope:
+    def test_slots(self):
+        scope = Scope([("t", "a"), ("s", "b")])
+        assert scope.slot("t", "a") == 0
+        assert scope.slot("s", "b") == 1
+
+    def test_missing_column_raises(self):
+        with pytest.raises(PlanError):
+            Scope([("t", "a")]).slot("t", "b")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(PlanError):
+            Scope([("t", "a"), ("t", "a")])
+
+    def test_concat(self):
+        left = Scope([("t", "a")])
+        right = Scope([("s", "a")])
+        combined = left.concat(right)
+        assert combined.slot("s", "a") == 1
+        assert ("t", "a") in combined
+
+    def test_equality(self):
+        assert Scope([("t", "a")]) == Scope([("t", "a")])
+        assert Scope([("t", "a")]) != Scope([("s", "a")])
+
+
+class TestEvaluation:
+    def test_const(self, env):
+        row, scope, registry = env
+        assert Const(42).evaluate(row, scope, registry) == 42
+
+    def test_column(self, env):
+        row, scope, registry = env
+        assert Column("s", "a").evaluate(row, scope, registry) == 7
+
+    def test_func_call_counts_invocations(self, env):
+        row, scope, registry = env
+        expr = FuncCall("double", (Column("t", "a"),))
+        assert expr.evaluate(row, scope, registry) == 10
+        assert registry.get("double").calls == 1
+
+    def test_comparison(self, env):
+        row, scope, registry = env
+        assert Comparison("<", Column("t", "a"), Const(6)).evaluate(
+            row, scope, registry
+        ) is True
+        assert Comparison("=", Column("t", "a"), Column("s", "a")).evaluate(
+            row, scope, registry
+        ) is False
+
+    def test_comparison_null_propagates(self, env):
+        row, scope, registry = env
+        assert Comparison("=", Column("t", "b"), Const(1)).evaluate(
+            row, scope, registry
+        ) is None
+
+    def test_arithmetic(self, env):
+        row, scope, registry = env
+        expr = BinaryOp("+", Column("t", "a"), Const(3))
+        assert expr.evaluate(row, scope, registry) == 8
+
+    def test_arithmetic_null(self, env):
+        row, scope, registry = env
+        expr = BinaryOp("*", Column("t", "b"), Const(3))
+        assert expr.evaluate(row, scope, registry) is None
+
+    def test_and_three_valued(self, env):
+        row, scope, registry = env
+        null = Comparison("=", Column("t", "b"), Const(1))
+        false = Const(False)
+        true = Const(True)
+        assert Logical("AND", (null, false)).evaluate(row, scope, registry) is False
+        assert Logical("AND", (null, true)).evaluate(row, scope, registry) is None
+        assert Logical("AND", (true, true)).evaluate(row, scope, registry) is True
+
+    def test_or_three_valued(self, env):
+        row, scope, registry = env
+        null = Comparison("=", Column("t", "b"), Const(1))
+        assert Logical("OR", (null, Const(True))).evaluate(
+            row, scope, registry
+        ) is True
+        assert Logical("OR", (null, Const(False))).evaluate(
+            row, scope, registry
+        ) is None
+
+    def test_not(self, env):
+        row, scope, registry = env
+        assert Not(Const(False)).evaluate(row, scope, registry) is True
+        null = Comparison("=", Column("t", "b"), Const(1))
+        assert Not(null).evaluate(row, scope, registry) is None
+
+    def test_nested_function(self, env):
+        row, scope, registry = env
+        expr = FuncCall("is_even", (FuncCall("double", (Column("t", "a"),)),))
+        assert expr.evaluate(row, scope, registry) is True
+        assert registry.get("double").calls == 1
+        assert registry.get("is_even").calls == 1
+
+
+class TestStructure:
+    def test_columns_traversal(self):
+        expr = Logical(
+            "AND",
+            (
+                Comparison("=", Column("t", "a"), Column("s", "b")),
+                FuncCall("f", (Column("t", "c"),)),
+            ),
+        )
+        assert list(expr.columns()) == [("t", "a"), ("s", "b"), ("t", "c")]
+        assert expr.tables() == frozenset({"t", "s"})
+
+    def test_function_names(self):
+        expr = FuncCall("f", (FuncCall("g", ()), FuncCall("f", ())))
+        assert sorted(expr.function_names()) == ["f", "f", "g"]
+
+    def test_invalid_operators_rejected(self):
+        with pytest.raises(PlanError):
+            Comparison("~", Const(1), Const(2))
+        with pytest.raises(PlanError):
+            BinaryOp("%", Const(1), Const(2))
+        with pytest.raises(PlanError):
+            Logical("XOR", (Const(True), Const(False)))
+        with pytest.raises(PlanError):
+            Logical("AND", (Const(True),))
+
+    def test_str_rendering(self):
+        expr = Comparison(
+            "=", FuncCall("f", (Column("t", "a"),)), Const("red")
+        )
+        assert str(expr) == "f(t.a) = 'red'"
+
+
+class TestConjuncts:
+    def test_flattens_nested_and(self):
+        a, b, c = Const(True), Const(False), Const(True)
+        expr = Logical("AND", (Logical("AND", (a, b)), c))
+        assert conjuncts(expr) == [a, b, c]
+
+    def test_or_not_split(self):
+        expr = Logical("OR", (Const(True), Const(False)))
+        assert conjuncts(expr) == [expr]
+
+    def test_none_is_empty(self):
+        assert conjuncts(None) == []
+
+    def test_single_predicate(self):
+        expr = Comparison("=", Const(1), Const(1))
+        assert conjuncts(expr) == [expr]

@@ -1,0 +1,155 @@
+"""Unit and property tests: IK-KBZ join ordering."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import OptimizerError
+from repro.optimizer.ikkbz import IKKBZNode, ikkbz_order, sequence_cost
+
+
+def brute_force(nodes, edges, roots=None):
+    """Minimum ASI cost over all precedence-respecting linear orders."""
+    values = {node.name: node for node in nodes}
+    adjacency = {name: set() for name in values}
+    for left, right in edges:
+        adjacency[left].add(right)
+        adjacency[right].add(left)
+
+    best_cost = float("inf")
+    best_order = None
+    for order in itertools.permutations(values):
+        if roots is not None and order[0] not in roots:
+            continue
+        # Connectivity constraint: each node adjacent to an earlier one.
+        seen = {order[0]}
+        valid = True
+        for name in order[1:]:
+            if not adjacency[name] & seen:
+                valid = False
+                break
+            seen.add(name)
+        if not valid:
+            continue
+        cost = sequence_cost([values[name] for name in order])
+        if cost < best_cost:
+            best_cost = cost
+            best_order = order
+    return best_order, best_cost
+
+
+class TestSequenceCost:
+    def test_hand_computed(self):
+        nodes = [IKKBZNode("a", 1.0, 10.0), IKKBZNode("b", 0.5, 4.0)]
+        # C = 10 + T(a)*4 = 14
+        assert sequence_cost(nodes) == pytest.approx(14.0)
+
+    def test_order_matters(self):
+        a = IKKBZNode("a", 0.1, 10.0)
+        b = IKKBZNode("b", 1.0, 10.0)
+        assert sequence_cost([a, b]) < sequence_cost([b, a])
+
+
+class TestChainQueries:
+    def test_simple_chain(self):
+        nodes = [
+            IKKBZNode("r1", 1.0, 100.0),
+            IKKBZNode("r2", 0.1, 50.0),
+            IKKBZNode("r3", 0.5, 200.0),
+        ]
+        edges = [("r1", "r2"), ("r2", "r3")]
+        result = ikkbz_order(nodes, edges)
+        _, expected_cost = brute_force(nodes, edges)
+        assert result.cost == pytest.approx(expected_cost)
+
+    def test_star_query(self):
+        nodes = [
+            IKKBZNode("hub", 1.0, 10.0),
+            IKKBZNode("s1", 0.2, 100.0),
+            IKKBZNode("s2", 0.8, 5.0),
+            IKKBZNode("s3", 0.05, 500.0),
+        ]
+        edges = [("hub", "s1"), ("hub", "s2"), ("hub", "s3")]
+        result = ikkbz_order(nodes, edges)
+        _, expected_cost = brute_force(nodes, edges)
+        assert result.cost == pytest.approx(expected_cost)
+
+    def test_order_is_connected(self):
+        nodes = [IKKBZNode(f"r{i}", 0.5, 10.0 * (i + 1)) for i in range(5)]
+        edges = [(f"r{i}", f"r{i+1}") for i in range(4)]
+        result = ikkbz_order(nodes, edges)
+        adjacency = {node.name: set() for node in nodes}
+        for left, right in edges:
+            adjacency[left].add(right)
+            adjacency[right].add(left)
+        seen = {result.order[0]}
+        for name in result.order[1:]:
+            assert adjacency[name] & seen
+            seen.add(name)
+
+    def test_restricted_roots(self):
+        nodes = [
+            IKKBZNode("a", 0.5, 10.0),
+            IKKBZNode("b", 0.5, 10.0),
+        ]
+        result = ikkbz_order(nodes, [("a", "b")], roots=["b"])
+        assert result.order[0] == "b"
+        assert result.root == "b"
+
+    def test_per_root_costs_recorded(self):
+        nodes = [
+            IKKBZNode("a", 0.5, 10.0),
+            IKKBZNode("b", 0.1, 100.0),
+        ]
+        result = ikkbz_order(nodes, [("a", "b")])
+        assert set(result.per_root_costs) == {"a", "b"}
+
+
+class TestValidation:
+    def test_cycle_rejected(self):
+        nodes = [IKKBZNode(n, 0.5, 1.0) for n in "abc"]
+        with pytest.raises(OptimizerError):
+            ikkbz_order(nodes, [("a", "b"), ("b", "c"), ("c", "a")])
+
+    def test_disconnected_rejected(self):
+        nodes = [IKKBZNode(n, 0.5, 1.0) for n in "abcd"]
+        with pytest.raises(OptimizerError):
+            ikkbz_order(nodes, [("a", "b"), ("c", "d"), ("a", "b")])
+
+    def test_unknown_edge_node_rejected(self):
+        nodes = [IKKBZNode("a", 0.5, 1.0), IKKBZNode("b", 0.5, 1.0)]
+        with pytest.raises(OptimizerError):
+            ikkbz_order(nodes, [("a", "z")])
+
+    def test_duplicate_names_rejected(self):
+        nodes = [IKKBZNode("a", 0.5, 1.0), IKKBZNode("a", 0.5, 1.0)]
+        with pytest.raises(OptimizerError):
+            ikkbz_order(nodes, [])
+
+
+class TestAgainstBruteForce:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force_on_random_trees(self, data):
+        count = data.draw(st.integers(2, 6))
+        nodes = [
+            IKKBZNode(
+                f"r{i}",
+                data.draw(
+                    st.floats(0.01, 2.0, allow_nan=False, allow_infinity=False)
+                ),
+                data.draw(
+                    st.floats(0.1, 500.0, allow_nan=False, allow_infinity=False)
+                ),
+            )
+            for i in range(count)
+        ]
+        # Random tree: each node links to a random earlier node.
+        edges = [
+            (f"r{data.draw(st.integers(0, i - 1))}", f"r{i}")
+            for i in range(1, count)
+        ]
+        result = ikkbz_order(nodes, edges)
+        _, expected_cost = brute_force(nodes, edges)
+        assert result.cost == pytest.approx(expected_cost, rel=1e-9)

@@ -1,0 +1,110 @@
+"""Unit tests: the LDL algorithm's structural over-eagerness (Section 3.1)."""
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.optimizer.ldl import inner_pullup_violations, ldl_plan
+from repro.optimizer.optimizer import optimize
+from repro.optimizer.query import Query
+from repro.plan.nodes import Join, JoinMethod, Scan
+from tests.conftest import costly_filter, equijoin
+
+
+def two_sided_query(db):
+    """The Section 3.1 example: R ⋈ S with p(R) and q(S) both expensive.
+
+    The join fans out on both sides and the predicates are weakly
+    selective, so the optimal (Figure 1) plan keeps both selections below
+    the join — the shape LDL structurally cannot produce."""
+    return Query(
+        tables=["t3", "t6"],
+        predicates=[
+            equijoin(db, ("t3", "ua20"), ("t6", "ua20")),
+            costly_filter(db, "costly100sel90", ("t3", "u20")),
+            costly_filter(db, "costly100sel90", ("t6", "u100")),
+        ],
+        name="ldl-example",
+    )
+
+
+class TestStructuralConstraint:
+    def test_no_expensive_predicate_on_any_inner_scan(self, db):
+        model = CostModel(db.catalog, db.params)
+        plan = ldl_plan(two_sided_query(db), db.catalog, model)
+        assert inner_pullup_violations(plan.root) == []
+
+    def test_violation_detector_works(self, db):
+        predicate = costly_filter(db, "costly100", ("t10", "u20"))
+        join = Join(
+            filters=[],
+            outer=Scan(filters=[], table="t3"),
+            inner=Scan(filters=[predicate], table="t10"),
+            method=JoinMethod.HASH,
+            primary=equijoin(db, ("t3", "a1"), ("t10", "ua1")),
+        )
+        assert inner_pullup_violations(join) == [predicate]
+
+    def test_all_predicates_applied(self, db):
+        model = CostModel(db.catalog, db.params)
+        query = two_sided_query(db)
+        plan = ldl_plan(query, db.catalog, model)
+        placed = [p for node in plan.root.walk() for p in node.filters]
+        primaries = [
+            node.primary
+            for node in plan.root.walk()
+            if isinstance(node, Join)
+        ]
+        assert set(placed) | set(primaries) >= set(query.predicates)
+
+
+class TestLDLVersusMigration:
+    def test_ldl_never_beats_migration_on_two_sided_selections(self, db):
+        """Migration can keep both expensive selections below the join;
+        LDL must pull one up — so Migration's estimate is at least as
+        good."""
+        query = two_sided_query(db)
+        ldl = optimize(db, query, strategy="ldl")
+        migration = optimize(db, query, strategy="migration")
+        assert migration.estimated_cost <= ldl.estimated_cost + 1e-6
+
+    def test_ldl_strictly_worse_when_both_sides_filterable(self, db):
+        """In the Figures 1–2 scenario the forced pullup really costs."""
+        query = two_sided_query(db)
+        ldl = optimize(db, query, strategy="ldl")
+        migration = optimize(db, query, strategy="migration")
+        assert ldl.estimated_cost > migration.estimated_cost
+
+    def test_ldl_matches_migration_single_expensive_predicate(self, db):
+        query = Query(
+            tables=["t3", "t10"],
+            predicates=[
+                equijoin(db, ("t3", "a1"), ("t10", "ua1")),
+                costly_filter(db, "costly100", ("t10", "u20")),
+            ],
+        )
+        ldl = optimize(db, query, strategy="ldl")
+        migration = optimize(db, query, strategy="migration")
+        assert ldl.estimated_cost == pytest.approx(
+            migration.estimated_cost, rel=0.01
+        )
+
+
+class TestLDLMechanics:
+    def test_single_table_query(self, db):
+        model = CostModel(db.catalog, db.params)
+        query = Query(
+            tables=["t3"],
+            predicates=[costly_filter(db, "costly100", ("t3", "u20"))],
+        )
+        plan = ldl_plan(query, db.catalog, model)
+        assert isinstance(plan.root, Scan)
+        assert len(plan.root.filters) == 1
+
+    def test_cheap_only_query(self, db):
+        model = CostModel(db.catalog, db.params)
+        query = Query(
+            tables=["t3", "t10"],
+            predicates=[equijoin(db, ("t3", "a1"), ("t10", "ua1"))],
+        )
+        plan = ldl_plan(query, db.catalog, model)
+        assert plan.root.tables() == frozenset({"t3", "t10"})

@@ -1,0 +1,132 @@
+"""Unit tests: the [KZ88] LDL-over-IK-KBZ strategy."""
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.errors import OptimizerError
+from repro.exec import Executor
+from repro.optimizer import Query, optimize
+from repro.optimizer.ldl import inner_pullup_violations
+from repro.optimizer.ldl_ikkbz import ldl_ikkbz_plan
+from repro.plan.nodes import validate_placement
+from tests.conftest import costly_filter, equijoin
+
+
+def chain_query(db):
+    return Query(
+        tables=["t2", "t4", "t6"],
+        predicates=[
+            equijoin(db, ("t2", "ua1"), ("t4", "a1")),
+            equijoin(db, ("t4", "ua1"), ("t6", "a1")),
+            costly_filter(db, "costly100", ("t2", "ua1")),
+            costly_filter(db, "costly10", ("t6", "ua1")),
+        ],
+        name="chain",
+    )
+
+
+class TestScope:
+    def test_plans_tree_queries(self, db):
+        plan = optimize(db, chain_query(db), strategy="ldl-ikkbz").plan
+        assert plan.root.tables() == frozenset({"t2", "t4", "t6"})
+        validate_placement(plan.root, db.catalog)
+
+    def test_all_predicates_placed(self, db):
+        query = chain_query(db)
+        plan = optimize(db, query, strategy="ldl-ikkbz").plan
+        from repro.plan.nodes import Join
+
+        placed = [p for node in plan.root.walk() for p in node.filters]
+        primaries = [
+            n.primary for n in plan.root.walk() if isinstance(n, Join)
+        ]
+        assert set(placed) | set(primaries) >= set(query.predicates)
+
+    def test_rejects_expensive_join_predicates(self, db):
+        from repro.expr.expressions import Column, FuncCall
+        from repro.expr.predicates import analyze_conjunct
+
+        query = Query(
+            tables=["t1", "t2"],
+            predicates=[
+                analyze_conjunct(
+                    db.catalog,
+                    FuncCall(
+                        "expjoin10",
+                        (Column("t1", "u20"), Column("t2", "u20")),
+                    ),
+                )
+            ],
+        )
+        with pytest.raises(OptimizerError):
+            ldl_ikkbz_plan(
+                query, db.catalog, CostModel(db.catalog, db.params)
+            )
+
+    def test_rejects_cyclic_graph(self, db):
+        query = Query(
+            tables=["t1", "t2", "t3"],
+            predicates=[
+                equijoin(db, ("t1", "ua1"), ("t2", "a1")),
+                equijoin(db, ("t2", "ua1"), ("t3", "a1")),
+                equijoin(db, ("t1", "ua20"), ("t3", "a20")),
+            ],
+        )
+        with pytest.raises(OptimizerError):
+            ldl_ikkbz_plan(
+                query, db.catalog, CostModel(db.catalog, db.params)
+            )
+
+    def test_rejects_disconnected_graph(self, db):
+        query = Query(
+            tables=["t1", "t2"],
+            predicates=[costly_filter(db, "costly100", ("t1", "u20"))],
+        )
+        with pytest.raises(OptimizerError):
+            ldl_ikkbz_plan(
+                query, db.catalog, CostModel(db.catalog, db.params)
+            )
+
+
+class TestBehaviour:
+    def test_structurally_ldl(self, db):
+        """Like DP-LDL, no expensive predicate may sit on an inner scan."""
+        plan = optimize(db, chain_query(db), strategy="ldl-ikkbz").plan
+        assert inner_pullup_violations(plan.root) == []
+
+    def test_same_rows_as_migration(self, tiny_db):
+        query = Query(
+            tables=["t2", "t3"],
+            predicates=[
+                equijoin(tiny_db, ("t2", "ua1"), ("t3", "a1")),
+                costly_filter(tiny_db, "costly100", ("t3", "ua1")),
+            ],
+        )
+        reference = None
+        for strategy in ("migration", "ldl-ikkbz"):
+            plan = optimize(tiny_db, query, strategy=strategy).plan
+            rows = sorted(
+                tuple(sorted(row))
+                for row in Executor(tiny_db).execute(plan).rows
+            )
+            if reference is None:
+                reference = rows
+            else:
+                assert rows == reference
+
+    def test_never_beats_exhaustive(self, db):
+        query = chain_query(db)
+        heuristic = optimize(db, query, strategy="ldl-ikkbz")
+        exhaustive = optimize(db, query, strategy="exhaustive")
+        assert exhaustive.estimated_cost <= heuristic.estimated_cost + 1e-6
+
+    def test_polynomial_planner_is_fast(self, db):
+        from repro.bench.workloads import build_workload
+
+        workload = build_workload(db, "fiveway")
+        optimized = optimize(db, workload.query, strategy="ldl-ikkbz")
+        # Polynomial ordering: far below the DP planners.
+        assert optimized.planning_seconds < 1.0
+        assert optimized.plan.root.tables() == frozenset(
+            {"t2", "t4", "t6", "t8", "t10"}
+        )

@@ -1,0 +1,181 @@
+"""Unit tests: the series–parallel machinery of Predicate Migration."""
+
+import math
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.optimizer.migration import (
+    Module,
+    group_rank,
+    is_rank_ordered,
+    migrate_plan,
+    normalize_modules,
+    optimal_slot,
+)
+from repro.plan.nodes import Join, JoinMethod, Plan, Scan
+from tests.conftest import costly_filter, equijoin
+
+
+def mod(selectivity, cost, position):
+    return Module(selectivity, cost, position, position)
+
+
+class TestGroupRank:
+    def test_paper_formula(self):
+        """rank(J1 J2) = (s1·s2 − 1) / (c1 + s1·c2) — the Section 4.4
+        displayed equation."""
+        s1, c1, s2, c2 = 0.8, 2.0, 0.5, 3.0
+        expected = (s1 * s2 - 1) / (c1 + s1 * c2)
+        assert group_rank([s1, s2], [c1, c2]) == pytest.approx(expected)
+
+    def test_three_way_composition_associative(self):
+        s = [0.9, 0.5, 2.0]
+        c = [1.0, 2.0, 0.5]
+        left = group_rank(s, c)
+        merged_first = Module(s[0], c[0], 0, 0).merge(
+            Module(s[1], c[1], 1, 1)
+        )
+        two_then_one = merged_first.merge(Module(s[2], c[2], 2, 2))
+        assert left == pytest.approx(two_then_one.rank)
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(ValueError):
+            group_rank([], [])
+        with pytest.raises(ValueError):
+            group_rank([0.5], [1.0, 2.0])
+
+
+class TestNormalize:
+    def test_increasing_ranks_untouched(self):
+        modules = [mod(0.1, 1.0, 0), mod(0.5, 1.0, 1), mod(0.9, 1.0, 2)]
+        assert normalize_modules(modules) == modules
+
+    def test_decreasing_ranks_merge(self):
+        modules = [mod(0.9, 1.0, 0), mod(0.1, 1.0, 1)]
+        merged = normalize_modules(modules)
+        assert len(merged) == 1
+        assert merged[0].start == 0 and merged[0].end == 1
+
+    def test_cascading_merge(self):
+        modules = [mod(0.9, 1.0, 0), mod(0.5, 1.0, 1), mod(0.1, 1.0, 2)]
+        merged = normalize_modules(modules)
+        assert len(merged) == 1
+
+    def test_result_rank_ordered(self):
+        modules = [
+            mod(0.9, 1.0, 0), mod(0.1, 2.0, 1),
+            mod(0.8, 0.5, 2), mod(0.3, 1.0, 3),
+        ]
+        ranks = [m.rank for m in normalize_modules(modules)]
+        assert is_rank_ordered(ranks)
+
+    def test_empty(self):
+        assert normalize_modules([]) == []
+
+
+class TestOptimalSlot:
+    def test_free_predicate_stays_at_entry(self):
+        joins = [mod(0.5, 1.0, 0), mod(0.5, 1.0, 1)]
+        assert optimal_slot(-math.inf, joins, 0) == 0
+
+    def test_crosses_low_rank_joins(self):
+        # Join ranks −0.5; predicate rank −0.005 → goes above both.
+        joins = [mod(0.5, 1.0, 0), mod(0.5, 1.0, 1)]
+        assert optimal_slot(-0.005, joins, 0) == 2
+
+    def test_stops_below_high_rank_join(self):
+        # Join 0 has rank ~0 (sel 1); predicate rank −0.005 stays below.
+        joins = [mod(1.0, 1.0, 0), mod(1.0, 1.0, 1)]
+        assert optimal_slot(-0.005, joins, 0) == 0
+
+    def test_group_pullup_crosses_pair(self):
+        """The Figure 6 scenario: J1 rank ≈ 0, J2 rank very low; their
+        group rank is below the predicate's, so the predicate crosses
+        BOTH, though it would not cross J1 alone."""
+        j1 = mod(1.0, 0.003, 0)       # rank 0
+        j2 = mod(0.1, 0.003, 1)       # rank -300
+        predicate_rank = -0.009
+        assert optimal_slot(predicate_rank, [j1, j2], 0) == 2
+        # Against J1 alone it would stay put — PullRank's behaviour.
+        assert optimal_slot(predicate_rank, [j1], 0) == 0
+
+    def test_entry_constraint_respected(self):
+        joins = [mod(0.1, 1.0, 0), mod(1.0, 1.0, 1)]
+        assert optimal_slot(-0.005, joins, 1) == 1
+
+    def test_fanout_join_never_crossed(self):
+        joins = [mod(3.0, 0.001, 0)]
+        assert optimal_slot(-0.005, joins, 0) == 0
+
+    def test_suffix_decomposition_differs_from_full(self):
+        # Full chain [rank 5-ish, low]: merged; but entry=1 sees only the
+        # low module, so a mid-rank predicate crosses it.
+        joins = [mod(2.0, 0.1, 0), mod(0.1, 10.0, 1)]  # ranks +10, -0.09
+        assert optimal_slot(-0.05, joins, 1) == 2
+        assert optimal_slot(-0.05, joins, 0) == 0
+
+
+class TestMigratePlan:
+    def make_plan(self, db, predicate_on_leaf):
+        lower = Join(
+            filters=[],
+            outer=Scan(filters=[predicate_on_leaf], table="t3"),
+            inner=Scan(filters=[], table="t6"),
+            method=JoinMethod.HASH,
+            primary=equijoin(db, ("t3", "ua1"), ("t6", "a1")),
+        )
+        top = Join(
+            filters=[],
+            outer=lower,
+            inner=Scan(
+                filters=[], table="t10",
+            ),
+            method=JoinMethod.HASH,
+            primary=equijoin(db, ("t6", "ua1"), ("t10", "a1")),
+        )
+        return Plan(top)
+
+    def test_migration_reduces_or_keeps_cost(self, db):
+        model = CostModel(db.catalog, db.params)
+        predicate = costly_filter(db, "costly100sel10", ("t3", "u20"))
+        plan = self.make_plan(db, predicate)
+        before = model.estimate_plan(plan.root).cost
+        migrated = migrate_plan(plan, model)
+        assert migrated.estimated_cost <= before + 1e-6
+
+    def test_migration_preserves_predicates(self, db):
+        model = CostModel(db.catalog, db.params)
+        predicate = costly_filter(db, "costly100sel10", ("t3", "u20"))
+        plan = self.make_plan(db, predicate)
+        migrated = migrate_plan(plan, model)
+        placed = [
+            p for node in migrated.root.walk() for p in node.filters
+        ]
+        assert placed == [predicate]
+
+    def test_migration_is_idempotent(self, db):
+        model = CostModel(db.catalog, db.params)
+        predicate = costly_filter(db, "costly100sel10", ("t3", "u20"))
+        once = migrate_plan(self.make_plan(db, predicate), model)
+        twice = migrate_plan(once, model)
+        assert twice.estimated_cost == pytest.approx(once.estimated_cost)
+
+    def test_original_plan_untouched(self, db):
+        model = CostModel(db.catalog, db.params)
+        predicate = costly_filter(db, "costly100sel10", ("t3", "u20"))
+        plan = self.make_plan(db, predicate)
+        migrate_plan(plan, model)
+        assert predicate in plan.root.outer.outer.filters
+
+
+class TestIsRankOrdered:
+    def test_ordered(self):
+        assert is_rank_ordered([-5.0, -1.0, 0.0, 3.0])
+
+    def test_unordered(self):
+        assert not is_rank_ordered([0.0, -1.0])
+
+    def test_empty_and_single(self):
+        assert is_rank_ordered([])
+        assert is_rank_ordered([1.0])

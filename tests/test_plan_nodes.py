@@ -1,0 +1,139 @@
+"""Unit tests: plan tree nodes, cloning, validation."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plan.nodes import Join, JoinMethod, Scan, validate_placement
+from tests.conftest import costly_filter, equijoin
+
+
+def simple_join(db, method=JoinMethod.HASH):
+    return Join(
+        filters=[],
+        outer=Scan(filters=[], table="t3"),
+        inner=Scan(filters=[], table="t10"),
+        method=method,
+        primary=equijoin(db, ("t3", "a1"), ("t10", "ua1")),
+    )
+
+
+class TestScan:
+    def test_tables_and_children(self):
+        scan = Scan(filters=[], table="t3")
+        assert scan.tables() == frozenset({"t3"})
+        assert scan.children() == []
+
+    def test_scope_lists_schema_columns(self, db):
+        scan = Scan(filters=[], table="t3")
+        scope = scan.scope(db.catalog)
+        assert ("t3", "a1") in scope
+        assert len(scope) == len(db.catalog.table("t3").schema)
+
+    def test_requires_table(self):
+        with pytest.raises(PlanError):
+            Scan(filters=[])
+
+    def test_index_range_must_pair_with_attr(self):
+        with pytest.raises(PlanError):
+            Scan(filters=[], table="t3", index_attr="a1")
+
+    def test_str(self):
+        assert str(Scan(filters=[], table="t3")) == "SeqScan(t3)"
+        assert "IndexScan" in str(
+            Scan(filters=[], table="t3", index_attr="a1", index_range=(0, 5))
+        )
+
+
+class TestJoin:
+    def test_tables_union(self, db):
+        join = simple_join(db)
+        assert join.tables() == frozenset({"t3", "t10"})
+
+    def test_scope_concatenation(self, db):
+        join = simple_join(db)
+        scope = join.scope(db.catalog)
+        assert scope.slot("t3", "a1") < scope.slot("t10", "a1")
+
+    def test_method_requires_equijoin(self, db):
+        expensive = costly_filter(db, "costly100", ("t3", "u20"))
+        with pytest.raises(PlanError):
+            Join(
+                filters=[],
+                outer=Scan(filters=[], table="t3"),
+                inner=Scan(filters=[], table="t10"),
+                method=JoinMethod.HASH,
+                primary=expensive,
+            )
+
+    def test_join_columns_oriented(self, db):
+        join = simple_join(db)
+        outer_col, inner_col = join.join_columns()
+        assert outer_col.table == "t3" and inner_col.table == "t10"
+        # Reversed predicate orientation still resolves correctly.
+        flipped = Join(
+            filters=[],
+            outer=Scan(filters=[], table="t3"),
+            inner=Scan(filters=[], table="t10"),
+            method=JoinMethod.HASH,
+            primary=equijoin(db, ("t10", "ua1"), ("t3", "a1")),
+        )
+        outer_col, inner_col = flipped.join_columns()
+        assert outer_col.table == "t3" and inner_col.table == "t10"
+
+
+class TestCloneAndTraversal:
+    def test_clone_is_structurally_independent(self, db):
+        join = simple_join(db)
+        predicate = costly_filter(db, "costly100", ("t3", "u20"))
+        join.outer.filters.append(predicate)
+        cloned = join.clone()
+        cloned.outer.filters.clear()
+        assert join.outer.filters == [predicate]
+
+    def test_clone_shares_predicates(self, db):
+        join = simple_join(db)
+        predicate = costly_filter(db, "costly100", ("t3", "u20"))
+        join.filters.append(predicate)
+        assert join.clone().filters[0] is predicate
+
+    def test_walk_preorder(self, db):
+        join = simple_join(db)
+        nodes = list(join.walk())
+        assert nodes[0] is join
+        assert {type(n).__name__ for n in nodes[1:]} == {"Scan"}
+
+    def test_all_predicates_includes_primary(self, db):
+        join = simple_join(db)
+        predicate = costly_filter(db, "costly100", ("t3", "u20"))
+        join.outer.filters.append(predicate)
+        placed = join.all_predicates()
+        assert join.primary in placed and predicate in placed
+
+    def test_find_and_remove_filter(self, db):
+        join = simple_join(db)
+        predicate = costly_filter(db, "costly100", ("t10", "u20"))
+        join.inner.filters.append(predicate)
+        assert join.find_filter(predicate) is join.inner
+        join.remove_filter(predicate)
+        assert join.find_filter(predicate) is None
+        with pytest.raises(PlanError):
+            join.remove_filter(predicate)
+
+    def test_base_scans(self, db):
+        join = simple_join(db)
+        assert [scan.table for scan in join.base_scans()] == ["t3", "t10"]
+
+
+class TestValidatePlacement:
+    def test_valid_plan_passes(self, db):
+        join = simple_join(db)
+        join.filters.append(costly_filter(db, "costly100", ("t3", "u20")))
+        validate_placement(join, db.catalog)
+
+    def test_out_of_scope_filter_rejected(self, db):
+        join = simple_join(db)
+        join.outer.filters.append(
+            costly_filter(db, "costly100", ("t10", "u20"))
+        )
+        with pytest.raises(PlanError):
+            validate_placement(join, db.catalog)

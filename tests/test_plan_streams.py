@@ -1,0 +1,156 @@
+"""Unit and property tests: spine slots and placement application."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlanError
+from repro.plan.nodes import Join, JoinMethod, Scan
+from repro.plan.streams import movable_predicates, spine_of
+from tests.conftest import costly_filter, equijoin
+
+
+def three_way(db):
+    """(t3 join t6) join t10 with no filters."""
+    lower = Join(
+        filters=[],
+        outer=Scan(filters=[], table="t3"),
+        inner=Scan(filters=[], table="t6"),
+        method=JoinMethod.HASH,
+        primary=equijoin(db, ("t3", "ua1"), ("t6", "a1")),
+    )
+    return Join(
+        filters=[],
+        outer=lower,
+        inner=Scan(filters=[], table="t10"),
+        method=JoinMethod.HASH,
+        primary=equijoin(db, ("t6", "ua1"), ("t10", "a1")),
+    )
+
+
+class TestSpineExtraction:
+    def test_spine_shape(self, db):
+        spine = spine_of(three_way(db))
+        assert spine.leaf.table == "t3"
+        assert [sj.join.inner.table for sj in spine.joins] == ["t6", "t10"]
+        assert spine.slots == 3
+
+    def test_single_scan_spine(self, db):
+        spine = spine_of(Scan(filters=[], table="t3"))
+        assert spine.slots == 1
+        assert spine.top is spine.leaf
+
+    def test_bushy_plan_rejected(self, db):
+        bushy = Join(
+            filters=[],
+            outer=Scan(filters=[], table="t1"),
+            inner=three_way(db),  # join as inner input
+            method=JoinMethod.NESTED_LOOP,
+            primary=equijoin(db, ("t1", "ua1"), ("t10", "a1")),
+        )
+        with pytest.raises(PlanError):
+            spine_of(bushy)
+
+
+class TestEntrySlots:
+    def test_leaf_selection_enters_at_zero(self, db):
+        spine = spine_of(three_way(db))
+        predicate = costly_filter(db, "costly100", ("t3", "u20"))
+        assert spine.entry_slot(predicate) == 0
+
+    def test_inner_selection_enters_at_its_join_position(self, db):
+        spine = spine_of(three_way(db))
+        on_t6 = costly_filter(db, "costly100", ("t6", "u20"))
+        on_t10 = costly_filter(db, "costly100", ("t10", "u20"))
+        assert spine.entry_slot(on_t6) == 0  # below join 0, on t6's scan
+        assert spine.entry_slot(on_t10) == 1
+
+    def test_join_predicate_enters_above_its_join(self, db):
+        spine = spine_of(three_way(db))
+        secondary = equijoin(db, ("t3", "u20"), ("t6", "u20"))
+        assert spine.entry_slot(secondary) == 1
+        spanning = equijoin(db, ("t3", "u20"), ("t10", "u20"))
+        assert spine.entry_slot(spanning) == 2
+
+    def test_foreign_predicate_rejected(self, db):
+        spine = spine_of(three_way(db))
+        foreign = costly_filter(db, "costly100", ("t9", "u20"))
+        with pytest.raises(PlanError):
+            spine.entry_slot(foreign)
+
+
+class TestNodeAtSlot:
+    def test_selection_at_entry_lands_on_its_scan(self, db):
+        root = three_way(db)
+        spine = spine_of(root)
+        on_t6 = costly_filter(db, "costly100", ("t6", "u20"))
+        node = spine.node_at_slot(on_t6, spine.entry_slot(on_t6))
+        assert isinstance(node, Scan) and node.table == "t6"
+
+    def test_selection_above_entry_lands_on_join(self, db):
+        root = three_way(db)
+        spine = spine_of(root)
+        on_t6 = costly_filter(db, "costly100", ("t6", "u20"))
+        assert spine.node_at_slot(on_t6, 1) is spine.joins[0].join
+        assert spine.node_at_slot(on_t6, 2) is spine.joins[1].join
+
+    def test_below_entry_rejected(self, db):
+        spine = spine_of(three_way(db))
+        spanning = equijoin(db, ("t3", "u20"), ("t10", "u20"))
+        with pytest.raises(PlanError):
+            spine.node_at_slot(spanning, 1)
+
+
+class TestApplyPlacement:
+    def test_moves_and_orders_by_rank(self, db):
+        root = three_way(db)
+        cheap = costly_filter(db, "costly1", ("t3", "u20"))
+        pricey = costly_filter(db, "costly100", ("t3", "u100"))
+        root.outer.outer.filters.extend([pricey, cheap])
+        spine = spine_of(root)
+        spine.apply_placement({cheap: 2, pricey: 2})
+        top = spine.joins[1].join
+        assert top.filters == [cheap, pricey]  # ascending rank
+        assert root.outer.outer.filters == []
+
+    def test_unplaced_predicate_rejected(self, db):
+        root = three_way(db)
+        spine = spine_of(root)
+        stray = costly_filter(db, "costly100", ("t3", "u20"))
+        with pytest.raises(PlanError):
+            spine.apply_placement({stray: 1})
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_random_placements_stay_consistent(self, db, data):
+        """Property: after any legal placement, every predicate appears
+        exactly once, at a node where it is in scope."""
+        root = three_way(db)
+        predicates = [
+            costly_filter(db, "costly100", ("t3", "u20")),
+            costly_filter(db, "costly10", ("t6", "u20")),
+            costly_filter(db, "costly1", ("t10", "u20")),
+            equijoin(db, ("t3", "u20"), ("t6", "u20")),
+        ]
+        # Start everything at its entry position.
+        spine = spine_of(root)
+        for predicate in predicates:
+            spine.node_at_slot(
+                predicate, spine.entry_slot(predicate)
+            ).filters.append(predicate)
+
+        placements = {
+            predicate: data.draw(
+                st.integers(spine.entry_slot(predicate), spine.slots - 1)
+            )
+            for predicate in predicates
+        }
+        spine.apply_placement(placements)
+
+        from repro.plan.nodes import validate_placement
+
+        validate_placement(root, db.catalog)
+        placed = [p for node in root.walk() for p in node.filters]
+        assert sorted(p.pred_id for p in placed) == sorted(
+            p.pred_id for p in predicates
+        )
+        assert set(movable_predicates(spine_of(root))) == set(predicates)

@@ -1,0 +1,201 @@
+"""Unit tests: predicate analysis — cost, selectivity, rank (Section 4.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.expr.expressions import (
+    Column,
+    Comparison,
+    Const,
+    FuncCall,
+    Logical,
+    Not,
+)
+from repro.expr.predicates import analyze_conjunct, rank
+
+
+class TestRankMetric:
+    def test_definition(self):
+        # rank = (selectivity - 1) / cost
+        assert rank(0.5, 100.0) == pytest.approx(-0.005)
+
+    def test_free_filter_sorts_first(self):
+        assert rank(0.1, 0.0) == -math.inf
+
+    def test_free_fanout_sorts_last(self):
+        assert rank(2.0, 0.0) == math.inf
+
+    def test_free_neutral(self):
+        assert rank(1.0, 0.0) == 0.0
+
+    def test_lower_selectivity_means_lower_rank(self):
+        assert rank(0.1, 10.0) < rank(0.9, 10.0)
+
+    def test_cheaper_predicate_means_lower_rank(self):
+        assert rank(0.5, 1.0) < rank(0.5, 100.0)
+
+    @given(st.floats(0.0, 0.999), st.floats(0.001, 1e6))
+    def test_selective_predicates_rank_negative(self, selectivity, cost):
+        assert rank(selectivity, cost) < 0
+
+
+class TestSelectionAnalysis:
+    def test_costly_function(self, db):
+        predicate = analyze_conjunct(
+            db.catalog, FuncCall("costly100", (Column("t3", "u20"),))
+        )
+        assert predicate.cost_per_tuple == 100.0
+        assert predicate.selectivity == 0.5
+        assert predicate.is_expensive and predicate.is_selection
+        assert predicate.table() == "t3"
+        assert predicate.rank == pytest.approx(-0.005)
+
+    def test_simple_comparison_is_free(self, db):
+        predicate = analyze_conjunct(
+            db.catalog,
+            Comparison("<", Column("t3", "a20"), Const(3)),
+        )
+        assert predicate.cost_per_tuple == 0.0
+        assert not predicate.is_expensive
+        assert predicate.rank == -math.inf
+
+    def test_equality_selectivity_one_over_ndistinct(self, db):
+        predicate = analyze_conjunct(
+            db.catalog,
+            Comparison("=", Column("t3", "u20"), Const(3)),
+        )
+        ndistinct = db.catalog.table("t3").stats.ndistinct("u20")
+        assert predicate.selectivity == pytest.approx(1 / ndistinct)
+
+    def test_range_selectivity_from_domain(self, db):
+        stats = db.catalog.table("t10").stats.attribute("a20")
+        midpoint = (stats.low + stats.high + 1) / 2
+        predicate = analyze_conjunct(
+            db.catalog,
+            Comparison("<", Column("t10", "a20"), Const(midpoint)),
+        )
+        assert predicate.selectivity == pytest.approx(0.5, abs=0.05)
+
+    def test_range_flipped_constant_side(self, db):
+        left = analyze_conjunct(
+            db.catalog, Comparison(">", Const(5), Column("t10", "a20"))
+        )
+        right = analyze_conjunct(
+            db.catalog, Comparison("<", Column("t10", "a20"), Const(5))
+        )
+        assert left.selectivity == pytest.approx(right.selectivity)
+
+    def test_not_equal_selectivity(self, db):
+        predicate = analyze_conjunct(
+            db.catalog, Comparison("<>", Column("t3", "u20"), Const(3))
+        )
+        ndistinct = db.catalog.table("t3").stats.ndistinct("u20")
+        assert predicate.selectivity == pytest.approx(1 - 1 / ndistinct)
+
+    def test_function_comparison_uses_declared_selectivity(self, db):
+        predicate = analyze_conjunct(
+            db.catalog,
+            Comparison(
+                "=", FuncCall("costly10", (Column("t3", "u20"),)), Const(True)
+            ),
+        )
+        assert predicate.selectivity == 0.5
+        assert predicate.cost_per_tuple == 10.0
+
+    def test_and_multiplies_selectivities(self, db):
+        both = analyze_conjunct(
+            db.catalog,
+            Logical(
+                "AND",
+                (
+                    FuncCall("costly10", (Column("t3", "u20"),)),
+                    FuncCall("costly100", (Column("t3", "u100"),)),
+                ),
+            ),
+        )
+        assert both.selectivity == pytest.approx(0.25)
+        assert both.cost_per_tuple == 110.0
+
+    def test_or_combines_selectivities(self, db):
+        either = analyze_conjunct(
+            db.catalog,
+            Logical(
+                "OR",
+                (
+                    FuncCall("costly10", (Column("t3", "u20"),)),
+                    FuncCall("costly100", (Column("t3", "u100"),)),
+                ),
+            ),
+        )
+        assert either.selectivity == pytest.approx(0.75)
+
+    def test_not_inverts(self, db):
+        negated = analyze_conjunct(
+            db.catalog,
+            Not(FuncCall("costly10", (Column("t3", "u20"),))),
+        )
+        assert negated.selectivity == pytest.approx(0.5)
+
+    def test_input_columns_deduplicated(self, db):
+        predicate = analyze_conjunct(
+            db.catalog,
+            Logical(
+                "AND",
+                (
+                    FuncCall("costly10", (Column("t3", "u20"),)),
+                    FuncCall("costly100", (Column("t3", "u20"),)),
+                ),
+            ),
+        )
+        assert predicate.input_columns() == (("t3", "u20"),)
+
+
+class TestJoinAnalysis:
+    def test_equijoin_detected(self, db):
+        predicate = analyze_conjunct(
+            db.catalog,
+            Comparison("=", Column("t3", "a1"), Column("t10", "ua1")),
+        )
+        assert predicate.is_join and predicate.is_equijoin
+        assert not predicate.is_expensive
+        assert predicate.tables == frozenset({"t3", "t10"})
+
+    def test_equijoin_selectivity_one_over_max_ndistinct(self, db):
+        predicate = analyze_conjunct(
+            db.catalog,
+            Comparison("=", Column("t3", "a1"), Column("t10", "ua1")),
+        )
+        nd_t10 = db.catalog.table("t10").stats.ndistinct("ua1")
+        assert predicate.selectivity == pytest.approx(1 / nd_t10)
+
+    def test_same_table_equality_is_not_join(self, db):
+        predicate = analyze_conjunct(
+            db.catalog,
+            Comparison("=", Column("t3", "a1"), Column("t3", "ua1")),
+        )
+        assert predicate.is_selection and not predicate.is_equijoin
+
+    def test_expensive_join_predicate(self, db):
+        predicate = analyze_conjunct(
+            db.catalog,
+            FuncCall("expjoin10", (Column("t7", "u20"), Column("t3", "u100"))),
+        )
+        assert predicate.is_join and predicate.is_expensive
+        assert not predicate.is_equijoin
+        assert predicate.cost_per_tuple == 10.0
+
+    def test_inequality_join_not_equijoin(self, db):
+        predicate = analyze_conjunct(
+            db.catalog,
+            Comparison("<", Column("t3", "a1"), Column("t10", "ua1")),
+        )
+        assert predicate.is_join and not predicate.is_equijoin
+
+    def test_identity_semantics(self, db):
+        expr = FuncCall("costly100", (Column("t3", "u20"),))
+        first = analyze_conjunct(db.catalog, expr)
+        second = analyze_conjunct(db.catalog, expr)
+        assert first != second  # distinct placement units
+        assert first.pred_id != second.pred_id

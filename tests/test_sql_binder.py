@@ -1,0 +1,185 @@
+"""Unit and integration tests: SQL binding, including IN-subquery desugaring."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.exec import Executor
+from repro.expr.expressions import Column, Comparison, FuncCall
+from repro.optimizer import optimize
+from repro.sql import compile_query
+
+
+class TestBasicBinding:
+    def test_qualified_columns(self, db):
+        query = compile_query(
+            db, "SELECT * FROM t3, t10 WHERE t3.a1 = t10.ua1"
+        )
+        assert query.tables == ["t3", "t10"]
+        predicate = query.predicates[0]
+        assert predicate.equijoin == (
+            Column("t3", "a1"), Column("t10", "ua1")
+        )
+
+    def test_unqualified_unique_column_resolves(self, fresh_db):
+        # All tN share attribute names, so restrict to one table.
+        query = compile_query(fresh_db, "SELECT a1 FROM t3 WHERE u20 = 1")
+        assert query.select == [("t3", "a1")]
+        assert query.predicates[0].tables == frozenset({"t3"})
+
+    def test_ambiguous_unqualified_column_rejected(self, db):
+        with pytest.raises(BindError):
+            compile_query(db, "SELECT * FROM t3, t10 WHERE a1 = 3")
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(BindError):
+            compile_query(db, "SELECT * FROM nope")
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(BindError):
+            compile_query(db, "SELECT * FROM t3 WHERE t3.zz = 1")
+
+    def test_table_not_in_from_rejected(self, db):
+        with pytest.raises(BindError):
+            compile_query(db, "SELECT * FROM t3 WHERE t10.a1 = 1")
+
+    def test_duplicate_from_rejected(self, db):
+        with pytest.raises(BindError):
+            compile_query(db, "SELECT * FROM t3, t3")
+
+    def test_unknown_function_rejected(self, db):
+        with pytest.raises(BindError):
+            compile_query(db, "SELECT * FROM t3 WHERE mystery(t3.a1)")
+
+    def test_where_split_into_conjuncts(self, db):
+        query = compile_query(
+            db,
+            "SELECT * FROM t3, t10 "
+            "WHERE t3.a1 = t10.ua1 AND costly100(t10.u20) AND t3.a20 < 3",
+        )
+        assert len(query.predicates) == 3
+
+    def test_or_stays_single_conjunct(self, db):
+        query = compile_query(
+            db, "SELECT * FROM t3 WHERE t3.a20 < 3 OR t3.a20 > 5"
+        )
+        assert len(query.predicates) == 1
+
+
+class TestInSubquery:
+    def test_desugars_to_expensive_predicate(self, fresh_db):
+        query = compile_query(
+            fresh_db,
+            "SELECT * FROM t3 WHERE t3.u20 IN (SELECT ua20 FROM t2)",
+        )
+        (predicate,) = query.predicates
+        assert predicate.is_expensive
+        assert isinstance(predicate.expr, FuncCall)
+        assert predicate.tables == frozenset({"t3"})
+
+    def test_correlated_parameters_become_arguments(self, fresh_db):
+        query = compile_query(
+            fresh_db,
+            "SELECT * FROM t3 WHERE t3.u20 IN "
+            "(SELECT ua20 FROM t2 WHERE t2.u100 = t3.u100)",
+        )
+        (predicate,) = query.predicates
+        assert set(predicate.input_columns()) == {
+            ("t3", "u20"), ("t3", "u100"),
+        }
+
+    def test_cost_is_one_inner_scan(self, fresh_db):
+        query = compile_query(
+            fresh_db,
+            "SELECT * FROM t3 WHERE t3.u20 IN (SELECT ua20 FROM t2)",
+        )
+        (predicate,) = query.predicates
+        pages = fresh_db.catalog.table("t2").pages
+        expected = max(1.0, pages * fresh_db.params.seq_weight)
+        assert predicate.cost_per_tuple == pytest.approx(expected)
+
+    def test_semantics_match_manual_evaluation(self, fresh_db):
+        query = compile_query(
+            fresh_db,
+            "SELECT * FROM t3 WHERE t3.u20 IN (SELECT ua20 FROM t2)",
+        )
+        plan = optimize(fresh_db, query, strategy="migration").plan
+        result = Executor(fresh_db).execute(plan)
+        t2 = fresh_db.catalog.table("t2")
+        t3 = fresh_db.catalog.table("t3")
+        inner_values = {
+            row[t2.schema.position("ua20")] for row in t2.heap.all_rows()
+        }
+        expected = [
+            row
+            for row in t3.heap.all_rows()
+            if row[t3.schema.position("u20")] in inner_values
+        ]
+        assert sorted(result.rows) == sorted(expected)
+
+    def test_correlated_semantics(self, fresh_db):
+        query = compile_query(
+            fresh_db,
+            "SELECT * FROM t3 WHERE t3.u20 IN "
+            "(SELECT ua20 FROM t2 WHERE t2.u100 = t3.u100)",
+        )
+        plan = optimize(fresh_db, query, strategy="migration").plan
+        result = Executor(fresh_db).execute(plan)
+        t2 = fresh_db.catalog.table("t2")
+        t3 = fresh_db.catalog.table("t3")
+        t2_rows = t2.heap.all_rows()
+        ua20 = t2.schema.position("ua20")
+        u100_2 = t2.schema.position("u100")
+        u20 = t3.schema.position("u20")
+        u100_3 = t3.schema.position("u100")
+        expected = [
+            row
+            for row in t3.heap.all_rows()
+            if any(
+                inner[ua20] == row[u20] and inner[u100_2] == row[u100_3]
+                for inner in t2_rows
+            )
+        ]
+        assert sorted(result.rows) == sorted(expected)
+
+    def test_subquery_scoping_prefers_inner_table(self, db):
+        # "ua20" exists on every table; inside the subquery it must bind to
+        # the subquery's own relation.
+        query = compile_query(
+            db,
+            "SELECT * FROM t3, t6 WHERE t3.a1 = t6.ua1 "
+            "AND t3.u20 IN (SELECT ua20 FROM t2 WHERE u100 = t3.u100)",
+        )
+        in_predicate = next(p for p in query.predicates if p.is_expensive)
+        assert in_predicate.tables == frozenset({"t3"})
+
+    def test_multi_table_subquery_rejected(self, db):
+        with pytest.raises(BindError):
+            compile_query(
+                db,
+                "SELECT * FROM t3 WHERE t3.u20 IN (SELECT ua20 FROM t1, t2)",
+            )
+
+    def test_multi_column_select_rejected(self, db):
+        with pytest.raises(BindError):
+            compile_query(
+                db,
+                "SELECT * FROM t3 WHERE t3.u20 IN (SELECT ua20, ua1 FROM t2)",
+            )
+
+    def test_star_subquery_rejected(self, db):
+        with pytest.raises(BindError):
+            compile_query(
+                db, "SELECT * FROM t3 WHERE t3.u20 IN (SELECT * FROM t2)"
+            )
+
+    def test_caching_memoises_per_binding(self, fresh_db):
+        query = compile_query(
+            fresh_db,
+            "SELECT * FROM t3 WHERE t3.u20 IN (SELECT ua20 FROM t2)",
+        )
+        plan = optimize(
+            fresh_db, query, strategy="migration", caching=True
+        ).plan
+        result = Executor(fresh_db, caching=True).execute(plan)
+        ndistinct = fresh_db.catalog.table("t3").stats.ndistinct("u20")
+        assert result.cache_stats.misses == ndistinct

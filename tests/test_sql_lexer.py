@@ -1,0 +1,84 @@
+"""Unit tests: the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SQLLexError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.text) for t in tokenize(sql)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where") == [
+            ("KEYWORD", "SELECT"),
+            ("KEYWORD", "FROM"),
+            ("KEYWORD", "WHERE"),
+        ]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("t3 Ua1") == [("IDENT", "t3"), ("IDENT", "Ua1")]
+
+    def test_numbers(self):
+        assert kinds("42 3.14") == [("NUMBER", "42"), ("NUMBER", "3.14")]
+
+    def test_strings_with_escape(self):
+        tokens = tokenize("'red' 'o''brien'")
+        assert tokens[0].text == "red"
+        assert tokens[1].text == "o'brien"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLLexError):
+            tokenize("'oops")
+
+    def test_operators_maximal_munch(self):
+        assert kinds("<= < <> != >=") == [
+            ("OP", "<="),
+            ("OP", "<"),
+            ("OP", "<>"),
+            ("OP", "!="),
+            ("OP", ">="),
+        ]
+
+    def test_punctuation(self):
+        assert kinds("(a, b.c);") == [
+            ("PUNCT", "("),
+            ("IDENT", "a"),
+            ("PUNCT", ","),
+            ("IDENT", "b"),
+            ("PUNCT", "."),
+            ("IDENT", "c"),
+            ("PUNCT", ")"),
+            ("PUNCT", ";"),
+        ]
+
+    def test_line_comment_skipped(self):
+        assert kinds("a -- comment here\n b") == [
+            ("IDENT", "a"),
+            ("IDENT", "b"),
+        ]
+
+    def test_minus_is_operator_not_comment(self):
+        assert kinds("1 - 2") == [
+            ("NUMBER", "1"),
+            ("OP", "-"),
+            ("NUMBER", "2"),
+        ]
+
+    def test_unknown_character(self):
+        with pytest.raises(SQLLexError) as info:
+            tokenize("a @ b")
+        assert info.value.position == 2
+
+    def test_eof_token(self):
+        tokens = tokenize("a")
+        assert tokens[-1] == Token("EOF", "", 1)
+
+    def test_boolean_and_null_literals(self):
+        assert kinds("TRUE false NULL") == [
+            ("KEYWORD", "TRUE"),
+            ("KEYWORD", "FALSE"),
+            ("KEYWORD", "NULL"),
+        ]

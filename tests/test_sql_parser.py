@@ -1,0 +1,144 @@
+"""Unit tests: the SQL parser."""
+
+import pytest
+
+from repro.errors import SQLParseError
+from repro.sql.ast import (
+    SqlBinary,
+    SqlColumnRef,
+    SqlFuncCall,
+    SqlIn,
+    SqlLiteral,
+    SqlLogical,
+    SqlNot,
+)
+from repro.sql.parser import parse
+
+
+class TestSelectClause:
+    def test_star(self):
+        stmt = parse("SELECT * FROM t1")
+        assert stmt.select is None
+        assert stmt.tables == ("t1",)
+
+    def test_column_list(self):
+        stmt = parse("SELECT a, t1.b FROM t1")
+        assert stmt.select == (
+            SqlColumnRef(None, "a"),
+            SqlColumnRef("t1", "b"),
+        )
+
+    def test_multiple_tables(self):
+        stmt = parse("SELECT * FROM t1, t2, t3")
+        assert stmt.tables == ("t1", "t2", "t3")
+
+    def test_no_where(self):
+        assert parse("SELECT * FROM t1").where is None
+
+    def test_trailing_semicolon(self):
+        assert parse("SELECT * FROM t1;").tables == ("t1",)
+
+    def test_garbage_after_statement_rejected(self):
+        with pytest.raises(SQLParseError):
+            parse("SELECT * FROM t1 garbage")
+
+
+class TestWhereClause:
+    def test_comparison(self):
+        stmt = parse("SELECT * FROM t1 WHERE a = 3")
+        assert stmt.where == SqlBinary(
+            "=", SqlColumnRef(None, "a"), SqlLiteral(3)
+        )
+
+    def test_not_equal_normalised(self):
+        stmt = parse("SELECT * FROM t1 WHERE a != 3")
+        assert stmt.where.op == "<>"
+
+    def test_and_or_precedence(self):
+        stmt = parse("SELECT * FROM t1 WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, SqlLogical) and stmt.where.op == "OR"
+        right = stmt.where.operands[1]
+        assert isinstance(right, SqlLogical) and right.op == "AND"
+
+    def test_parentheses_override(self):
+        stmt = parse("SELECT * FROM t1 WHERE (a = 1 OR b = 2) AND c = 3")
+        assert stmt.where.op == "AND"
+        assert stmt.where.operands[0].op == "OR"
+
+    def test_not(self):
+        stmt = parse("SELECT * FROM t1 WHERE NOT a = 1")
+        assert isinstance(stmt.where, SqlNot)
+
+    def test_function_call(self):
+        stmt = parse("SELECT * FROM t1 WHERE costly100(t1.u20)")
+        assert stmt.where == SqlFuncCall(
+            "costly100", (SqlColumnRef("t1", "u20"),)
+        )
+
+    def test_function_multiple_args(self):
+        stmt = parse("SELECT * FROM t1 WHERE f(a, b, 3)")
+        assert len(stmt.where.args) == 3
+
+    def test_function_no_args(self):
+        stmt = parse("SELECT * FROM t1 WHERE f()")
+        assert stmt.where.args == ()
+
+    def test_arithmetic_precedence(self):
+        stmt = parse("SELECT * FROM t1 WHERE a + b * 2 = 7")
+        plus = stmt.where.left
+        assert plus.op == "+"
+        assert plus.right.op == "*"
+
+    def test_function_compared_to_string(self):
+        stmt = parse("SELECT * FROM emp WHERE beard_color(picture) = 'red'")
+        assert stmt.where.op == "="
+        assert stmt.where.right == SqlLiteral("red")
+
+    def test_literals(self):
+        stmt = parse("SELECT * FROM t1 WHERE a = TRUE AND b = NULL")
+        literals = [o.right.value for o in stmt.where.operands]
+        assert literals == [True, None]
+
+    def test_float_literal(self):
+        stmt = parse("SELECT * FROM t1 WHERE a < 2.5")
+        assert stmt.where.right == SqlLiteral(2.5)
+
+
+class TestSubquery:
+    def test_in_subquery(self):
+        stmt = parse(
+            "SELECT * FROM s WHERE s.m IN (SELECT name FROM p WHERE p.d = s.d)"
+        )
+        assert isinstance(stmt.where, SqlIn)
+        assert stmt.where.subquery.tables == ("p",)
+        assert stmt.where.subquery.select == (SqlColumnRef(None, "name"),)
+
+    def test_in_inside_conjunction(self):
+        stmt = parse(
+            "SELECT * FROM s, t WHERE s.a = t.a AND s.m IN (SELECT x FROM p)"
+        )
+        assert stmt.where.op == "AND"
+        assert isinstance(stmt.where.operands[1], SqlIn)
+
+    def test_missing_paren_rejected(self):
+        with pytest.raises(SQLParseError):
+            parse("SELECT * FROM s WHERE s.m IN SELECT x FROM p")
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(SQLParseError):
+            parse("SELECT *")
+
+    def test_dangling_comparison(self):
+        with pytest.raises(SQLParseError):
+            parse("SELECT * FROM t WHERE a =")
+
+    def test_error_carries_position(self):
+        with pytest.raises(SQLParseError) as info:
+            parse("SELECT * FROM t WHERE a = =")
+        assert info.value.position > 0
+
+    def test_empty_input(self):
+        with pytest.raises(SQLParseError):
+            parse("")

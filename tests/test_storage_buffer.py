@@ -1,0 +1,85 @@
+"""Unit tests: LRU buffer pool."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.meter import CostMeter, IOKind
+
+
+def make_pool(capacity=4):
+    meter = CostMeter()
+    return BufferPool(capacity, meter), meter
+
+
+class TestBufferPool:
+    def test_miss_charges_hit_does_not(self):
+        pool, meter = make_pool()
+        pool.fetch(0, 1, IOKind.RANDOM)
+        assert meter.random_ios == 1
+        pool.fetch(0, 1, IOKind.RANDOM)
+        assert meter.random_ios == 1
+        assert pool.stats.hits == 1 and pool.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        pool, meter = make_pool(capacity=2)
+        pool.fetch(0, 1, IOKind.RANDOM)
+        pool.fetch(0, 2, IOKind.RANDOM)
+        pool.fetch(0, 1, IOKind.RANDOM)  # touch 1: now 2 is LRU
+        pool.fetch(0, 3, IOKind.RANDOM)  # evicts 2
+        pool.fetch(0, 1, IOKind.RANDOM)  # still cached
+        assert meter.random_ios == 3
+        pool.fetch(0, 2, IOKind.RANDOM)  # was evicted: miss
+        assert meter.random_ios == 4
+
+    def test_capacity_respected(self):
+        pool, _ = make_pool(capacity=3)
+        for page in range(10):
+            pool.fetch(0, page, IOKind.SEQUENTIAL)
+        assert pool.cached_pages == 3
+
+    def test_files_are_distinct(self):
+        pool, meter = make_pool()
+        a = pool.register_file()
+        b = pool.register_file()
+        pool.fetch(a, 1, IOKind.RANDOM)
+        pool.fetch(b, 1, IOKind.RANDOM)
+        assert meter.random_ios == 2
+
+    def test_invalidate_file(self):
+        pool, meter = make_pool()
+        pool.fetch(0, 1, IOKind.RANDOM)
+        pool.fetch(1, 1, IOKind.RANDOM)
+        pool.invalidate_file(0)
+        pool.fetch(0, 1, IOKind.RANDOM)  # miss again
+        pool.fetch(1, 1, IOKind.RANDOM)  # still cached
+        assert meter.random_ios == 3
+
+    def test_clear(self):
+        pool, meter = make_pool()
+        pool.fetch(0, 1, IOKind.RANDOM)
+        pool.clear()
+        pool.fetch(0, 1, IOKind.RANDOM)
+        assert meter.random_ios == 2
+
+    def test_sequential_kind_charges_weighted(self):
+        pool, meter = make_pool()
+        pool.fetch(0, 1, IOKind.SEQUENTIAL)
+        assert meter.seq_ios == 1 and meter.random_ios == 0
+
+    def test_hit_rate(self):
+        pool, _ = make_pool()
+        pool.fetch(0, 1, IOKind.RANDOM)
+        pool.fetch(0, 1, IOKind.RANDOM)
+        assert pool.stats.hit_rate == pytest.approx(0.5)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(0, CostMeter())
+
+    def test_reset_stats_keeps_cache(self):
+        pool, meter = make_pool()
+        pool.fetch(0, 1, IOKind.RANDOM)
+        pool.reset_stats()
+        pool.fetch(0, 1, IOKind.RANDOM)  # still a cache hit
+        assert pool.stats.hits == 1 and pool.stats.misses == 0
+        assert meter.random_ios == 1

@@ -1,0 +1,93 @@
+"""Unit tests: the charged-cost meter (the paper's measurement currency)."""
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.storage.meter import CostMeter, IOKind
+
+
+class TestCharging:
+    def test_random_io_costs_one_unit(self):
+        meter = CostMeter()
+        meter.charge_io(IOKind.RANDOM, 3)
+        assert meter.charged == 3.0
+
+    def test_sequential_io_weighted(self):
+        meter = CostMeter(seq_weight=0.25)
+        meter.charge_io(IOKind.SEQUENTIAL, 8)
+        assert meter.charged == 2.0
+
+    def test_function_charging(self):
+        meter = CostMeter()
+        meter.charge_function(100.0, calls=3)
+        assert meter.function_calls == 3
+        assert meter.charged == 300.0
+
+    def test_cpu_charging(self):
+        meter = CostMeter()
+        meter.charge_cpu(1.5)
+        assert meter.charged == 1.5
+
+    def test_mixed_total(self):
+        meter = CostMeter(seq_weight=0.5)
+        meter.charge_io(IOKind.RANDOM, 2)
+        meter.charge_io(IOKind.SEQUENTIAL, 4)
+        meter.charge_function(10.0)
+        meter.charge_cpu(0.5)
+        assert meter.charged == pytest.approx(2 + 2 + 10 + 0.5)
+        assert meter.io_charged == pytest.approx(4.0)
+
+    def test_negative_amounts_rejected(self):
+        meter = CostMeter()
+        with pytest.raises(ValueError):
+            meter.charge_io(IOKind.RANDOM, -1)
+        with pytest.raises(ValueError):
+            meter.charge_function(1.0, calls=-1)
+        with pytest.raises(ValueError):
+            meter.charge_cpu(-0.1)
+
+    def test_reset(self):
+        meter = CostMeter()
+        meter.charge_io(IOKind.RANDOM)
+        meter.charge_function(5.0)
+        meter.charge_cpu(1.0)
+        meter.reset()
+        assert meter.charged == 0.0
+        assert meter.snapshot()["function_calls"] == 0
+
+    def test_snapshot_keys(self):
+        snapshot = CostMeter().snapshot()
+        assert set(snapshot) == {
+            "random_ios",
+            "seq_ios",
+            "function_calls",
+            "function_charged",
+            "cpu_charged",
+            "io_charged",
+            "charged",
+        }
+
+
+class TestBudget:
+    def test_budget_aborts(self):
+        meter = CostMeter(budget=10.0)
+        meter.charge_io(IOKind.RANDOM, 10)
+        with pytest.raises(BudgetExceededError):
+            meter.charge_io(IOKind.RANDOM, 1)
+
+    def test_budget_exact_boundary_allowed(self):
+        meter = CostMeter(budget=10.0)
+        meter.charge_io(IOKind.RANDOM, 10)  # == budget is fine
+        assert meter.charged == 10.0
+
+    def test_budget_error_carries_amounts(self):
+        meter = CostMeter(budget=5.0)
+        with pytest.raises(BudgetExceededError) as info:
+            meter.charge_function(100.0)
+        assert info.value.budget == 5.0
+        assert info.value.charged == 100.0
+
+    def test_no_budget_never_aborts(self):
+        meter = CostMeter()
+        meter.charge_function(1e12)
+        assert meter.charged == 1e12

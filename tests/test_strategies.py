@@ -1,0 +1,149 @@
+"""Cross-strategy invariants: correctness and the paper's quality claims.
+
+The strongest invariant here doubles as an optimizer-correctness oracle
+(the paper: "benchmarking is absolutely crucial to thoroughly debugging a
+query optimizer"): every strategy's plan, executed, must return exactly the
+same rows.
+"""
+
+import pytest
+
+from repro.exec import Executor
+from repro.optimizer import STRATEGIES, optimize
+from repro.optimizer.query import Query
+from repro.plan.nodes import validate_placement
+from tests.conftest import costly_filter, equijoin
+
+
+def small_queries(db):
+    return [
+        Query(
+            tables=["t2", "t3"],
+            predicates=[
+                equijoin(db, ("t2", "ua1"), ("t3", "a1")),
+                costly_filter(db, "costly100", ("t3", "ua1")),
+            ],
+            name="two-way",
+        ),
+        Query(
+            tables=["t1", "t2", "t3"],
+            predicates=[
+                equijoin(db, ("t1", "ua1"), ("t2", "a1")),
+                equijoin(db, ("t2", "ua1"), ("t3", "a1")),
+                costly_filter(db, "costly100sel10", ("t1", "ua1")),
+                costly_filter(db, "costly10", ("t3", "ua1")),
+            ],
+            name="three-way",
+        ),
+        Query(
+            tables=["t2", "t3"],
+            predicates=[
+                equijoin(db, ("t2", "ua1"), ("t3", "a20")),  # fanout
+                costly_filter(db, "costly100", ("t2", "ua1")),
+            ],
+            name="fanout",
+        ),
+    ]
+
+
+class TestResultEquivalence:
+    @pytest.mark.parametrize("query_index", [0, 1, 2])
+    def test_all_strategies_same_rows(self, tiny_db, query_index):
+        query = small_queries(tiny_db)[query_index]
+        reference = None
+        for strategy in STRATEGIES:
+            plan = optimize(tiny_db, query, strategy=strategy).plan
+            validate_placement(plan.root, tiny_db.catalog)
+            result = Executor(tiny_db).execute(plan)
+            assert result.completed, strategy
+            rows = sorted(tuple(sorted(row)) for row in result.rows)
+            if reference is None:
+                reference = rows
+            else:
+                assert rows == reference, (
+                    f"{strategy} returned different rows on "
+                    f"{query.name}"
+                )
+
+    @pytest.mark.parametrize("query_index", [0, 1])
+    def test_caching_does_not_change_results(self, tiny_db, query_index):
+        query = small_queries(tiny_db)[query_index]
+        plan = optimize(tiny_db, query, strategy="migration").plan
+        plain = Executor(tiny_db, caching=False).execute(plan)
+        cached = Executor(tiny_db, caching=True).execute(plan)
+        assert sorted(plain.rows) == sorted(cached.rows)
+
+
+class TestQualityOrdering:
+    """Estimated-cost dominance relations from Table 1 / Section 4."""
+
+    @pytest.mark.parametrize("query_index", [0, 1, 2])
+    def test_exhaustive_is_minimum(self, db, query_index):
+        query = small_queries(db)[query_index]
+        exhaustive = optimize(db, query, strategy="exhaustive")
+        for strategy in STRATEGIES:
+            other = optimize(db, query, strategy=strategy)
+            assert exhaustive.estimated_cost <= other.estimated_cost + 1e-6
+
+    @pytest.mark.parametrize("query_index", [0, 1, 2])
+    def test_migration_not_worse_than_simple_heuristics(self, db, query_index):
+        """Section 5: after debugging, 'Predicate Migration always did at
+        least as well as the heuristics'."""
+        query = small_queries(db)[query_index]
+        migration = optimize(db, query, strategy="migration")
+        for strategy in ("pushdown", "pullup", "pullrank"):
+            other = optimize(db, query, strategy=strategy)
+            assert (
+                migration.estimated_cost <= other.estimated_cost + 1e-6
+            ), strategy
+
+    def test_pullrank_optimal_for_single_join(self, db):
+        """Section 4.3: 'PullRank is an optimal algorithm for queries with
+        only one join'."""
+        for query in small_queries(db):
+            if len(query.tables) != 2:
+                continue
+            pullrank = optimize(db, query, strategy="pullrank")
+            exhaustive = optimize(db, query, strategy="exhaustive")
+            assert pullrank.estimated_cost == pytest.approx(
+                exhaustive.estimated_cost, rel=0.01
+            )
+
+    def test_migration_matches_exhaustive_on_cheap_primary_joins(self, db):
+        """Table 1: Migration is 'widely effective' for standard primary
+        joins — on these queries it should match the exhaustive optimum."""
+        for query in small_queries(db):
+            migration = optimize(db, query, strategy="migration")
+            exhaustive = optimize(db, query, strategy="exhaustive")
+            assert migration.estimated_cost == pytest.approx(
+                exhaustive.estimated_cost, rel=0.01
+            ), query.name
+
+
+class TestFacade:
+    def test_unknown_strategy_rejected(self, db):
+        from repro.errors import OptimizerError
+
+        query = small_queries(db)[0]
+        with pytest.raises(OptimizerError):
+            optimize(db, query, strategy="nope")
+
+    def test_planning_time_recorded(self, db):
+        query = small_queries(db)[0]
+        optimized = optimize(db, query, strategy="migration")
+        assert optimized.planning_seconds >= 0.0
+        assert optimized.strategy == "migration"
+        assert optimized.query_name == "two-way"
+
+    def test_global_model_flag_changes_plans_or_costs(self, db):
+        from repro.bench.workloads import build_workload
+
+        workload = build_workload(db, "q1")
+        per_input = optimize(db, workload.query, strategy="migration")
+        global_model = optimize(
+            db, workload.query, strategy="migration", global_model=True
+        )
+        measured_per_input = Executor(db).execute(per_input.plan).charged
+        measured_global = Executor(db).execute(global_model.plan).charged
+        # The discarded global model must not beat the per-input model.
+        assert measured_per_input <= measured_global + 1e-6

@@ -1,0 +1,193 @@
+"""Unit tests: the System R enumerator and placement policies."""
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.errors import OptimizerError
+from repro.optimizer.policies import (
+    MigrationPhaseOnePolicy,
+    PullRankPolicy,
+    PullUpPolicy,
+    PushDownPolicy,
+    rank_sorted,
+)
+from repro.optimizer.query import Query
+from repro.optimizer.systemr import SystemRPlanner
+from repro.plan.nodes import Join, Scan
+from tests.conftest import costly_filter, equijoin
+
+
+def make_planner(db, policy=None):
+    return SystemRPlanner(db.catalog, CostModel(db.catalog, db.params), policy)
+
+
+class TestRankSorted:
+    def test_ascending_rank(self, db):
+        cheap = costly_filter(db, "costly1", ("t3", "u20"))
+        pricey = costly_filter(db, "costly100", ("t3", "u100"))
+        selective = costly_filter(db, "costly100sel10", ("t3", "ua1"))
+        assert rank_sorted([pricey, cheap, selective]) == [
+            cheap, selective, pricey,
+        ]
+
+
+class TestSingleTable:
+    def test_selections_ordered_by_rank(self, db):
+        cheap = costly_filter(db, "costly1", ("t3", "u20"))
+        pricey = costly_filter(db, "costly100", ("t3", "u100"))
+        query = Query(tables=["t3"], predicates=[pricey, cheap])
+        plan = make_planner(db).plan(query)
+        assert isinstance(plan.root, Scan)
+        assert plan.root.filters == [cheap, pricey]
+
+    def test_free_predicates_first(self, db):
+        from repro.expr.expressions import Column, Comparison, Const
+        from repro.expr.predicates import analyze_conjunct
+
+        free = analyze_conjunct(
+            db.catalog, Comparison("<", Column("t3", "a20"), Const(3))
+        )
+        pricey = costly_filter(db, "costly100", ("t3", "u100"))
+        query = Query(tables=["t3"], predicates=[pricey, free])
+        plan = make_planner(db).plan(query)
+        assert plan.root.filters[0] is free
+
+
+class TestTwoTable:
+    def make_query(self, db):
+        return Query(
+            tables=["t3", "t10"],
+            predicates=[
+                equijoin(db, ("t3", "a1"), ("t10", "ua1")),
+                costly_filter(db, "costly100", ("t10", "u20")),
+            ],
+        )
+
+    def test_plan_covers_all_tables(self, db):
+        plan = make_planner(db).plan(self.make_query(db))
+        assert plan.root.tables() == frozenset({"t3", "t10"})
+
+    def test_all_predicates_placed_exactly_once(self, db):
+        query = self.make_query(db)
+        plan = make_planner(db).plan(query)
+        placed = [
+            p for node in plan.root.walk() for p in node.filters
+        ]
+        if isinstance(plan.root, Join):
+            primaries = [
+                node.primary for node in plan.root.walk()
+                if isinstance(node, Join)
+            ]
+        expected = set(query.predicates)
+        assert set(placed) | set(primaries) == expected
+
+    def test_pushdown_policy_keeps_selection_on_scan(self, db):
+        plan = make_planner(db, PushDownPolicy()).plan(self.make_query(db))
+        scan = next(
+            s for s in plan.root.base_scans() if s.table == "t10"
+        )
+        assert any(p.is_expensive for p in scan.filters)
+
+    def test_pullup_policy_lifts_selection(self, db):
+        plan = make_planner(db, PullUpPolicy()).plan(self.make_query(db))
+        assert any(p.is_expensive for p in plan.root.filters)
+        for scan in plan.root.base_scans():
+            assert not any(p.is_expensive for p in scan.filters)
+
+    def test_estimates_attached(self, db):
+        plan = make_planner(db).plan(self.make_query(db))
+        assert plan.estimated_cost is not None and plan.estimated_cost > 0
+        assert plan.estimated_rows is not None
+
+
+class TestUnpruneable:
+    def test_migration_policy_retains_unpruneable(self, db):
+        """With an expensive predicate left below a join, the subplan must
+        be retained even when dominated."""
+        query = Query(
+            tables=["t3", "t6", "t10"],
+            predicates=[
+                equijoin(db, ("t3", "ua1"), ("t6", "a1")),
+                equijoin(db, ("t6", "ua1"), ("t10", "a1")),
+                costly_filter(db, "costly100sel10", ("t3", "u20")),
+            ],
+        )
+        planner = make_planner(db, MigrationPhaseOnePolicy())
+        candidates = planner.final_candidates(query)
+        assert any(c.unpruneable for c in candidates)
+        assert planner.stats.unpruneable_kept > 0
+
+    def test_plain_pullrank_keeps_fewer(self, db):
+        query = Query(
+            tables=["t3", "t6", "t10"],
+            predicates=[
+                equijoin(db, ("t3", "ua1"), ("t6", "a1")),
+                equijoin(db, ("t6", "ua1"), ("t10", "a1")),
+                costly_filter(db, "costly100sel10", ("t3", "u20")),
+            ],
+        )
+        plain = make_planner(db, PullRankPolicy())
+        marked = make_planner(db, MigrationPhaseOnePolicy())
+        plain_candidates = plain.final_candidates(query)
+        marked_candidates = marked.final_candidates(query)
+        assert len(marked_candidates) >= len(plain_candidates)
+
+
+class TestConnectivity:
+    def test_cross_product_only_when_necessary(self, db):
+        query = Query(
+            tables=["t1", "t2"],
+            predicates=[],  # no join predicate at all
+        )
+        plan = make_planner(db).plan(query)
+        assert isinstance(plan.root, Join)
+        assert plan.root.primary.selectivity == 1.0
+
+    def test_disconnected_three_way(self, db):
+        query = Query(
+            tables=["t1", "t2", "t3"],
+            predicates=[equijoin(db, ("t1", "ua1"), ("t2", "a1"))],
+        )
+        plan = make_planner(db).plan(query)
+        assert plan.root.tables() == frozenset({"t1", "t2", "t3"})
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(OptimizerError):
+            Query(tables=[], predicates=[])
+
+    def test_foreign_predicate_rejected(self, db):
+        with pytest.raises(OptimizerError):
+            Query(
+                tables=["t1"],
+                predicates=[costly_filter(db, "costly100", ("t9", "u20"))],
+            )
+
+
+class TestMethodChoice:
+    def test_expensive_only_connector_becomes_nl_primary(self, db):
+        from repro.expr.expressions import Column, FuncCall
+        from repro.expr.predicates import analyze_conjunct
+
+        expensive_join = analyze_conjunct(
+            db.catalog,
+            FuncCall("expjoin10", (Column("t1", "u20"), Column("t2", "u20"))),
+        )
+        query = Query(tables=["t1", "t2"], predicates=[expensive_join])
+        plan = make_planner(db).plan(query)
+        assert plan.root.primary is expensive_join
+        from repro.plan.nodes import JoinMethod
+
+        assert plan.root.method is JoinMethod.NESTED_LOOP
+
+    def test_secondary_join_predicate_placed_above_primary(self, db):
+        primary_candidate = equijoin(db, ("t3", "a1"), ("t10", "ua1"))
+        secondary = equijoin(db, ("t3", "u20"), ("t10", "u20"))
+        query = Query(
+            tables=["t3", "t10"],
+            predicates=[primary_candidate, secondary],
+        )
+        plan = make_planner(db).plan(query)
+        join = plan.root
+        assert isinstance(join, Join)
+        placed = {join.primary} | set(join.filters)
+        assert {primary_candidate, secondary} <= placed
