@@ -30,13 +30,14 @@ from repro.catalog.datagen import (
 )
 from repro.database import Database
 from repro.exec import Executor, QueryResult
+from repro.obs import MetricsRegistry, Tracer, record_run
 from repro.optimizer import (
     STRATEGIES,
     OptimizedPlan,
     Query,
     optimize,
 )
-from repro.plan import explain, plan_tree
+from repro.plan import explain, explain_analyze, plan_tree
 from repro.sql import compile_query
 
 __version__ = "1.0.0"
@@ -44,16 +45,20 @@ __version__ = "1.0.0"
 __all__ = [
     "Database",
     "Executor",
+    "MetricsRegistry",
     "OptimizedPlan",
     "Query",
     "QueryResult",
     "STRATEGIES",
+    "Tracer",
     "__version__",
     "build_database",
     "compile_query",
     "explain",
+    "explain_analyze",
     "optimize",
     "paper_scale_database",
     "plan_tree",
+    "record_run",
     "register_standard_functions",
 ]

@@ -18,8 +18,11 @@ from repro import Executor, build_database, compile_query, optimize, plan_tree
 from repro.bench import format_outcomes, run_strategies
 from repro.bench.harness import DEFAULT_STRATEGIES
 from repro.bench.workloads import WORKLOADS, build_workload
+from repro.cost.model import CostModel
 from repro.errors import ReproError
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer, record_run
 from repro.optimizer import STRATEGIES
+from repro.plan import explain_analyze
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,6 +80,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the plan without executing it",
     )
     parser.add_argument(
+        "--explain-analyze",
+        action="store_true",
+        help="execute with per-operator instrumentation and print the plan "
+        "annotated with estimated vs. actual rows/cost per node "
+        "(single-strategy runs)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record optimizer and executor spans and write them to FILE "
+        "as JSON lines",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the plan./exec. metrics snapshot after the run "
+        "(single-strategy runs)",
+    )
+    parser.add_argument(
         "--rows",
         type=int,
         default=0,
@@ -86,81 +108,129 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    out = sys.stdout
-
-    db = build_database(scale=args.scale, seed=args.seed)
-    try:
-        if args.workload:
-            workload = build_workload(db, args.workload)
-            query = workload.query
-            budget = args.budget if args.budget is not None else workload.budget
-            print(f"-- {workload.title} ({workload.figure})", file=out)
-            print(workload.sql, file=out)
+def _print_stats(registry: MetricsRegistry, out) -> None:
+    print("-- stats", file=out)
+    for name, value in sorted(registry.snapshot().items()):
+        if isinstance(value, float):
+            print(f"{name} = {value:.6g}", file=out)
         else:
-            from repro.bench.workloads import ensure_workload_functions
+            print(f"{name} = {value}", file=out)
 
-            ensure_workload_functions(db)
-            query = compile_query(db, args.sql, name="cli")
-            budget = args.budget
 
-        if args.compare:
-            outcomes = run_strategies(
-                db,
-                query,
-                strategies=DEFAULT_STRATEGIES,
-                caching=args.caching,
-                budget=budget,
-                execute=not args.explain_only,
-            )
-            print(
-                format_outcomes(
-                    f"{query.name or 'query'} under every algorithm", outcomes
-                ),
-                file=out,
-            )
-            return 0
+def _run(args, tracer, out) -> int:
+    db = build_database(scale=args.scale, seed=args.seed)
+    registry = MetricsRegistry() if args.stats else None
+    if args.workload:
+        workload = build_workload(db, args.workload)
+        query = workload.query
+        budget = args.budget if args.budget is not None else workload.budget
+        print(f"-- {workload.title} ({workload.figure})", file=out)
+        print(workload.sql, file=out)
+    else:
+        from repro.bench.workloads import ensure_workload_functions
 
-        optimized = optimize(
+        ensure_workload_functions(db)
+        query = compile_query(db, args.sql, name="cli")
+        budget = args.budget
+
+    if args.compare:
+        outcomes = run_strategies(
             db,
             query,
-            strategy=args.strategy,
+            strategies=DEFAULT_STRATEGIES,
             caching=args.caching,
-            bushy=args.bushy,
+            budget=budget,
+            execute=not args.explain_only,
+            tracer=tracer,
+            instrument=args.explain_analyze,
         )
         print(
-            f"-- strategy: {args.strategy}  "
-            f"(planned in {optimized.planning_seconds * 1000:.1f} ms, "
-            f"estimated cost {optimized.estimated_cost:,.1f})",
+            format_outcomes(
+                f"{query.name or 'query'} under every algorithm", outcomes
+            ),
             file=out,
         )
-        print(plan_tree(optimized.plan), file=out)
-        if args.explain_only:
-            return 0
-
-        executor = Executor(db, caching=args.caching, budget=budget)
-        result = executor.execute(optimized.plan, project=query.select)
-        if not result.completed:
-            print(
-                f"DNF: exceeded budget after charging "
-                f"{result.charged:,.1f} units",
-                file=out,
-            )
-            return 2
-        print(
-            f"{result.row_count} rows, charged {result.charged:,.1f} units "
-            f"({result.metrics['function_calls']:.0f} UDF calls, "
-            f"{result.metrics['random_ios']:.0f} random + "
-            f"{result.metrics['seq_ios']:.0f} sequential I/Os)",
-            file=out,
-        )
-        for row in result.rows[: args.rows]:
-            print(row, file=out)
         return 0
+
+    optimized = optimize(
+        db,
+        query,
+        strategy=args.strategy,
+        caching=args.caching,
+        bushy=args.bushy,
+        tracer=tracer,
+    )
+    print(
+        f"-- strategy: {args.strategy}  "
+        f"(planned in {optimized.planning_seconds * 1000:.1f} ms, "
+        f"estimated cost {optimized.estimated_cost:,.1f})",
+        file=out,
+    )
+    # --explain-analyze replaces the plain tree with the annotated one,
+    # unless --explain-only skips execution (then the plain tree is all
+    # there is to show).
+    if args.explain_only or not args.explain_analyze:
+        print(plan_tree(optimized.plan), file=out)
+    if args.explain_only:
+        if registry is not None:
+            record_run(registry, optimized)
+            _print_stats(registry, out)
+        return 0
+
+    executor = Executor(
+        db, caching=args.caching, budget=budget, tracer=tracer
+    )
+    result = executor.execute(
+        optimized.plan,
+        project=query.select,
+        instrument=args.explain_analyze,
+    )
+    if args.explain_analyze:
+        model = CostModel(db.catalog, db.params, caching=args.caching)
+        print(
+            explain_analyze(optimized.plan, result.node_stats, model),
+            file=out,
+        )
+    if registry is not None:
+        record_run(registry, optimized, result)
+        _print_stats(registry, out)
+    if not result.completed:
+        print(
+            f"DNF: exceeded budget after charging "
+            f"{result.charged:,.1f} units",
+            file=out,
+        )
+        return 2
+    print(
+        f"{result.row_count} rows, charged {result.charged:,.1f} units "
+        f"({result.metrics['function_calls']:.0f} UDF calls, "
+        f"{result.metrics['random_ios']:.0f} random + "
+        f"{result.metrics['seq_ios']:.0f} sequential I/Os)",
+        file=out,
+    )
+    for row in result.rows[: args.rows]:
+        print(row, file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    tracer = Tracer() if args.trace else NULL_TRACER
+    try:
+        code = _run(args, tracer, sys.stdout)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        code = 1
+    if args.trace:
+        try:
+            count = tracer.export_jsonl(args.trace)
+        except OSError as error:
+            print(
+                f"error: cannot write trace file: {error}", file=sys.stderr
+            )
+            return 1
+        print(f"-- trace: {count} spans -> {args.trace}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

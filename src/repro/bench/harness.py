@@ -7,9 +7,11 @@ from dataclasses import dataclass, field
 from repro.database import Database
 from repro.errors import OptimizerError
 from repro.exec import Executor
+from repro.obs.tracer import NULL_TRACER
 from repro.optimizer import optimize
+from repro.plan.display import _node_label
 from repro.optimizer.query import Query
-from repro.plan.nodes import Plan
+from repro.plan.nodes import Plan, PlanNode
 
 #: The paper's algorithm line-up, in its Figure 10 eagerness order.
 DEFAULT_STRATEGIES = (
@@ -37,11 +39,39 @@ class StrategyOutcome:
     executed: bool = False
     error: str = ""
     relative: float = float("nan")
+    #: The optimizer's decision counts (``OptimizedPlan.notes``).
+    notes: dict = field(default_factory=dict)
     extras: dict = field(default_factory=dict)
 
     @property
     def dnf(self) -> bool:
         return self.executed and not self.completed
+
+    @property
+    def estimation_error(self) -> float:
+        """Signed relative error of the cost estimate against the charge
+        actually measured (``nan`` until the plan ran to completion)."""
+        if not self.executed or not self.completed or self.charged <= 0:
+            return float("nan")
+        return (self.estimated_cost - self.charged) / self.charged
+
+
+def _operator_summary(plan: Plan, node_stats: dict) -> list[dict]:
+    """Flatten instrumented per-node actuals into report-friendly dicts,
+    pre-order so the list reads like the plan tree."""
+    summary: list[dict] = []
+
+    def visit(node: PlanNode) -> None:
+        stats = node_stats.get(id(node))
+        entry = {"node": _node_label(node)}
+        if stats is not None:
+            entry.update(stats.as_dict())
+        summary.append(entry)
+        for child in node.children():
+            visit(child)
+
+    visit(plan.root)
+    return summary
 
 
 def run_strategies(
@@ -52,11 +82,16 @@ def run_strategies(
     global_model: bool = False,
     budget: float | None = None,
     execute: bool = True,
+    tracer=NULL_TRACER,
+    instrument: bool = False,
 ) -> list[StrategyOutcome]:
     """Optimize and (optionally) execute ``query`` under each strategy.
 
     Returns outcomes with ``relative`` filled in: measured charge divided by
     the best completed plan's charge (the paper reports relative times).
+    Planner decision counts land in each outcome's ``notes``;
+    ``instrument=True`` additionally collects per-operator actuals into
+    ``extras["operators"]``.
     """
     outcomes: list[StrategyOutcome] = []
     for strategy in strategies:
@@ -67,6 +102,7 @@ def run_strategies(
                 strategy=strategy,
                 caching=caching,
                 global_model=global_model,
+                tracer=tracer,
             )
         except OptimizerError as error:
             outcomes.append(
@@ -84,15 +120,22 @@ def run_strategies(
             plan=optimized.plan,
             estimated_cost=optimized.estimated_cost,
             planning_seconds=optimized.planning_seconds,
+            notes=dict(optimized.notes),
         )
         if execute:
-            executor = Executor(db, caching=caching, budget=budget)
-            result = executor.execute(optimized.plan)
+            executor = Executor(
+                db, caching=caching, budget=budget, tracer=tracer
+            )
+            result = executor.execute(optimized.plan, instrument=instrument)
             outcome.charged = result.charged
             outcome.completed = result.completed
             outcome.rows = result.row_count
             outcome.function_calls = int(result.metrics["function_calls"])
             outcome.executed = True
+            if result.node_stats is not None:
+                outcome.extras["operators"] = _operator_summary(
+                    optimized.plan, result.node_stats
+                )
         outcomes.append(outcome)
 
     completed = [

@@ -33,7 +33,7 @@ def format_outcomes(
     max_relative = max(completed) if completed else 1.0
     header = (
         f"{'strategy':<12} {'est.cost':>12} {'charged':>12} "
-        f"{'rel':>8}  {'(relative charged cost)'}"
+        f"{'est.err':>8} {'rel':>8}  {'(relative charged cost)'}"
     )
     lines.append(header)
     lines.append("-" * len(header))
@@ -47,13 +47,17 @@ def format_outcomes(
             continue
         if not outcome.completed:
             lines.append(
-                f"{outcome.strategy:<12} {est} {'DNF':>12} {'—':>8}  "
+                f"{outcome.strategy:<12} {est} {'DNF':>12} {'—':>8} "
+                f"{'—':>8}  "
                 "(exceeded cost budget; paper: 'never completed')"
             )
             continue
+        error = outcome.estimation_error
+        err = "—" if math.isnan(error) else f"{error * 100:+.0f}%"
         lines.append(
             f"{outcome.strategy:<12} {est} {outcome.charged:>12.0f} "
-            f"{outcome.relative:>7.2f}x  {_bar(outcome.relative, max_relative)}"
+            f"{err:>8} {outcome.relative:>7.2f}x  "
+            f"{_bar(outcome.relative, max_relative)}"
         )
     return "\n".join(lines)
 

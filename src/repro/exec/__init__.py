@@ -10,6 +10,13 @@ Query 5 PullUp plan "never completed") via
 """
 
 from repro.exec.cache import CacheStats, PredicateCache
+from repro.exec.operators import OperatorStats
 from repro.exec.runtime import Executor, QueryResult
 
-__all__ = ["CacheStats", "Executor", "PredicateCache", "QueryResult"]
+__all__ = [
+    "CacheStats",
+    "Executor",
+    "OperatorStats",
+    "PredicateCache",
+    "QueryResult",
+]

@@ -16,6 +16,7 @@ Charging rules mirror :mod:`repro.cost.model` exactly:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -27,6 +28,34 @@ from repro.expr.expressions import Scope
 from repro.expr.predicates import Predicate
 from repro.plan.nodes import Join, JoinMethod, PlanNode, Scan
 from repro.storage.meter import CostMeter, IOKind
+
+
+@dataclass
+class OperatorStats:
+    """Actuals for one plan node, collected by EXPLAIN ANALYZE.
+
+    All charge figures are *inclusive* of the node's subtree — the same
+    convention the cost model uses for estimates, so the two compare
+    directly. ``rows_out`` counts rows the node's output (after its own
+    filters) produced.
+    """
+
+    rows_out: int = 0
+    charged: float = 0.0
+    io_charged: float = 0.0
+    function_charged: float = 0.0
+    cache_hits: int = 0
+    wall_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "rows_out": self.rows_out,
+            "charged": self.charged,
+            "io_charged": self.io_charged,
+            "function_charged": self.function_charged,
+            "cache_hits": self.cache_hits,
+            "wall_seconds": self.wall_seconds,
+        }
 
 
 @dataclass
@@ -45,6 +74,10 @@ class RuntimeContext:
     #: Predicates whose caching is bypassed because nearly every binding is
     #: distinct (the paper's Section 5.1 planned optimisation).
     bypass_ids: frozenset[int] = frozenset()
+    #: When not ``None``, :func:`build_operator` wraps every plan node in an
+    #: :class:`InstrumentedOperator` and records its actuals here, keyed by
+    #: ``id(plan_node)`` (EXPLAIN ANALYZE mode).
+    node_stats: dict[int, OperatorStats] | None = None
 
     def __post_init__(self) -> None:
         if self.cache_mode not in ("predicate", "function"):
@@ -409,8 +442,69 @@ def _scope_width(scope: Scope, catalog: Catalog) -> int:
     return sum(catalog.table(name).schema.tuple_width for name in tables)
 
 
+class InstrumentedOperator(Operator):
+    """Transparent wrapper measuring one plan node's actuals.
+
+    Every pull through the wrapped operator is bracketed with meter and
+    cache snapshots, so the deltas attribute all charges incurred while
+    this node's subtree ran (its own work plus its children's — inclusive,
+    like the estimates). Only constructed in EXPLAIN ANALYZE mode; the
+    default path never sees this class.
+    """
+
+    def __init__(
+        self, node: PlanNode, child: Operator, ctx: RuntimeContext
+    ) -> None:
+        assert ctx.node_stats is not None
+        self.child = child
+        self.ctx = ctx
+        self.scope = child.scope
+        self.stats = OperatorStats()
+        ctx.node_stats[id(node)] = self.stats
+
+    def __iter__(self) -> Iterator[tuple]:
+        meter = self.ctx.meter
+        cache = self.ctx.cache
+        stats = self.stats
+        iterator = iter(self.child)
+        while True:
+            charged_before = meter.charged
+            io_before = meter.io_charged
+            function_before = meter.function_charged
+            hits_before = cache.stats.hits if cache is not None else 0
+            started = time.perf_counter()
+            try:
+                row = next(iterator)
+            except StopIteration:
+                stats.wall_seconds += time.perf_counter() - started
+                stats.charged += meter.charged - charged_before
+                stats.io_charged += meter.io_charged - io_before
+                stats.function_charged += (
+                    meter.function_charged - function_before
+                )
+                if cache is not None:
+                    stats.cache_hits += cache.stats.hits - hits_before
+                return
+            stats.wall_seconds += time.perf_counter() - started
+            stats.charged += meter.charged - charged_before
+            stats.io_charged += meter.io_charged - io_before
+            stats.function_charged += meter.function_charged - function_before
+            if cache is not None:
+                stats.cache_hits += cache.stats.hits - hits_before
+            stats.rows_out += 1
+            yield row
+
+
 def build_operator(node: PlanNode, ctx: RuntimeContext) -> Operator:
-    """Compile a plan tree into an operator tree."""
+    """Compile a plan tree into an operator tree (instrumented when the
+    context carries a ``node_stats`` sink)."""
+    operator = _build_operator(node, ctx)
+    if ctx.node_stats is not None:
+        return InstrumentedOperator(node, operator, ctx)
+    return operator
+
+
+def _build_operator(node: PlanNode, ctx: RuntimeContext) -> Operator:
     if isinstance(node, Scan):
         if node.index_attr is not None:
             low, high = node.index_range  # type: ignore[misc]

@@ -7,8 +7,13 @@ from dataclasses import dataclass, field
 
 from repro.errors import BudgetExceededError
 from repro.exec.cache import CacheStats, PredicateCache
-from repro.exec.operators import RuntimeContext, build_operator
+from repro.exec.operators import (
+    OperatorStats,
+    RuntimeContext,
+    build_operator,
+)
 from repro.expr.expressions import QualifiedColumn, Scope
+from repro.obs.tracer import NULL_TRACER
 from repro.plan.nodes import Plan, PlanNode
 
 
@@ -30,6 +35,9 @@ class QueryResult:
     cache_stats: CacheStats | None = None
     cache_entries: int = 0
     wall_seconds: float = 0.0
+    #: Per-plan-node actuals keyed by ``id(plan_node)``; filled only when
+    #: the execution was instrumented (EXPLAIN ANALYZE).
+    node_stats: dict[int, OperatorStats] | None = None
 
     @property
     def row_count(self) -> int:
@@ -55,12 +63,14 @@ class Executor:
         cache_replacement: str = "fifo",
         cache_bypass: bool = False,
         cache_bypass_threshold: float = 0.95,
+        tracer=None,
     ) -> None:
         """``cache_mode`` selects predicate-level (Montage) or
         function-level ([Jhi88]) memoisation; ``cache_bypass`` enables the
         paper's Section 5.1 heuristic of not caching predicates whose
         distinct-bindings-to-tuples ratio exceeds the threshold (caching
-        such predicates costs memory and buys nothing)."""
+        such predicates costs memory and buys nothing). ``tracer`` records
+        execute-phase spans (default: the zero-overhead null tracer)."""
         self.db = db
         self.caching = caching
         self.budget = budget
@@ -69,6 +79,7 @@ class Executor:
         self.cache_replacement = cache_replacement
         self.cache_bypass = cache_bypass
         self.cache_bypass_threshold = cache_bypass_threshold
+        self.tracer = NULL_TRACER if tracer is None else tracer
 
     def _bypass_ids(self, node: PlanNode) -> frozenset[int]:
         """Predicates not worth caching: nearly every binding is distinct.
@@ -102,16 +113,22 @@ class Executor:
         plan: Plan | PlanNode,
         project: list[QualifiedColumn] | None = None,
         raise_on_budget: bool = False,
+        instrument: bool = False,
     ) -> QueryResult:
         """Execute ``plan`` cold (fresh meter, empty buffer pool, reset
         function counters) and return rows plus metrics.
 
         When the cost budget is exceeded, returns a ``completed=False``
-        result (or re-raises if ``raise_on_budget``).
+        result (or re-raises if ``raise_on_budget``). ``instrument=True``
+        wraps every operator to collect per-node actuals (rows, charged
+        cost, cache hits) in :attr:`QueryResult.node_stats` — the EXPLAIN
+        ANALYZE data source.
         """
         node = plan.root if isinstance(plan, Plan) else plan
         db = self.db
+        tracer = self.tracer
         db.meter.reset()
+        previous_budget = db.meter.budget
         db.meter.budget = self.budget
         db.pool.clear()
         db.pool.reset_stats()
@@ -125,6 +142,9 @@ class Executor:
             if self.caching
             else None
         )
+        node_stats: dict[int, OperatorStats] | None = (
+            {} if instrument else None
+        )
         ctx = RuntimeContext(
             catalog=db.catalog,
             meter=db.meter,
@@ -133,22 +153,35 @@ class Executor:
             cache=cache,
             cache_mode=self.cache_mode,
             bypass_ids=self._bypass_ids(node),
+            node_stats=node_stats,
         )
         started = time.perf_counter()
         rows: list[tuple] = []
         completed = True
         scope: Scope | None = None
-        try:
-            operator = build_operator(node, ctx)
-            scope = operator.scope
-            for row in operator:
-                rows.append(row)
-        except BudgetExceededError:
-            if raise_on_budget:
-                raise
-            completed = False
-        finally:
-            db.meter.budget = None
+        with tracer.span(
+            "execute", caching=self.caching, instrumented=instrument
+        ) as span:
+            try:
+                with tracer.span("executor.build"):
+                    operator = build_operator(node, ctx)
+                scope = operator.scope
+                with tracer.span("executor.run"):
+                    for row in operator:
+                        rows.append(row)
+            except BudgetExceededError:
+                if raise_on_budget:
+                    raise
+                completed = False
+            finally:
+                # Restore whatever budget the shared Database carried
+                # before this execution, not unconditionally None.
+                db.meter.budget = previous_budget
+            span.set(
+                rows=len(rows),
+                completed=completed,
+                charged=db.meter.charged,
+            )
         elapsed = time.perf_counter() - started
 
         if project is not None and scope is not None and completed:
@@ -165,4 +198,5 @@ class Executor:
             cache_stats=cache.stats if cache is not None else None,
             cache_entries=cache.total_entries() if cache is not None else 0,
             wall_seconds=elapsed,
+            node_stats=node_stats,
         )

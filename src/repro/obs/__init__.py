@@ -1,0 +1,40 @@
+"""Observability: structured tracing and metrics for optimizer + executor.
+
+Two small pieces:
+
+* :mod:`repro.obs.tracer` — span-based decision traces with JSONL export
+  and a zero-overhead :class:`NullTracer` default;
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of named counters,
+  timers, gauges, and histograms, plus :func:`record_run` which mirrors one
+  optimize/execute round under uniform ``plan.*`` / ``exec.*`` names.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    record_run,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTracer",
+    "Span",
+    "Timer",
+    "Tracer",
+    "record_run",
+]

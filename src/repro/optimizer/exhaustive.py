@@ -20,6 +20,7 @@ from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel
 from repro.errors import OptimizerError
 from repro.expr.predicates import Predicate
+from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.joinutil import choose_primary, eligible_methods
 from repro.optimizer.policies import rank_sorted
 from repro.optimizer.query import Query
@@ -36,6 +37,8 @@ def exhaustive_plan(
     model: CostModel,
     method_choice: str = "greedy",
     combo_limit: int = DEFAULT_COMBO_LIMIT,
+    tracer=NULL_TRACER,
+    notes: dict | None = None,
 ) -> Plan:
     """The minimum-estimated-cost plan over the full placement space."""
     if method_choice not in ("greedy", "enumerate"):
@@ -46,13 +49,23 @@ def exhaustive_plan(
     best_root = None
     best_cost = float("inf")
     combos_seen = 0
+    orders_tried = 0
+    plans_costed = 0
     for order in itertools.permutations(tables):
         root, movable = _skeleton(query, order, join_predicates)
         if root is None:
             continue
+        orders_tried += 1
         if isinstance(root, Scan):
             # Single-table query: rank order is optimal, nothing to place.
             estimate = model.estimate_plan(root)
+            if notes is not None:
+                notes.update(
+                    subplans_enumerated=1,
+                    subplans_pruned=0,
+                    orders_enumerated=1,
+                    interleavings_counted=0,
+                )
             return Plan(root, estimate.cost, estimate.rows)
         spine = spine_of(root)
         slot_ranges = [
@@ -70,9 +83,26 @@ def exhaustive_plan(
             for cost in _method_costs(
                 spine, catalog, model, method_choice
             ):
+                plans_costed += 1
                 if cost < best_cost:
                     best_cost = cost
                     best_root = root.clone()
+                    if tracer.enabled:
+                        tracer.event(
+                            "exhaustive.new_best",
+                            cost=cost,
+                            order=list(order),
+                            interleaving=combos_seen,
+                        )
+    if notes is not None:
+        # Every costed (order, interleaving, method) plan but the winner
+        # was discarded by direct cost comparison.
+        notes.update(
+            subplans_enumerated=plans_costed,
+            subplans_pruned=max(0, plans_costed - 1),
+            orders_enumerated=orders_tried,
+            interleavings_counted=combos_seen,
+        )
     if best_root is None:
         raise OptimizerError("no plan found (disconnected query graph?)")
     estimate = model.estimate_plan(best_root)

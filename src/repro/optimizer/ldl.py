@@ -23,6 +23,7 @@ from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel
 from repro.errors import OptimizerError
 from repro.expr.predicates import Predicate
+from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.joinutil import choose_primary, eligible_methods
 from repro.optimizer.policies import rank_sorted
 from repro.optimizer.query import Query
@@ -44,6 +45,8 @@ def ldl_plan(
     catalog: Catalog,
     model: CostModel,
     bushy: bool = False,
+    tracer=NULL_TRACER,
+    notes: dict | None = None,
 ) -> Plan:
     """Best plan with expensive predicates as virtual join steps.
 
@@ -73,7 +76,14 @@ def ldl_plan(
         scan = _cheap_scan(query, table)
         dp[(frozenset({table}), frozenset())] = [candidate_of(scan)]
 
+    enumerated = len(tables)
+    pruned = 0
+    states_expanded = 0
     total_steps = len(tables) + len(virtual)
+    dp_span = tracer.span(
+        "enumerate", policy="ldl", virtual_predicates=len(virtual)
+    )
+    dp_span.__enter__()
     for step in range(1, total_steps):
         current_states = [
             state for state in dp if len(state[0]) + len(state[1]) == step
@@ -81,6 +91,7 @@ def ldl_plan(
         successors: dict[State, list[_LDLCandidate]] = {}
         for state in current_states:
             joined, applied = state
+            states_expanded += 1
             for candidate in dp[state]:
                 _apply_transitions(
                     query,
@@ -106,7 +117,30 @@ def ldl_plan(
                         candidate_of,
                     )
         for state, candidates in successors.items():
-            dp[state] = _prune(dp.get(state, []) + candidates)
+            existing = dp.get(state, [])
+            kept = _prune(existing + candidates)
+            enumerated += len(candidates)
+            pruned += len(existing) + len(candidates) - len(kept)
+            dp[state] = kept
+        if tracer.enabled:
+            tracer.event(
+                "ldl.step",
+                step=step,
+                states_at_step=len(current_states),
+                successors=len(successors),
+            )
+
+    dp_span.set(states=len(dp), enumerated=enumerated)
+    dp_span.__exit__(None, None, None)
+
+    if notes is not None:
+        notes.update(
+            subplans_enumerated=enumerated,
+            subplans_pruned=pruned,
+            dp_states=len(dp),
+            states_expanded=states_expanded,
+            virtual_predicates=len(virtual),
+        )
 
     final_state = (frozenset(tables), frozenset(virtual))
     final = dp.get(final_state)

@@ -24,6 +24,7 @@ from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel
 from repro.errors import OptimizerError
 from repro.expr.predicates import Predicate
+from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.ikkbz import IKKBZNode, ikkbz_linearize, sequence_cost
 from repro.optimizer.joinutil import choose_primary, eligible_methods
 from repro.optimizer.policies import rank_sorted
@@ -37,6 +38,8 @@ def ldl_ikkbz_plan(
     catalog: Catalog,
     model: CostModel,
     bushy: bool = False,
+    tracer=NULL_TRACER,
+    notes: dict | None = None,
 ) -> Plan:
     """Plan via the LDL rewrite linearised by IK-KBZ.
 
@@ -47,7 +50,21 @@ def ldl_ikkbz_plan(
     """
     del bushy
     _validate(query)
-    order = _best_order(query, catalog, model)
+    with tracer.span("linearize", roots=len(query.tables)):
+        order = _best_order(query, catalog, model)
+    if notes is not None:
+        # One full linearisation per candidate root; all but the winning
+        # root's sequence are discarded on the ASI cost proxy.
+        notes.update(
+            subplans_enumerated=len(query.tables),
+            subplans_pruned=len(query.tables) - 1,
+            order=[step for step in order if not step.startswith("__pred")],
+            virtual_predicates=sum(
+                1 for step in order if step.startswith("__pred")
+            ),
+        )
+    if tracer.enabled:
+        tracer.event("ikkbz.order", order=list(order))
     return _build_plan(query, catalog, model, order)
 
 

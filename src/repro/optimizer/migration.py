@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 from repro.cost.model import CostModel
 from repro.expr.predicates import Predicate, rank
+from repro.obs.tracer import NULL_TRACER
 from repro.plan.nodes import Plan, PlanNode
 from repro.plan.streams import Spine, movable_predicates, spine_of
 
@@ -231,15 +232,24 @@ def _chain_for(
     return [item for _, item in keyed]
 
 
-def migrate_node(root: PlanNode, model: CostModel) -> None:
-    """Optimally re-place all movable predicates of ``root`` in place."""
+def migrate_node(
+    root: PlanNode, model: CostModel, tracer=NULL_TRACER
+) -> tuple[int, int]:
+    """Optimally re-place all movable predicates of ``root`` in place.
+
+    Returns ``(fixpoint iterations, predicate moves)`` — the decision
+    counts surfaced in the migration strategy's notes.
+    """
     spine = spine_of(root)
     movable = movable_predicates(spine)
     current_slots = {
         predicate: _current_slot(spine, predicate) for predicate in movable
     }
     previous: dict[Predicate, int] | None = None
+    iterations = 0
+    moves = 0
     for _ in range(MAX_ITERATIONS):
+        iterations += 1
         outer_modules, inner_modules = spine_join_modules(spine, model)
         placements: dict[Predicate, int] = {}
         for predicate in movable:
@@ -249,11 +259,28 @@ def migrate_node(root: PlanNode, model: CostModel) -> None:
             placements[predicate] = climb_chain(
                 predicate.rank, chain, spine.entry_slot(predicate)
             )
+        changed = sum(
+            1
+            for predicate, slot in placements.items()
+            if current_slots.get(predicate) != slot
+        )
+        moves += changed
+        if tracer.enabled:
+            tracer.event(
+                "migration.fixpoint",
+                iteration=iterations,
+                moves=changed,
+                placements={
+                    str(predicate): slot
+                    for predicate, slot in placements.items()
+                },
+            )
         if placements == previous:
             break
         spine.apply_placement(placements)
         current_slots = placements
         previous = placements
+    return iterations, moves
 
 
 def _current_slot(spine: Spine, predicate: Predicate) -> int:
@@ -267,11 +294,15 @@ def _current_slot(spine: Spine, predicate: Predicate) -> int:
     return spine.entry_slot(predicate)
 
 
-def migrate_plan(plan: Plan, model: CostModel) -> Plan:
+def migrate_plan(
+    plan: Plan, model: CostModel, tracer=NULL_TRACER, notes: dict | None = None
+) -> Plan:
     """Migrate a (cloned) plan and return it with refreshed estimates.
 
     Left-deep plans use the spine algorithm; bushy plans fall back to the
-    paper's per-path formulation (:func:`migrate_bushy_node`).
+    paper's per-path formulation (:func:`migrate_bushy_node`). When a
+    ``notes`` dict is supplied, fixpoint iteration and predicate-move
+    counts are accumulated into it.
     """
     from repro.plan.nodes import Join, Scan
 
@@ -282,9 +313,17 @@ def migrate_plan(plan: Plan, model: CostModel) -> Plan:
         if isinstance(node, Join)
     )
     if left_deep:
-        migrate_node(migrated.root, model)
+        iterations, moves = migrate_node(migrated.root, model, tracer=tracer)
     else:
-        migrate_bushy_node(migrated.root, model)
+        iterations, moves = migrate_bushy_node(
+            migrated.root, model, tracer=tracer
+        )
+    if notes is not None:
+        notes["plans_migrated"] = notes.get("plans_migrated", 0) + 1
+        notes["fixpoint_iterations"] = (
+            notes.get("fixpoint_iterations", 0) + iterations
+        )
+        notes["predicate_moves"] = notes.get("predicate_moves", 0) + moves
     estimate = model.estimate_plan(migrated.root)
     migrated.estimated_cost = estimate.cost
     migrated.estimated_rows = estimate.rows
@@ -321,12 +360,20 @@ def _path_modules(path, model: CostModel) -> list[Module]:
     return modules
 
 
-def migrate_bushy_node(root: PlanNode, model: CostModel) -> None:
+def migrate_bushy_node(
+    root: PlanNode, model: CostModel, tracer=NULL_TRACER
+) -> tuple[int, int]:
     """Predicate Migration for arbitrary trees: apply the series–parallel
-    placement to each root-to-leaf path until no progress is made."""
+    placement to each root-to-leaf path until no progress is made.
+
+    Returns ``(fixpoint iterations, predicate moves)``.
+    """
     from repro.plan.paths import current_slot_on_path, root_paths
 
+    iterations = 0
+    total_moves = 0
     for _ in range(MAX_ITERATIONS):
+        iterations += 1
         changed = False
         for path in root_paths(root):
             path_nodes = path.nodes()
@@ -390,8 +437,17 @@ def migrate_bushy_node(root: PlanNode, model: CostModel) -> None:
                 )
                 current[predicate] = target
                 changed = True
+                total_moves += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "migration.path_move",
+                        predicate=str(predicate),
+                        slot=target,
+                        iteration=iterations,
+                    )
         if not changed:
             break
+    return iterations, total_moves
 
 
 def group_rank(

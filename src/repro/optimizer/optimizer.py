@@ -9,6 +9,7 @@ from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel
 from repro.cost.params import CostParams
 from repro.errors import OptimizerError
+from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.exhaustive import exhaustive_plan
 from repro.optimizer.ldl import ldl_plan
 from repro.optimizer.ldl_ikkbz import ldl_ikkbz_plan
@@ -26,46 +27,78 @@ from repro.plan.nodes import Plan
 
 def _policy_strategy(policy_factory):
     def strategy(
-        query: Query, catalog: Catalog, model: CostModel, bushy: bool = False
+        query: Query,
+        catalog: Catalog,
+        model: CostModel,
+        bushy: bool = False,
+        tracer=NULL_TRACER,
+        notes: dict | None = None,
     ) -> Plan:
-        planner = SystemRPlanner(catalog, model, policy_factory(), bushy=bushy)
-        return planner.plan(query)
+        policy = policy_factory()
+        planner = SystemRPlanner(
+            catalog, model, policy, bushy=bushy, tracer=tracer
+        )
+        with tracer.span("enumerate", policy=policy.name):
+            plan = planner.plan(query)
+        if notes is not None:
+            notes.update(planner.notes())
+        return plan
 
     return strategy
 
 
 def migration_strategy(
-    query: Query, catalog: Catalog, model: CostModel, bushy: bool = False
+    query: Query,
+    catalog: Catalog,
+    model: CostModel,
+    bushy: bool = False,
+    tracer=NULL_TRACER,
+    notes: dict | None = None,
 ) -> Plan:
     """Predicate Migration: PullRank enumeration with unpruneable retention,
     then series–parallel migration of every retained plan (Section 4.4).
     With ``bushy=True``, enumeration covers bushy trees and migration runs
     the paper's per-root-to-leaf-path formulation."""
     planner = SystemRPlanner(
-        catalog, model, MigrationPhaseOnePolicy(), bushy=bushy
+        catalog, model, MigrationPhaseOnePolicy(), bushy=bushy, tracer=tracer
     )
-    candidates = planner.final_candidates(query)
+    with tracer.span("enumerate", policy=planner.policy.name):
+        candidates = planner.final_candidates(query)
+    migration_notes: dict = {}
     best: Plan | None = None
-    for candidate in candidates:
-        migrated = migrate_plan(
-            Plan(candidate.node, candidate.estimate.cost,
-                 candidate.estimate.rows),
-            model,
-        )
-        if best is None or migrated.estimated_cost < best.estimated_cost:
-            best = migrated
-    assert best is not None
+    with tracer.span("migrate", candidates=len(candidates)) as span:
+        for candidate in candidates:
+            migrated = migrate_plan(
+                Plan(candidate.node, candidate.estimate.cost,
+                     candidate.estimate.rows),
+                model,
+                tracer=tracer,
+                notes=migration_notes,
+            )
+            if best is None or migrated.estimated_cost < best.estimated_cost:
+                best = migrated
+        assert best is not None
+        span.set(best_cost=best.estimated_cost)
+    if notes is not None:
+        notes.update(planner.notes())
+        notes.update(migration_notes)
     return best
 
 
 def exhaustive_strategy(
-    query: Query, catalog: Catalog, model: CostModel, bushy: bool = False
+    query: Query,
+    catalog: Catalog,
+    model: CostModel,
+    bushy: bool = False,
+    tracer=NULL_TRACER,
+    notes: dict | None = None,
 ) -> Plan:
     # Exhaustive placement enumerates left-deep orders; it is already the
     # optimal baseline for the workloads (bushy shapes add nothing for
     # standard joins under the linear model's left-deep assumptions).
     del bushy
-    return exhaustive_plan(query, catalog, model)
+    with tracer.span("enumerate", policy="exhaustive"):
+        return exhaustive_plan(query, catalog, model, tracer=tracer, notes=notes)
 
 
 STRATEGIES = {
@@ -81,7 +114,13 @@ STRATEGIES = {
 
 @dataclass
 class OptimizedPlan:
-    """A plan plus how it was obtained."""
+    """A plan plus how it was obtained.
+
+    ``notes`` holds the strategy's decision counts: every strategy reports
+    at least ``subplans_enumerated`` and ``subplans_pruned``, plus
+    strategy-specific counters (pullup verdicts, migration fixpoint
+    iterations and predicate moves, DP states, interleavings counted).
+    """
 
     plan: Plan
     strategy: str
@@ -103,6 +142,7 @@ def optimize(
     global_model: bool = False,
     params: CostParams | None = None,
     bushy: bool = False,
+    tracer=None,
 ) -> OptimizedPlan:
     """Optimize ``query`` against ``db`` with the named placement strategy.
 
@@ -111,6 +151,9 @@ def optimize(
     ``global_model`` selects the discarded [HS93a] cost model (ablation).
     ``bushy`` enables bushy join trees for the enumeration-based strategies
     (the paper's suggested fix for LDL's left-deep limitation).
+    ``tracer`` (a :class:`repro.obs.Tracer`) records nested spans for each
+    optimizer phase and the strategy's per-decision events; the default is
+    the zero-overhead null tracer.
     """
     try:
         strategy_fn = STRATEGIES[strategy]
@@ -119,18 +162,27 @@ def optimize(
             f"unknown strategy {strategy!r}; "
             f"choose one of {sorted(STRATEGIES)}"
         ) from None
+    tracer = NULL_TRACER if tracer is None else tracer
     model = CostModel(
         db.catalog,
         params or db.params,
         caching=caching,
         global_model=global_model,
     )
+    notes: dict = {}
     started = time.perf_counter()
-    plan = strategy_fn(query, db.catalog, model, bushy=bushy)
+    with tracer.span(
+        "optimize", strategy=strategy, query=query.name, bushy=bushy
+    ) as span:
+        plan = strategy_fn(
+            query, db.catalog, model, bushy=bushy, tracer=tracer, notes=notes
+        )
+        span.set(estimated_cost=plan.estimated_cost)
     elapsed = time.perf_counter() - started
     return OptimizedPlan(
         plan=plan,
         strategy=strategy,
         planning_seconds=elapsed,
         query_name=query.name,
+        notes=notes,
     )

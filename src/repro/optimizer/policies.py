@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.cost.model import CostModel, PerInput
 from repro.expr.predicates import Predicate
+from repro.obs.tracer import NULL_TRACER
 from repro.plan.nodes import Join, PlanNode, Scan
 
 
@@ -35,6 +36,16 @@ class PlacementPolicy:
     """Default behaviour: classic pushdown with rank-ordered selections."""
 
     name = "base"
+
+    def __init__(self) -> None:
+        #: Per-planning decision counts (pullups performed/declined, …),
+        #: harvested into :attr:`OptimizedPlan.notes` by the planner.
+        self.counters: dict[str, int] = {}
+        #: Decision-trace sink; the planner swaps in a live tracer.
+        self.tracer = NULL_TRACER
+
+    def count(self, key: str, amount: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + amount
 
     def place_scan(
         self, scan: Scan, selections: list[Predicate], model: CostModel
@@ -75,6 +86,8 @@ class PullUpPolicy(PlacementPolicy):
         for source in (join.outer, join.inner):
             expensive = [p for p in source.filters if p.is_expensive]
             self._pull(join, source, expensive)
+            if expensive:
+                self.count("pullups", len(expensive))
         return False
 
 
@@ -105,8 +118,31 @@ class PullRankPolicy(PlacementPolicy):
                 if p.is_expensive and p.rank <= input_rank
             ]
             self._pull(join, source, pulled)
+            if pulled:
+                self.count("pullups", len(pulled))
             if declined_expensive:
+                self.count("pullups_declined", len(declined_expensive))
                 unpruneable = True
+            if self.tracer.enabled:
+                side = "outer" if source is join.outer else "inner"
+                for predicate in pulled:
+                    self.tracer.event(
+                        "pullrank.pull",
+                        predicate=str(predicate),
+                        predicate_rank=predicate.rank,
+                        join_rank=input_rank,
+                        side=side,
+                        join=str(join.primary),
+                    )
+                for predicate in declined_expensive:
+                    self.tracer.event(
+                        "pullrank.decline",
+                        predicate=str(predicate),
+                        predicate_rank=predicate.rank,
+                        join_rank=input_rank,
+                        side=side,
+                        join=str(join.primary),
+                    )
         return unpruneable and self.mark_unpruneable
 
 

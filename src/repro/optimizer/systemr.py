@@ -18,6 +18,7 @@ from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel, Estimate
 from repro.errors import OptimizerError
 from repro.expr.predicates import Predicate
+from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.joinutil import (
     choose_primary,
     eligible_methods,
@@ -67,6 +68,22 @@ class PlannerStats:
     joins_built: int = 0
     candidates_kept: int = 0
     unpruneable_kept: int = 0
+    base_candidates: int = 0
+    subplans_pruned: int = 0
+
+    @property
+    def subplans_enumerated(self) -> int:
+        """Every subplan constructed: base access paths plus joins."""
+        return self.base_candidates + self.joins_built
+
+    def as_notes(self) -> dict:
+        """The decision counts every strategy reports in its notes."""
+        return {
+            "subplans_enumerated": self.subplans_enumerated,
+            "subplans_pruned": self.subplans_pruned,
+            "candidates_kept": self.candidates_kept,
+            "unpruneable_kept": self.unpruneable_kept,
+        }
 
 
 class SystemRPlanner:
@@ -79,16 +96,29 @@ class SystemRPlanner:
         policy: PlacementPolicy | None = None,
         methods: tuple[JoinMethod, ...] = tuple(JoinMethod),
         bushy: bool = False,
+        tracer=NULL_TRACER,
     ) -> None:
         """``bushy=True`` additionally enumerates bushy join trees (both
         join inputs may be composites) — the System R modification the
-        paper mentions as the fix for LDL's left-deep limitation."""
+        paper mentions as the fix for LDL's left-deep limitation.
+        ``tracer`` receives per-subset enumeration events and the policy's
+        per-join pullup verdicts."""
         self.catalog = catalog
         self.model = model
         self.policy = policy or PlacementPolicy()
         self.methods = methods
         self.bushy = bushy
+        self.tracer = tracer
+        self.policy.tracer = tracer
         self.stats = PlannerStats()
+
+    def notes(self) -> dict:
+        """Decision counts for :attr:`OptimizedPlan.notes`: enumeration
+        stats plus the policy's pullup verdict counters."""
+        notes = self.stats.as_notes()
+        for key, value in self.policy.counters.items():
+            notes[key] = value
+        return notes
 
     # -- public API --------------------------------------------------------
 
@@ -108,12 +138,13 @@ class SystemRPlanner:
         self.stats = PlannerStats()
         table_list = sorted(query.tables)
         join_predicates = query.join_predicates()
+        tracer = self.tracer
 
         dp: dict[frozenset[str], list[Candidate]] = {}
         for table in table_list:
-            dp[frozenset({table})] = self._prune(
-                self._base_candidates(query, table)
-            )
+            base = self._base_candidates(query, table)
+            self.stats.base_candidates += len(base)
+            dp[frozenset({table})] = self._prune(base)
 
         for size in range(2, len(table_list) + 1):
             for subset_tuple in itertools.combinations(table_list, size):
@@ -124,7 +155,18 @@ class SystemRPlanner:
                         query, dp, subset, join_predicates, allow_cross=True
                     )
                 if candidates:
-                    dp[subset] = self._prune(candidates)
+                    kept = self._prune(candidates)
+                    dp[subset] = kept
+                    if tracer.enabled:
+                        tracer.event(
+                            "systemr.subset",
+                            tables=sorted(subset),
+                            enumerated=len(candidates),
+                            kept=len(kept),
+                            unpruneable=sum(
+                                1 for c in kept if c.unpruneable
+                            ),
+                        )
 
         final = dp.get(frozenset(table_list))
         if not final:
@@ -373,4 +415,5 @@ class SystemRPlanner:
                 kept.append(candidate)
                 self.stats.unpruneable_kept += 1
         self.stats.candidates_kept += len(kept)
+        self.stats.subplans_pruned += len(candidates) - len(kept)
         return kept

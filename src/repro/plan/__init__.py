@@ -8,7 +8,7 @@ join's output. Predicate placement algorithms work by moving
 """
 
 from repro.plan.nodes import Join, JoinMethod, Plan, PlanNode, Scan
-from repro.plan.display import explain, plan_tree
+from repro.plan.display import explain, explain_analyze, plan_tree
 from repro.plan.streams import Spine, SpineJoin, spine_of
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "Spine",
     "SpineJoin",
     "explain",
+    "explain_analyze",
     "plan_tree",
     "spine_of",
 ]

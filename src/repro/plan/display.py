@@ -36,6 +36,106 @@ def plan_tree(plan: Plan | PlanNode) -> str:
     return "\n".join(lines)
 
 
+def _relative_error(estimated: float, actual: float) -> str:
+    """Signed relative error of an estimate vs. its actual, as a percent.
+
+    An actual of zero (e.g. a run aborted by the cost budget before the
+    node produced anything) makes relative error meaningless — report
+    ``n/a`` instead of a division-by-epsilon blowup.
+    """
+    if actual == 0:
+        return "+0.0%" if estimated == 0 else "n/a"
+    return f"{(estimated - actual) / abs(actual) * 100.0:+.1f}%"
+
+
+def _analyze_annotation(node: PlanNode, node_stats: dict, cost_model) -> str:
+    """The per-node ``(est … | act … | err …)`` suffix."""
+    parts: list[str] = []
+    estimate = None
+    if cost_model is not None:
+        estimate = cost_model.estimate_plan(node)
+        parts.append(
+            f"est rows={estimate.rows:.0f} cost={estimate.cost:.1f}"
+        )
+    stats = node_stats.get(id(node))
+    if stats is None:
+        # e.g. the scan inside an index nested loop is probed, never
+        # materialised as its own operator.
+        parts.append("act (not separately executed)")
+    else:
+        act = f"act rows={stats.rows_out} charged={stats.charged:.1f}"
+        if stats.cache_hits:
+            act += f" cache_hits={stats.cache_hits}"
+        parts.append(act)
+        if estimate is not None:
+            parts.append(
+                f"err rows {_relative_error(estimate.rows, stats.rows_out)}"
+                f" cost {_relative_error(estimate.cost, stats.charged)}"
+            )
+    return "  (" + " | ".join(parts) + ")"
+
+
+def _render_analyze(
+    node: PlanNode,
+    prefix: str,
+    is_last: bool,
+    lines: list[str],
+    node_stats: dict,
+    cost_model,
+) -> None:
+    connector = "└─ " if is_last else "├─ "
+    child_prefix = prefix + ("   " if is_last else "│  ")
+    lines.append(
+        prefix
+        + connector
+        + _node_label(node)
+        + _analyze_annotation(node, node_stats, cost_model)
+    )
+    for predicate in reversed(node.filters):
+        lines.append(child_prefix + f"· filter: {predicate}")
+    children = node.children()
+    for position, child in enumerate(children):
+        _render_analyze(
+            child,
+            child_prefix,
+            position == len(children) - 1,
+            lines,
+            node_stats,
+            cost_model,
+        )
+
+
+def explain_analyze(
+    plan: Plan | PlanNode,
+    node_stats: dict | None,
+    cost_model=None,
+) -> str:
+    """EXPLAIN ANALYZE: the plan tree annotated per node with estimated
+    vs. actual rows and cost, plus the estimate's relative error.
+
+    ``node_stats`` is :attr:`QueryResult.node_stats` from an instrumented
+    execution (``Executor.execute(..., instrument=True)``); ``cost_model``
+    supplies the per-node estimates. Charged figures are inclusive of each
+    node's subtree, matching the cost model's convention.
+    """
+    root = plan.root if isinstance(plan, Plan) else plan
+    stats_map = node_stats or {}
+    lines = [_node_label(root) + _analyze_annotation(root, stats_map, cost_model)]
+    for predicate in reversed(root.filters):
+        lines.append(f"· filter: {predicate}")
+    children = root.children()
+    for position, child in enumerate(children):
+        _render_analyze(
+            child,
+            "",
+            position == len(children) - 1,
+            lines,
+            stats_map,
+            cost_model,
+        )
+    return "\n".join(lines)
+
+
 def explain(plan: Plan, cost_model=None) -> str:
     """Plan tree plus estimated totals (and per-node detail if a cost model
     is supplied)."""

@@ -1,5 +1,7 @@
 """Tests for the command-line driver (python -m repro)."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -84,6 +86,67 @@ class TestCli:
             capsys, "--sql", SQL, "--scale", "20", "--caching"
         )
         assert code == 0
+
+    def test_explain_analyze(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--sql", SQL, "--scale", "20", "--explain-analyze"
+        )
+        assert code == 0
+        assert "est rows=" in out
+        assert "act rows=" in out
+        assert "err rows" in out
+        assert "charged" in out  # the summary line still prints
+
+    def test_stats_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--sql", SQL, "--scale", "20", "--stats"
+        )
+        assert code == 0
+        assert "plan.wall_seconds" in out
+        assert "exec.wall_seconds" in out
+        assert "plan.subplans_enumerated" in out
+        assert "exec.charged" in out
+
+    def test_stats_with_explain_only_reports_plan_side(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--sql", SQL, "--scale", "20",
+            "--explain-only", "--stats",
+        )
+        assert code == 0
+        assert "plan.wall_seconds" in out
+        assert "exec.wall_seconds" not in out
+
+    def test_trace_writes_valid_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code, _, err = run_cli(
+            capsys, "--sql", SQL, "--scale", "20", "--trace", str(trace)
+        )
+        assert code == 0
+        assert "spans" in err
+        records = [
+            json.loads(line)
+            for line in trace.read_text(encoding="utf-8").splitlines()
+        ]
+        assert records
+        names = [record["span"] for record in records]
+        # one span per optimizer phase, plus the executor's
+        assert "optimize" in names
+        assert "enumerate" in names
+        assert "migrate" in names  # default strategy is migration
+        assert "execute" in names
+        by_id = {record["id"]: record for record in records}
+        enumerate_span = next(
+            record for record in records if record["span"] == "enumerate"
+        )
+        assert by_id[enumerate_span["parent"]]["span"] == "optimize"
+
+    def test_trace_unwritable_path_reports_error(self, capsys, tmp_path):
+        target = tmp_path / "missing-dir" / "trace.jsonl"
+        code, _, err = run_cli(
+            capsys, "--sql", SQL, "--scale", "20", "--trace", str(target)
+        )
+        assert code == 1
+        assert "cannot write trace file" in err
 
     def test_parser_rejects_sql_and_workload(self):
         with pytest.raises(SystemExit):

@@ -137,6 +137,20 @@ class TestBudget:
         Executor(tiny_db, budget=500.0).execute(plan)
         assert tiny_db.meter.budget is None
 
+    def test_preexisting_budget_restored_after_run(self, tiny_db):
+        """Regression: execute() used to clear the shared meter's budget to
+        None instead of restoring whatever the caller had set."""
+        predicate = costly_filter(tiny_db, "costly100", ("t3", "u20"))
+        plan = Plan(Scan(filters=[predicate], table="t3"))
+        tiny_db.meter.budget = 123456.0
+        try:
+            Executor(tiny_db, budget=500.0).execute(plan)
+            assert tiny_db.meter.budget == 123456.0
+            Executor(tiny_db).execute(plan)
+            assert tiny_db.meter.budget == 123456.0
+        finally:
+            tiny_db.meter.budget = None
+
 
 class TestProjectionAndResult:
     def test_projection(self, tiny_db):

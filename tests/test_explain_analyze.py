@@ -1,0 +1,86 @@
+"""Per-operator instrumentation and the EXPLAIN ANALYZE rendering."""
+
+from repro import Executor, compile_query, explain_analyze, optimize
+from repro.cost.model import CostModel
+
+SQL = (
+    "SELECT * FROM t3, t10 "
+    "WHERE t3.a1 = t10.ua1 AND costly100(t10.u20)"
+)
+
+
+def _instrumented_run(db, strategy="migration", caching=False):
+    query = compile_query(db, SQL, name="analyze-test")
+    optimized = optimize(db, query, strategy=strategy, caching=caching)
+    result = Executor(db, caching=caching).execute(
+        optimized.plan, instrument=True
+    )
+    return optimized, result
+
+
+class TestInstrumentation:
+    def test_default_execution_collects_no_node_stats(self, db):
+        query = compile_query(db, SQL, name="analyze-off")
+        optimized = optimize(db, query)
+        result = Executor(db).execute(optimized.plan)
+        assert result.node_stats is None
+
+    def test_every_executed_node_gets_stats(self, db):
+        optimized, result = _instrumented_run(db)
+        root = optimized.plan.root
+        stats = result.node_stats
+        assert stats is not None
+        assert id(root) in stats
+        for child in root.children():
+            assert id(child) in stats
+
+    def test_root_actuals_match_result(self, db):
+        optimized, result = _instrumented_run(db)
+        root_stats = result.node_stats[id(optimized.plan.root)]
+        assert root_stats.rows_out == result.row_count
+        # charges are inclusive of the subtree, so the root accounts for
+        # (almost) the whole ledger and dominates every child
+        assert root_stats.charged <= result.charged + 1e-9
+        for child in optimized.plan.root.children():
+            child_stats = result.node_stats.get(id(child))
+            if child_stats is not None:
+                assert child_stats.charged <= root_stats.charged + 1e-9
+
+    def test_stats_round_trip_as_dict(self, db):
+        _, result = _instrumented_run(db)
+        for stats in result.node_stats.values():
+            record = stats.as_dict()
+            assert record["rows_out"] == stats.rows_out
+            assert record["charged"] == stats.charged
+
+    def test_cache_hits_attributed_when_caching(self, db):
+        _, result = _instrumented_run(db, caching=True)
+        total_hits = sum(
+            stats.cache_hits for stats in result.node_stats.values()
+        )
+        assert total_hits == result.cache_stats.hits
+
+
+class TestExplainAnalyzeRendering:
+    def test_tree_annotated_with_est_act_err(self, db):
+        optimized, result = _instrumented_run(db)
+        model = CostModel(db.catalog, db.params)
+        text = explain_analyze(optimized.plan, result.node_stats, model)
+        assert "est rows=" in text
+        assert "act rows=" in text
+        assert "err rows" in text
+        assert "cost" in text
+        # one annotated line per plan node
+        annotated = [line for line in text.splitlines() if "act" in line]
+        assert len(annotated) >= 3  # join + two scans
+
+    def test_renders_without_cost_model(self, db):
+        optimized, result = _instrumented_run(db)
+        text = explain_analyze(optimized.plan, result.node_stats)
+        assert "act rows=" in text
+        assert "est rows=" not in text
+
+    def test_missing_stats_marked_not_executed(self, db):
+        optimized, result = _instrumented_run(db)
+        text = explain_analyze(optimized.plan, {}, None)
+        assert "not separately executed" in text

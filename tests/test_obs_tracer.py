@@ -1,0 +1,131 @@
+"""Tests for the span-based tracer (repro.obs.tracer)."""
+
+import json
+
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER, NullSpan, Tracer
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+    def test_span_is_shared_singleton(self):
+        assert NULL_TRACER.span("anything", key="value") is NULL_SPAN
+
+    def test_null_span_is_a_noop_context_manager(self):
+        with NULL_TRACER.span("x") as span:
+            span.event("e", detail=1)
+            span.set(result=2)
+        assert isinstance(span, NullSpan)
+
+    def test_event_outside_span_is_noop(self):
+        NULL_TRACER.event("orphan", x=1)
+
+    def test_export_returns_zero_without_touching_fs(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert NULL_TRACER.export_jsonl(str(path)) == 0
+        assert not path.exists()
+
+    def test_to_records_empty(self):
+        assert NULL_TRACER.to_records() == []
+
+
+class TestTracer:
+    def test_nested_spans_record_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert [s.name for s in tracer.spans] == ["outer", "inner"]
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert [s.name for s in tracer.children_of(root)] == ["a", "b"]
+
+    def test_current_tracks_innermost_open_span(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_tracer_event_attaches_to_innermost_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                tracer.event("decision", verdict="pull")
+        assert inner.events[0]["name"] == "decision"
+        assert inner.events[0]["verdict"] == "pull"
+        assert "at_ms" in inner.events[0]
+
+    def test_event_with_no_open_span_is_dropped(self):
+        tracer = Tracer()
+        tracer.event("orphan")
+        assert tracer.spans == []
+
+    def test_set_merges_attributes(self):
+        tracer = Tracer()
+        with tracer.span("s", before=1) as span:
+            span.set(after=2)
+        assert span.attrs == {"before": 1, "after": 2}
+
+    def test_find_by_name(self):
+        tracer = Tracer()
+        with tracer.span("phase"):
+            pass
+        with tracer.span("phase"):
+            pass
+        assert len(tracer.find("phase")) == 2
+        assert tracer.find("missing") == []
+
+    def test_out_of_order_exit_tolerated(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        outer.__enter__()
+        inner = tracer.span("inner")
+        inner.__enter__()
+        outer.__exit__(None, None, None)  # outer closed before inner
+        inner.__exit__(None, None, None)
+        assert tracer.current is None
+
+    def test_to_records_schema(self):
+        tracer = Tracer()
+        with tracer.span("work", phase="test") as span:
+            span.event("tick")
+        (record,) = tracer.to_records()
+        assert set(record) == {
+            "span", "id", "parent", "start_ms", "duration_ms",
+            "attrs", "events",
+        }
+        assert record["span"] == "work"
+        assert record["parent"] is None
+        assert record["start_ms"] >= 0.0
+        assert record["duration_ms"] >= 0.0
+        assert record["attrs"] == {"phase": "test"}
+        assert len(record["events"]) == 1
+
+    def test_export_jsonl_round_trips(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", n=1):
+            with tracer.span("inner"):
+                tracer.event("e", value=3)
+        path = tmp_path / "trace.jsonl"
+        count = tracer.export_jsonl(str(path))
+        assert count == 2
+        lines = path.read_text(encoding="utf-8").splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["span"] for r in records] == ["outer", "inner"]
+        assert records[1]["parent"] == records[0]["id"]
+        assert records[1]["events"][0]["value"] == 3
