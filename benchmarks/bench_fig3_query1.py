@@ -11,10 +11,10 @@ from conftest import emit
 from repro.bench import format_outcomes, outcome_by_strategy, run_strategies
 
 
-def test_fig3_query1(benchmark, db, workloads):
+def test_fig3_query1(benchmark, db, workloads, recorder, profiler):
     workload = workloads["q1"]
     outcomes = benchmark.pedantic(
-        lambda: run_strategies(db, workload.query),
+        lambda: run_strategies(db, workload.query, profiler=profiler),
         rounds=1,
         iterations=1,
     )
@@ -22,6 +22,7 @@ def test_fig3_query1(benchmark, db, workloads):
         f"{workload.title} ({workload.figure})", outcomes,
         note=workload.sql.replace("\n", " "),
     ))
+    recorder.record("q1", outcomes, profiler=profiler)
 
     pushdown = outcome_by_strategy(outcomes, "pushdown")
     migration = outcome_by_strategy(outcomes, "migration")

@@ -12,10 +12,10 @@ from conftest import emit
 from repro.bench import format_outcomes, outcome_by_strategy, run_strategies
 
 
-def test_fig4_query2(benchmark, db, workloads):
+def test_fig4_query2(benchmark, db, workloads, recorder, profiler):
     workload = workloads["q2"]
     outcomes = benchmark.pedantic(
-        lambda: run_strategies(db, workload.query),
+        lambda: run_strategies(db, workload.query, profiler=profiler),
         rounds=1,
         iterations=1,
     )
@@ -23,6 +23,7 @@ def test_fig4_query2(benchmark, db, workloads):
         f"{workload.title} ({workload.figure})", outcomes,
         note=workload.sql.replace("\n", " "),
     ))
+    recorder.record("q2", outcomes, profiler=profiler)
 
     pullup = outcome_by_strategy(outcomes, "pullup")
     best = min(

@@ -47,13 +47,14 @@ def test_fig8_query4_fixed_order(benchmark, db, workloads):
     )
 
 
-def test_fig8_query4_free_order(db, workloads):
+def test_fig8_query4_free_order(db, workloads, recorder, profiler):
     workload = workloads["q4"]
-    outcomes = run_strategies(db, workload.query)
+    outcomes = run_strategies(db, workload.query, profiler=profiler)
     emit(format_outcomes(
         f"{workload.title} ({workload.figure}) — full System R enumeration",
         outcomes,
     ))
+    recorder.record("q4", outcomes, profiler=profiler)
     pushdown = outcome_by_strategy(outcomes, "pushdown")
     migration = outcome_by_strategy(outcomes, "migration")
     assert pushdown.charged > 5.0 * migration.charged

@@ -13,10 +13,12 @@ from conftest import emit
 from repro.bench import format_outcomes, outcome_by_strategy, run_strategies
 
 
-def test_fig9_query5(benchmark, db, workloads):
+def test_fig9_query5(benchmark, db, workloads, recorder, profiler):
     workload = workloads["q5"]
     outcomes = benchmark.pedantic(
-        lambda: run_strategies(db, workload.query, budget=workload.budget),
+        lambda: run_strategies(
+            db, workload.query, budget=workload.budget, profiler=profiler
+        ),
         rounds=1,
         iterations=1,
     )
@@ -28,6 +30,7 @@ def test_fig9_query5(benchmark, db, workloads):
             f"primary join; budget={workload.budget:,.0f} units"
         ),
     ))
+    recorder.record("q5", outcomes, profiler=profiler)
 
     assert outcome_by_strategy(outcomes, "pullup").dnf
     for strategy in ("pushdown", "pullrank", "migration", "ldl", "exhaustive"):

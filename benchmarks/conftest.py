@@ -16,9 +16,38 @@ import pytest
 
 from repro.bench.workloads import build_all
 from repro.catalog.datagen import build_database
+from repro.obs import NULL_PROFILER, ArtifactRecorder, PhaseProfiler
 
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "100"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--record",
+        metavar="DIR",
+        default=None,
+        help=(
+            "record each workload's outcomes as a BENCH_<workload>.json "
+            "run artifact under DIR (for `repro bench-diff`)"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def recorder(request):
+    """Run-artifact recorder; disabled (no-op) unless ``--record DIR``."""
+    return ArtifactRecorder(
+        request.config.getoption("--record"),
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+    )
+
+
+@pytest.fixture
+def profiler(recorder):
+    """Fresh per-test phase profiler when recording, else the null one."""
+    return PhaseProfiler() if recorder.enabled else NULL_PROFILER
 
 
 @pytest.fixture(scope="session")

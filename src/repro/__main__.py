@@ -6,21 +6,35 @@ Examples::
         WHERE t3.a1 = t10.ua1 AND costly100(t10.u20)"
     python -m repro --sql "..." --strategy pushdown --explain-only
     python -m repro --sql "..." --compare --caching
-    python -m repro --workload q4 --compare
+    python -m repro --workload q4 --compare --strategies all
+    python -m repro --workload q1 --compare --record artifacts/
+    python -m repro bench-diff benchmarks/baselines artifacts/
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
 from repro import Executor, build_database, compile_query, optimize, plan_tree
-from repro.bench import format_outcomes, run_strategies
-from repro.bench.harness import DEFAULT_STRATEGIES
+from repro.bench import format_outcomes, resolve_strategies, run_strategies
 from repro.bench.workloads import WORKLOADS, build_workload
 from repro.cost.model import CostModel
-from repro.errors import ReproError
-from repro.obs import NULL_TRACER, MetricsRegistry, Tracer, record_run
+from repro.errors import ArtifactError, ReproError
+from repro.obs import (
+    NULL_PROFILER,
+    NULL_TRACER,
+    ArtifactRecorder,
+    MetricsRegistry,
+    PhaseProfiler,
+    Tracer,
+    collect_artifacts,
+    diff_artifacts,
+    has_regressions,
+    load_run_artifact,
+    record_run,
+)
 from repro.optimizer import STRATEGIES
 from repro.plan import explain_analyze
 
@@ -51,6 +65,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare",
         action="store_true",
         help="run every placement algorithm and print the comparison table",
+    )
+    parser.add_argument(
+        "--strategies",
+        default="default",
+        metavar="SPEC",
+        help="strategy line-up for --compare: 'default' (the paper's six), "
+        "'all' (adds ldl-ikkbz, the full registry), or a comma-separated "
+        "list of strategy names",
+    )
+    parser.add_argument(
+        "--record",
+        metavar="DIR",
+        help="write a BENCH_<workload>.json run artifact (environment, "
+        "per-strategy measurements, plan fingerprints, hotspots) into DIR "
+        "after a --compare run; pair with 'bench-diff' to gate regressions",
     )
     parser.add_argument(
         "--scale",
@@ -134,15 +163,19 @@ def _run(args, tracer, out) -> int:
         budget = args.budget
 
     if args.compare:
+        # Recording instruments the run so artifacts carry per-operator
+        # actuals and the profiler's hotspot report.
+        profiler = PhaseProfiler() if args.record else NULL_PROFILER
         outcomes = run_strategies(
             db,
             query,
-            strategies=DEFAULT_STRATEGIES,
+            strategies=resolve_strategies(args.strategies),
             caching=args.caching,
             budget=budget,
             execute=not args.explain_only,
             tracer=tracer,
-            instrument=args.explain_analyze,
+            instrument=args.explain_analyze or bool(args.record),
+            profiler=profiler,
         )
         print(
             format_outcomes(
@@ -150,6 +183,16 @@ def _run(args, tracer, out) -> int:
             ),
             file=out,
         )
+        if args.record:
+            recorder = ArtifactRecorder(
+                args.record, scale=args.scale, seed=args.seed
+            )
+            target = recorder.record(
+                args.workload or query.name or "cli",
+                outcomes,
+                profiler=profiler,
+            )
+            print(f"-- artifact: {target}", file=sys.stderr)
         return 0
 
     optimized = optimize(
@@ -213,7 +256,176 @@ def _run(args, tracer, out) -> int:
     return 0
 
 
+# -- bench-diff: the plan-regression gate ------------------------------------
+
+
+def build_bench_diff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench-diff",
+        description=(
+            "Compare two recorded bench runs (BENCH_*.json files, or "
+            "directories of them) strategy by strategy. Exits 1 when a "
+            "chosen plan's fingerprint changed, charged cost regressed "
+            "beyond --max-regress, or cost-model error widened beyond "
+            "--max-error-widen — so CI can gate on it."
+        ),
+    )
+    parser.add_argument(
+        "baseline", help="baseline artifact file or directory"
+    )
+    parser.add_argument(
+        "candidate", help="candidate artifact file or directory"
+    )
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.10,
+        metavar="FRAC",
+        help="maximum allowed fractional charged-cost growth per strategy "
+        "(default 0.10)",
+    )
+    parser.add_argument(
+        "--max-time-regress",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="also gate on planning-time growth beyond FRAC (default: "
+        "report only — wall-clock is not comparable across machines)",
+    )
+    parser.add_argument(
+        "--max-error-widen",
+        type=float,
+        default=0.10,
+        metavar="ABS",
+        help="maximum allowed widening of |estimation error|, in absolute "
+        "fractional-error units (default 0.10; pass inf to disable)",
+    )
+    return parser
+
+
+def _artifact_number(record: dict, key: str) -> float:
+    value = record.get(key)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return float("nan")
+
+
+def _fmt_err(value: float) -> str:
+    return "—" if math.isnan(value) else f"{value * 100:+.0f}%"
+
+
+def _print_workload_diff(
+    workload: str, baseline: dict, candidate: dict, out
+) -> None:
+    base_strategies = baseline.get("strategies", {})
+    cand_strategies = candidate.get("strategies", {})
+    title = f"== {workload} (baseline -> candidate)"
+    print(title, file=out)
+    header = (
+        f"{'strategy':<12} {'plan':>8} {'charged':>24} "
+        f"{'plan.ms':>18} {'est.err':>12}"
+    )
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for strategy in sorted(set(base_strategies) | set(cand_strategies)):
+        base = base_strategies.get(strategy)
+        cand = cand_strategies.get(strategy)
+        if base is None or cand is None:
+            side = "candidate" if base is None else "baseline"
+            print(f"{strategy:<12} (only in {side})", file=out)
+            continue
+        fingerprints = (base.get("fingerprint"), cand.get("fingerprint"))
+        plan = "same" if fingerprints[0] == fingerprints[1] else "CHANGED"
+        charged = (
+            f"{_artifact_number(base, 'charged'):,.0f} -> "
+            f"{_artifact_number(cand, 'charged'):,.0f}"
+        )
+        ms = (
+            f"{_artifact_number(base, 'planning_seconds') * 1000:.1f}"
+            " -> "
+            f"{_artifact_number(cand, 'planning_seconds') * 1000:.1f}"
+        )
+        err = (
+            f"{_fmt_err(_artifact_number(base, 'estimation_error'))}"
+            " -> "
+            f"{_fmt_err(_artifact_number(cand, 'estimation_error'))}"
+        )
+        print(
+            f"{strategy:<12} {plan:>8} {charged:>24} {ms:>18} {err:>12}",
+            file=out,
+        )
+
+
+def bench_diff(argv: list[str], out=None) -> int:
+    """The ``bench-diff`` subcommand body; returns the exit code."""
+    from repro.obs import Finding
+
+    if out is None:
+        # Late-bound so redirected/captured stdout is respected.
+        out = sys.stdout
+    args = build_bench_diff_parser().parse_args(argv)
+    findings: list[Finding] = []
+    try:
+        base_set = collect_artifacts(args.baseline)
+        cand_set = collect_artifacts(args.candidate)
+        if not base_set:
+            raise ArtifactError(
+                f"no BENCH_*.json artifacts found under {args.baseline}"
+            )
+        if not cand_set:
+            raise ArtifactError(
+                f"no BENCH_*.json artifacts found under {args.candidate}"
+            )
+        for workload in sorted(set(base_set) | set(cand_set)):
+            base_path = base_set.get(workload)
+            cand_path = cand_set.get(workload)
+            if base_path is None:
+                findings.append(
+                    Finding(
+                        "note", workload, "*", "added",
+                        "workload recorded only in the candidate run",
+                    )
+                )
+                continue
+            if cand_path is None:
+                findings.append(
+                    Finding(
+                        "regression", workload, "*", "missing",
+                        "workload present in baseline but not recorded "
+                        "in the candidate run",
+                    )
+                )
+                continue
+            baseline = load_run_artifact(base_path)
+            candidate = load_run_artifact(cand_path)
+            _print_workload_diff(workload, baseline, candidate, out)
+            findings.extend(
+                diff_artifacts(
+                    baseline,
+                    candidate,
+                    max_regress=args.max_regress,
+                    max_time_regress=args.max_time_regress,
+                    max_error_widen=args.max_error_widen,
+                )
+            )
+    except ArtifactError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(str(finding), file=out)
+    if has_regressions(findings):
+        count = sum(1 for f in findings if f.severity == "regression")
+        print(f"bench-diff: {count} regression(s)", file=out)
+        return 1
+    print("bench-diff: no regressions", file=out)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench-diff":
+        return bench_diff(list(argv[1:]))
     args = build_parser().parse_args(argv)
     tracer = Tracer() if args.trace else NULL_TRACER
     try:

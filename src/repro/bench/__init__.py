@@ -10,10 +10,12 @@ PullUp plan that "used up all available swap space and never completed".
 
 from repro.bench.workloads import WORKLOADS, Workload, build_all, build_workload
 from repro.bench.harness import (
+    ALL_STRATEGIES,
     DEFAULT_STRATEGIES,
     StrategyOutcome,
     best_outcome,
     outcome_by_strategy,
+    resolve_strategies,
     run_strategies,
 )
 from repro.bench.report import format_outcomes, format_planning_times
@@ -28,6 +30,7 @@ from repro.bench.accuracy import (
 from repro.bench.stress import StressReport, stress_optimizer
 
 __all__ = [
+    "ALL_STRATEGIES",
     "DEFAULT_STRATEGIES",
     "StressReport",
     "WORKLOADS",
@@ -48,5 +51,6 @@ __all__ = [
     "format_outcomes",
     "format_planning_times",
     "outcome_by_strategy",
+    "resolve_strategies",
     "run_strategies",
 ]

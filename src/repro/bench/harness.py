@@ -7,8 +7,9 @@ from dataclasses import dataclass, field
 from repro.database import Database
 from repro.errors import OptimizerError
 from repro.exec import Executor
+from repro.obs.profile import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
-from repro.optimizer import optimize
+from repro.optimizer import STRATEGIES, optimize
 from repro.plan.display import _node_label
 from repro.optimizer.query import Query
 from repro.plan.nodes import Plan, PlanNode
@@ -22,6 +23,31 @@ DEFAULT_STRATEGIES = (
     "pullup",
     "exhaustive",
 )
+
+#: The full registry line-up: the paper's six plus the [KZ88] LDL/IK-KBZ
+#: pipeline, which stays out of the default because it rejects queries
+#: outside IK-KBZ's scope (cyclic graphs, expensive join predicates).
+ALL_STRATEGIES = DEFAULT_STRATEGIES + ("ldl-ikkbz",)
+
+
+def resolve_strategies(spec: str) -> tuple[str, ...]:
+    """Parse a CLI strategy spec: ``default``, ``all``, or a comma list.
+
+    Every name must exist in the optimizer's strategy registry; unknown
+    names raise :class:`OptimizerError` with the valid choices.
+    """
+    if spec == "default":
+        return DEFAULT_STRATEGIES
+    if spec == "all":
+        return ALL_STRATEGIES
+    names = tuple(name.strip() for name in spec.split(",") if name.strip())
+    unknown = [name for name in names if name not in STRATEGIES]
+    if unknown or not names:
+        raise OptimizerError(
+            f"unknown strategies {unknown or [spec]}; choose from "
+            f"{sorted(STRATEGIES)} or 'default'/'all'"
+        )
+    return names
 
 
 @dataclass
@@ -50,8 +76,19 @@ class StrategyOutcome:
     @property
     def estimation_error(self) -> float:
         """Signed relative error of the cost estimate against the charge
-        actually measured (``nan`` until the plan ran to completion)."""
-        if not self.executed or not self.completed or self.charged <= 0:
+        actually measured (``nan`` until the plan ran to completion).
+
+        Convention for zero charges: a legitimately free completed plan
+        (``charged == 0``) with a zero estimate is a *perfect* estimate —
+        ``0.0``, not ``nan``. A zero charge against a nonzero estimate
+        stays ``nan``: relative error against zero is undefined, and
+        reporting it as infinite would poison aggregates.
+        """
+        if not self.executed or not self.completed:
+            return float("nan")
+        if self.charged == 0:
+            return 0.0 if self.estimated_cost == 0 else float("nan")
+        if self.charged < 0:
             return float("nan")
         return (self.estimated_cost - self.charged) / self.charged
 
@@ -84,6 +121,7 @@ def run_strategies(
     execute: bool = True,
     tracer=NULL_TRACER,
     instrument: bool = False,
+    profiler=NULL_PROFILER,
 ) -> list[StrategyOutcome]:
     """Optimize and (optionally) execute ``query`` under each strategy.
 
@@ -91,7 +129,10 @@ def run_strategies(
     the best completed plan's charge (the paper reports relative times).
     Planner decision counts land in each outcome's ``notes``;
     ``instrument=True`` additionally collects per-operator actuals into
-    ``extras["operators"]``.
+    ``extras["operators"]``. A ``profiler``
+    (:class:`repro.obs.PhaseProfiler`) accumulates per-phase wall-clock
+    across all strategies — its hotspot report lands in recorded run
+    artifacts.
     """
     outcomes: list[StrategyOutcome] = []
     for strategy in strategies:
@@ -103,6 +144,7 @@ def run_strategies(
                 caching=caching,
                 global_model=global_model,
                 tracer=tracer,
+                profiler=profiler,
             )
         except OptimizerError as error:
             outcomes.append(
@@ -124,7 +166,8 @@ def run_strategies(
         )
         if execute:
             executor = Executor(
-                db, caching=caching, budget=budget, tracer=tracer
+                db, caching=caching, budget=budget, tracer=tracer,
+                profiler=profiler,
             )
             result = executor.execute(optimized.plan, instrument=instrument)
             outcome.charged = result.charged

@@ -16,6 +16,13 @@ def _bar(relative: float, max_relative: float) -> str:
     return "#" * min(_BAR_WIDTH, filled)
 
 
+def _plan_ms(outcome: StrategyOutcome) -> str:
+    """Planning time in ms, ``—`` when unknown (e.g. optimizer error)."""
+    if math.isnan(outcome.planning_seconds):
+        return "—"
+    return f"{outcome.planning_seconds * 1000:.1f}"
+
+
 def format_outcomes(
     title: str,
     outcomes: list[StrategyOutcome],
@@ -33,7 +40,8 @@ def format_outcomes(
     max_relative = max(completed) if completed else 1.0
     header = (
         f"{'strategy':<12} {'est.cost':>12} {'charged':>12} "
-        f"{'est.err':>8} {'rel':>8}  {'(relative charged cost)'}"
+        f"{'est.err':>8} {'plan.ms':>8} {'rel':>8}  "
+        f"{'(relative charged cost)'}"
     )
     lines.append(header)
     lines.append("-" * len(header))
@@ -42,13 +50,17 @@ def format_outcomes(
             lines.append(f"{outcome.strategy:<12} ERROR: {outcome.error}")
             continue
         est = f"{outcome.estimated_cost:>12.0f}"
+        plan_ms = _plan_ms(outcome)
         if not outcome.executed:
-            lines.append(f"{outcome.strategy:<12} {est} {'(not run)':>12}")
+            lines.append(
+                f"{outcome.strategy:<12} {est} {'(not run)':>12} "
+                f"{'—':>8} {plan_ms:>8}"
+            )
             continue
         if not outcome.completed:
             lines.append(
                 f"{outcome.strategy:<12} {est} {'DNF':>12} {'—':>8} "
-                f"{'—':>8}  "
+                f"{plan_ms:>8} {'—':>8}  "
                 "(exceeded cost budget; paper: 'never completed')"
             )
             continue
@@ -56,7 +68,7 @@ def format_outcomes(
         err = "—" if math.isnan(error) else f"{error * 100:+.0f}%"
         lines.append(
             f"{outcome.strategy:<12} {est} {outcome.charged:>12.0f} "
-            f"{err:>8} {outcome.relative:>7.2f}x  "
+            f"{err:>8} {plan_ms:>8} {outcome.relative:>7.2f}x  "
             f"{_bar(outcome.relative, max_relative)}"
         )
     return "\n".join(lines)
@@ -69,6 +81,8 @@ def format_planning_times(
     for outcome in outcomes:
         if outcome.error:
             lines.append(f"{outcome.strategy:<12} ERROR: {outcome.error}")
+        elif math.isnan(outcome.planning_seconds):
+            lines.append(f"{outcome.strategy:<12} planned in {'—':>9} ms")
         else:
             lines.append(
                 f"{outcome.strategy:<12} planned in "

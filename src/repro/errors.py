@@ -73,6 +73,10 @@ class BudgetExceededError(ExecutionError):
         self.budget = budget
 
 
+class ArtifactError(ReproError):
+    """A run artifact is unreadable or has an incompatible schema."""
+
+
 class PlanError(ReproError):
     """A plan tree is malformed or an optimizer invariant was violated."""
 

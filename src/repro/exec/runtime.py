@@ -13,7 +13,9 @@ from repro.exec.operators import (
     build_operator,
 )
 from repro.expr.expressions import QualifiedColumn, Scope
+from repro.obs.profile import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
+from repro.plan.display import _node_label
 from repro.plan.nodes import Plan, PlanNode
 
 
@@ -64,13 +66,16 @@ class Executor:
         cache_bypass: bool = False,
         cache_bypass_threshold: float = 0.95,
         tracer=None,
+        profiler=None,
     ) -> None:
         """``cache_mode`` selects predicate-level (Montage) or
         function-level ([Jhi88]) memoisation; ``cache_bypass`` enables the
         paper's Section 5.1 heuristic of not caching predicates whose
         distinct-bindings-to-tuples ratio exceeds the threshold (caching
         such predicates costs memory and buys nothing). ``tracer`` records
-        execute-phase spans (default: the zero-overhead null tracer)."""
+        execute-phase spans (default: the zero-overhead null tracer);
+        ``profiler`` accumulates build/run wall-clock plus, on
+        instrumented runs, per-operator actuals (``exec.op.<label>``)."""
         self.db = db
         self.caching = caching
         self.budget = budget
@@ -80,6 +85,7 @@ class Executor:
         self.cache_bypass = cache_bypass
         self.cache_bypass_threshold = cache_bypass_threshold
         self.tracer = NULL_TRACER if tracer is None else tracer
+        self.profiler = NULL_PROFILER if profiler is None else profiler
 
     def _bypass_ids(self, node: PlanNode) -> frozenset[int]:
         """Predicates not worth caching: nearly every binding is distinct.
@@ -127,6 +133,7 @@ class Executor:
         node = plan.root if isinstance(plan, Plan) else plan
         db = self.db
         tracer = self.tracer
+        profiler = self.profiler
         db.meter.reset()
         previous_budget = db.meter.budget
         db.meter.budget = self.budget
@@ -163,10 +170,12 @@ class Executor:
             "execute", caching=self.caching, instrumented=instrument
         ) as span:
             try:
-                with tracer.span("executor.build"):
+                with tracer.span("executor.build"), \
+                        profiler.phase("exec.build"):
                     operator = build_operator(node, ctx)
                 scope = operator.scope
-                with tracer.span("executor.run"):
+                with tracer.span("executor.run"), \
+                        profiler.phase("exec.run"):
                     for row in operator:
                         rows.append(row)
             except BudgetExceededError:
@@ -183,6 +192,19 @@ class Executor:
                 charged=db.meter.charged,
             )
         elapsed = time.perf_counter() - started
+
+        if profiler.enabled and node_stats is not None:
+            # Fold the instrumented per-node actuals into the profiler so
+            # operator hotspots rank alongside the optimizer's phases.
+            # wall_seconds is inclusive of each node's subtree, so only
+            # record()-style totals (no self-time split) make sense here.
+            for plan_node in node.walk():
+                stats = node_stats.get(id(plan_node))
+                if stats is not None:
+                    profiler.record(
+                        f"exec.op.{_node_label(plan_node)}",
+                        stats.wall_seconds,
+                    )
 
         if project is not None and scope is not None and completed:
             slots = [scope.slot(table, attribute) for table, attribute in project]

@@ -1,20 +1,51 @@
-"""Observability: structured tracing and metrics for optimizer + executor.
+"""Observability: tracing, metrics, profiling, and persistent run artifacts.
 
-Two small pieces:
+Four small pieces:
 
 * :mod:`repro.obs.tracer` — span-based decision traces with JSONL export
   and a zero-overhead :class:`NullTracer` default;
 * :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of named counters,
   timers, gauges, and histograms, plus :func:`record_run` which mirrors one
-  optimize/execute round under uniform ``plan.*`` / ``exec.*`` names.
+  optimize/execute round under uniform ``plan.*`` / ``exec.*`` names;
+* :mod:`repro.obs.profile` — a :class:`PhaseProfiler` accumulating
+  wall-clock per optimizer/executor phase (enumeration levels, fixpoint
+  rounds, DP steps, operators) with a ``top_hotspots`` report and a
+  zero-overhead :class:`NullProfiler` default;
+* :mod:`repro.obs.artifacts` — schema-versioned ``BENCH_<workload>.json``
+  run artifacts (environment, per-strategy measurements, plan
+  fingerprints, hotspots) plus :func:`diff_artifacts`, the plan-regression
+  gate behind ``python -m repro bench-diff``.
 """
 
+from repro.obs.artifacts import (
+    ARTIFACT_PREFIX,
+    SCHEMA_VERSION,
+    ArtifactRecorder,
+    Finding,
+    artifact_path,
+    build_run_artifact,
+    canonical_plan_form,
+    collect_artifacts,
+    diff_artifacts,
+    has_regressions,
+    load_run_artifact,
+    plan_fingerprint,
+    record_run_artifact,
+)
 from repro.obs.metrics import (
     Counter,
     Histogram,
     MetricsRegistry,
     Timer,
     record_run,
+)
+from repro.obs.profile import (
+    NULL_PHASE,
+    NULL_PROFILER,
+    NullPhase,
+    NullProfiler,
+    PhaseProfiler,
+    PhaseStat,
 )
 from repro.obs.tracer import (
     NULL_SPAN,
@@ -26,15 +57,34 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "ARTIFACT_PREFIX",
+    "ArtifactRecorder",
     "Counter",
+    "Finding",
     "Histogram",
     "MetricsRegistry",
+    "NULL_PHASE",
+    "NULL_PROFILER",
     "NULL_SPAN",
     "NULL_TRACER",
+    "NullPhase",
+    "NullProfiler",
     "NullSpan",
     "NullTracer",
+    "PhaseProfiler",
+    "PhaseStat",
+    "SCHEMA_VERSION",
     "Span",
     "Timer",
     "Tracer",
+    "artifact_path",
+    "build_run_artifact",
+    "canonical_plan_form",
+    "collect_artifacts",
+    "diff_artifacts",
+    "has_regressions",
+    "load_run_artifact",
+    "plan_fingerprint",
     "record_run",
+    "record_run_artifact",
 ]

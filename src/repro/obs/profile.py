@@ -1,0 +1,168 @@
+"""Phase profiling: where did the optimizer and executor spend their time?
+
+The tracer (:mod:`repro.obs.tracer`) answers *why* a plan was chosen; the
+:class:`PhaseProfiler` answers *where the wall-clock went* — per System R
+enumeration level, per migration fixpoint round, per exhaustive join
+order, per LDL DP step, per executor operator. Phases are named spans
+accumulated by name, so a phase entered a thousand times costs one dict
+slot, not a thousand records (unlike tracer spans, which are kept
+individually).
+
+Like the tracer, profiling must cost nothing when off: the default
+:data:`NULL_PROFILER` is a :class:`NullProfiler` whose ``phase()`` returns
+a shared, stateless no-op context manager. Hot loops additionally guard
+with ``if profiler.enabled:`` where even name formatting would show up.
+
+Nesting is handled with self-time attribution: a phase's ``seconds`` are
+inclusive of nested phases, ``self_seconds`` excludes them, and
+:meth:`PhaseProfiler.top_hotspots` ranks by self-time so a parent phase
+does not crowd out the child doing the actual work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+class NullPhase:
+    """The do-nothing phase span: a stateless, reusable context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullPhase":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+#: Shared instance handed out by :class:`NullProfiler` — never allocates.
+NULL_PHASE = NullPhase()
+
+
+class NullProfiler:
+    """The default profiler: every operation is a no-op.
+
+    ``enabled`` is a class attribute so hot paths can skip phase-name
+    construction entirely (``if profiler.enabled: ...``).
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def phase(self, name: str) -> NullPhase:
+        return NULL_PHASE
+
+    def record(self, name: str, seconds: float) -> None:
+        """Record nothing."""
+
+    def as_dict(self) -> dict:
+        return {}
+
+    def top_hotspots(self, n: int = 10) -> list[dict]:
+        return []
+
+
+#: Shared default profiler instance.
+NULL_PROFILER = NullProfiler()
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated timings for one phase name."""
+
+    seconds: float = 0.0
+    self_seconds: float = 0.0
+    count: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "seconds": self.seconds,
+            "self_seconds": self.self_seconds,
+            "count": self.count,
+        }
+
+
+class _PhaseSpan:
+    """One live ``with profiler.phase(name):`` entry."""
+
+    __slots__ = ("profiler", "name", "started", "child_seconds")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str) -> None:
+        self.profiler = profiler
+        self.name = name
+        self.started = 0.0
+        self.child_seconds = 0.0
+
+    def __enter__(self) -> "_PhaseSpan":
+        self.profiler._stack.append(self)
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        elapsed = time.perf_counter() - self.started
+        self.profiler._close(self, elapsed)
+        return False
+
+
+class PhaseProfiler(NullProfiler):
+    """Accumulates perf_counter spans per phase name; nestable."""
+
+    __slots__ = ("_stats", "_stack")
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._stats: dict[str, PhaseStat] = {}
+        self._stack: list[_PhaseSpan] = []
+
+    def phase(self, name: str) -> _PhaseSpan:
+        """A context manager timing one entry of the named phase."""
+        return _PhaseSpan(self, name)
+
+    def _close(self, span: _PhaseSpan, elapsed: float) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # tolerate out-of-order exits
+            self._stack.remove(span)
+        stat = self._stats.get(span.name)
+        if stat is None:
+            stat = self._stats[span.name] = PhaseStat()
+        stat.seconds += elapsed
+        stat.self_seconds += max(0.0, elapsed - span.child_seconds)
+        stat.count += 1
+        if self._stack:
+            self._stack[-1].child_seconds += elapsed
+
+    def record(self, name: str, seconds: float) -> None:
+        """Fold an externally measured duration into the named phase
+        (e.g. per-operator actuals collected by EXPLAIN ANALYZE)."""
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = self._stats[name] = PhaseStat()
+        stat.seconds += seconds
+        stat.self_seconds += seconds
+        stat.count += 1
+
+    # -- inspection --------------------------------------------------------
+
+    def stat(self, name: str) -> PhaseStat | None:
+        return self._stats.get(name)
+
+    def as_dict(self) -> dict:
+        """``{phase name: {"seconds", "self_seconds", "count"}}`` in first-
+        entered order."""
+        return {name: stat.as_dict() for name, stat in self._stats.items()}
+
+    def top_hotspots(self, n: int = 10) -> list[dict]:
+        """The ``n`` phases with the largest self-time, descending."""
+        ranked = sorted(
+            self._stats.items(),
+            key=lambda item: item[1].self_seconds,
+            reverse=True,
+        )
+        return [
+            {"phase": name, **stat.as_dict()} for name, stat in ranked[:n]
+        ]

@@ -20,6 +20,7 @@ from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel
 from repro.errors import OptimizerError
 from repro.expr.predicates import Predicate
+from repro.obs.profile import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.joinutil import choose_primary, eligible_methods
 from repro.optimizer.policies import rank_sorted
@@ -39,6 +40,7 @@ def exhaustive_plan(
     combo_limit: int = DEFAULT_COMBO_LIMIT,
     tracer=NULL_TRACER,
     notes: dict | None = None,
+    profiler=NULL_PROFILER,
 ) -> Plan:
     """The minimum-estimated-cost plan over the full placement space."""
     if method_choice not in ("greedy", "enumerate"):
@@ -52,48 +54,50 @@ def exhaustive_plan(
     orders_tried = 0
     plans_costed = 0
     for order in itertools.permutations(tables):
-        root, movable = _skeleton(query, order, join_predicates)
-        if root is None:
-            continue
-        orders_tried += 1
-        if isinstance(root, Scan):
-            # Single-table query: rank order is optimal, nothing to place.
-            estimate = model.estimate_plan(root)
-            if notes is not None:
-                notes.update(
-                    subplans_enumerated=1,
-                    subplans_pruned=0,
-                    orders_enumerated=1,
-                    interleavings_counted=0,
-                )
-            return Plan(root, estimate.cost, estimate.rows)
-        spine = spine_of(root)
-        slot_ranges = [
-            range(spine.entry_slot(predicate), spine.slots)
-            for predicate in movable
-        ]
-        for slots in itertools.product(*slot_ranges):
-            combos_seen += 1
-            if combos_seen > combo_limit:
-                raise OptimizerError(
-                    f"exhaustive placement exceeded {combo_limit} "
-                    "combinations; use a heuristic strategy"
-                )
-            spine.apply_placement(dict(zip(movable, slots)))
-            for cost in _method_costs(
-                spine, catalog, model, method_choice
-            ):
-                plans_costed += 1
-                if cost < best_cost:
-                    best_cost = cost
-                    best_root = root.clone()
-                    if tracer.enabled:
-                        tracer.event(
-                            "exhaustive.new_best",
-                            cost=cost,
-                            order=list(order),
-                            interleaving=combos_seen,
-                        )
+        with profiler.phase("exhaustive.order"):
+            root, movable = _skeleton(query, order, join_predicates)
+            if root is None:
+                continue
+            orders_tried += 1
+            if isinstance(root, Scan):
+                # Single-table query: rank order is optimal, nothing to
+                # place.
+                estimate = model.estimate_plan(root)
+                if notes is not None:
+                    notes.update(
+                        subplans_enumerated=1,
+                        subplans_pruned=0,
+                        orders_enumerated=1,
+                        interleavings_counted=0,
+                    )
+                return Plan(root, estimate.cost, estimate.rows)
+            spine = spine_of(root)
+            slot_ranges = [
+                range(spine.entry_slot(predicate), spine.slots)
+                for predicate in movable
+            ]
+            for slots in itertools.product(*slot_ranges):
+                combos_seen += 1
+                if combos_seen > combo_limit:
+                    raise OptimizerError(
+                        f"exhaustive placement exceeded {combo_limit} "
+                        "combinations; use a heuristic strategy"
+                    )
+                spine.apply_placement(dict(zip(movable, slots)))
+                for cost in _method_costs(
+                    spine, catalog, model, method_choice
+                ):
+                    plans_costed += 1
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_root = root.clone()
+                        if tracer.enabled:
+                            tracer.event(
+                                "exhaustive.new_best",
+                                cost=cost,
+                                order=list(order),
+                                interleaving=combos_seen,
+                            )
     if notes is not None:
         # Every costed (order, interleaving, method) plan but the winner
         # was discarded by direct cost comparison.

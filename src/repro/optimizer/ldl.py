@@ -23,6 +23,7 @@ from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel
 from repro.errors import OptimizerError
 from repro.expr.predicates import Predicate
+from repro.obs.profile import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.joinutil import choose_primary, eligible_methods
 from repro.optimizer.policies import rank_sorted
@@ -47,6 +48,7 @@ def ldl_plan(
     bushy: bool = False,
     tracer=NULL_TRACER,
     notes: dict | None = None,
+    profiler=NULL_PROFILER,
 ) -> Plan:
     """Best plan with expensive predicates as virtual join steps.
 
@@ -85,50 +87,53 @@ def ldl_plan(
     )
     dp_span.__enter__()
     for step in range(1, total_steps):
-        current_states = [
-            state for state in dp if len(state[0]) + len(state[1]) == step
-        ]
-        successors: dict[State, list[_LDLCandidate]] = {}
-        for state in current_states:
-            joined, applied = state
-            states_expanded += 1
-            for candidate in dp[state]:
-                _apply_transitions(
-                    query,
-                    catalog,
-                    model,
-                    candidate,
-                    joined,
-                    applied,
-                    virtual,
-                    join_predicates,
-                    successors,
-                    candidate_of,
-                )
-                if bushy:
-                    _apply_bushy_pairings(
+        with profiler.phase(f"ldl.step_{step}"):
+            current_states = [
+                state
+                for state in dp
+                if len(state[0]) + len(state[1]) == step
+            ]
+            successors: dict[State, list[_LDLCandidate]] = {}
+            for state in current_states:
+                joined, applied = state
+                states_expanded += 1
+                for candidate in dp[state]:
+                    _apply_transitions(
+                        query,
                         catalog,
                         model,
-                        dp,
-                        state,
                         candidate,
+                        joined,
+                        applied,
+                        virtual,
                         join_predicates,
                         successors,
                         candidate_of,
                     )
-        for state, candidates in successors.items():
-            existing = dp.get(state, [])
-            kept = _prune(existing + candidates)
-            enumerated += len(candidates)
-            pruned += len(existing) + len(candidates) - len(kept)
-            dp[state] = kept
-        if tracer.enabled:
-            tracer.event(
-                "ldl.step",
-                step=step,
-                states_at_step=len(current_states),
-                successors=len(successors),
-            )
+                    if bushy:
+                        _apply_bushy_pairings(
+                            catalog,
+                            model,
+                            dp,
+                            state,
+                            candidate,
+                            join_predicates,
+                            successors,
+                            candidate_of,
+                        )
+            for state, candidates in successors.items():
+                existing = dp.get(state, [])
+                kept = _prune(existing + candidates)
+                enumerated += len(candidates)
+                pruned += len(existing) + len(candidates) - len(kept)
+                dp[state] = kept
+            if tracer.enabled:
+                tracer.event(
+                    "ldl.step",
+                    step=step,
+                    states_at_step=len(current_states),
+                    successors=len(successors),
+                )
 
     dp_span.set(states=len(dp), enumerated=enumerated)
     dp_span.__exit__(None, None, None)

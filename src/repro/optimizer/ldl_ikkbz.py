@@ -24,6 +24,7 @@ from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel
 from repro.errors import OptimizerError
 from repro.expr.predicates import Predicate
+from repro.obs.profile import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.ikkbz import IKKBZNode, ikkbz_linearize, sequence_cost
 from repro.optimizer.joinutil import choose_primary, eligible_methods
@@ -40,6 +41,7 @@ def ldl_ikkbz_plan(
     bushy: bool = False,
     tracer=NULL_TRACER,
     notes: dict | None = None,
+    profiler=NULL_PROFILER,
 ) -> Plan:
     """Plan via the LDL rewrite linearised by IK-KBZ.
 
@@ -50,7 +52,8 @@ def ldl_ikkbz_plan(
     """
     del bushy
     _validate(query)
-    with tracer.span("linearize", roots=len(query.tables)):
+    with tracer.span("linearize", roots=len(query.tables)), \
+            profiler.phase("ldl_ikkbz.linearize"):
         order = _best_order(query, catalog, model)
     if notes is not None:
         # One full linearisation per candidate root; all but the winning

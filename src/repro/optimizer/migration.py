@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 from repro.cost.model import CostModel
 from repro.expr.predicates import Predicate, rank
+from repro.obs.profile import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 from repro.plan.nodes import Plan, PlanNode
 from repro.plan.streams import Spine, movable_predicates, spine_of
@@ -233,7 +234,10 @@ def _chain_for(
 
 
 def migrate_node(
-    root: PlanNode, model: CostModel, tracer=NULL_TRACER
+    root: PlanNode,
+    model: CostModel,
+    tracer=NULL_TRACER,
+    profiler=NULL_PROFILER,
 ) -> tuple[int, int]:
     """Optimally re-place all movable predicates of ``root`` in place.
 
@@ -250,36 +254,38 @@ def migrate_node(
     moves = 0
     for _ in range(MAX_ITERATIONS):
         iterations += 1
-        outer_modules, inner_modules = spine_join_modules(spine, model)
-        placements: dict[Predicate, int] = {}
-        for predicate in movable:
-            chain = _chain_for(
-                spine, predicate, outer_modules, inner_modules, current_slots
+        with profiler.phase("migration.round"):
+            outer_modules, inner_modules = spine_join_modules(spine, model)
+            placements: dict[Predicate, int] = {}
+            for predicate in movable:
+                chain = _chain_for(
+                    spine, predicate, outer_modules, inner_modules,
+                    current_slots,
+                )
+                placements[predicate] = climb_chain(
+                    predicate.rank, chain, spine.entry_slot(predicate)
+                )
+            changed = sum(
+                1
+                for predicate, slot in placements.items()
+                if current_slots.get(predicate) != slot
             )
-            placements[predicate] = climb_chain(
-                predicate.rank, chain, spine.entry_slot(predicate)
-            )
-        changed = sum(
-            1
-            for predicate, slot in placements.items()
-            if current_slots.get(predicate) != slot
-        )
-        moves += changed
-        if tracer.enabled:
-            tracer.event(
-                "migration.fixpoint",
-                iteration=iterations,
-                moves=changed,
-                placements={
-                    str(predicate): slot
-                    for predicate, slot in placements.items()
-                },
-            )
-        if placements == previous:
-            break
-        spine.apply_placement(placements)
-        current_slots = placements
-        previous = placements
+            moves += changed
+            if tracer.enabled:
+                tracer.event(
+                    "migration.fixpoint",
+                    iteration=iterations,
+                    moves=changed,
+                    placements={
+                        str(predicate): slot
+                        for predicate, slot in placements.items()
+                    },
+                )
+            if placements == previous:
+                break
+            spine.apply_placement(placements)
+            current_slots = placements
+            previous = placements
     return iterations, moves
 
 
@@ -295,7 +301,11 @@ def _current_slot(spine: Spine, predicate: Predicate) -> int:
 
 
 def migrate_plan(
-    plan: Plan, model: CostModel, tracer=NULL_TRACER, notes: dict | None = None
+    plan: Plan,
+    model: CostModel,
+    tracer=NULL_TRACER,
+    notes: dict | None = None,
+    profiler=NULL_PROFILER,
 ) -> Plan:
     """Migrate a (cloned) plan and return it with refreshed estimates.
 
@@ -313,10 +323,12 @@ def migrate_plan(
         if isinstance(node, Join)
     )
     if left_deep:
-        iterations, moves = migrate_node(migrated.root, model, tracer=tracer)
+        iterations, moves = migrate_node(
+            migrated.root, model, tracer=tracer, profiler=profiler
+        )
     else:
         iterations, moves = migrate_bushy_node(
-            migrated.root, model, tracer=tracer
+            migrated.root, model, tracer=tracer, profiler=profiler
         )
     if notes is not None:
         notes["plans_migrated"] = notes.get("plans_migrated", 0) + 1
@@ -361,7 +373,10 @@ def _path_modules(path, model: CostModel) -> list[Module]:
 
 
 def migrate_bushy_node(
-    root: PlanNode, model: CostModel, tracer=NULL_TRACER
+    root: PlanNode,
+    model: CostModel,
+    tracer=NULL_TRACER,
+    profiler=NULL_PROFILER,
 ) -> tuple[int, int]:
     """Predicate Migration for arbitrary trees: apply the series–parallel
     placement to each root-to-leaf path until no progress is made.
@@ -374,6 +389,8 @@ def migrate_bushy_node(
     total_moves = 0
     for _ in range(MAX_ITERATIONS):
         iterations += 1
+        round_phase = profiler.phase("migration.round")
+        round_phase.__enter__()
         changed = False
         for path in root_paths(root):
             path_nodes = path.nodes()
@@ -445,6 +462,7 @@ def migrate_bushy_node(
                         slot=target,
                         iteration=iterations,
                     )
+        round_phase.__exit__(None, None, None)
         if not changed:
             break
     return iterations, total_moves

@@ -9,6 +9,7 @@ from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel
 from repro.cost.params import CostParams
 from repro.errors import OptimizerError
+from repro.obs.profile import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.exhaustive import exhaustive_plan
 from repro.optimizer.ldl import ldl_plan
@@ -33,10 +34,12 @@ def _policy_strategy(policy_factory):
         bushy: bool = False,
         tracer=NULL_TRACER,
         notes: dict | None = None,
+        profiler=NULL_PROFILER,
     ) -> Plan:
         policy = policy_factory()
         planner = SystemRPlanner(
-            catalog, model, policy, bushy=bushy, tracer=tracer
+            catalog, model, policy, bushy=bushy, tracer=tracer,
+            profiler=profiler,
         )
         with tracer.span("enumerate", policy=policy.name):
             plan = planner.plan(query)
@@ -54,13 +57,15 @@ def migration_strategy(
     bushy: bool = False,
     tracer=NULL_TRACER,
     notes: dict | None = None,
+    profiler=NULL_PROFILER,
 ) -> Plan:
     """Predicate Migration: PullRank enumeration with unpruneable retention,
     then series–parallel migration of every retained plan (Section 4.4).
     With ``bushy=True``, enumeration covers bushy trees and migration runs
     the paper's per-root-to-leaf-path formulation."""
     planner = SystemRPlanner(
-        catalog, model, MigrationPhaseOnePolicy(), bushy=bushy, tracer=tracer
+        catalog, model, MigrationPhaseOnePolicy(), bushy=bushy,
+        tracer=tracer, profiler=profiler,
     )
     with tracer.span("enumerate", policy=planner.policy.name):
         candidates = planner.final_candidates(query)
@@ -74,6 +79,7 @@ def migration_strategy(
                 model,
                 tracer=tracer,
                 notes=migration_notes,
+                profiler=profiler,
             )
             if best is None or migrated.estimated_cost < best.estimated_cost:
                 best = migrated
@@ -92,13 +98,17 @@ def exhaustive_strategy(
     bushy: bool = False,
     tracer=NULL_TRACER,
     notes: dict | None = None,
+    profiler=NULL_PROFILER,
 ) -> Plan:
     # Exhaustive placement enumerates left-deep orders; it is already the
     # optimal baseline for the workloads (bushy shapes add nothing for
     # standard joins under the linear model's left-deep assumptions).
     del bushy
     with tracer.span("enumerate", policy="exhaustive"):
-        return exhaustive_plan(query, catalog, model, tracer=tracer, notes=notes)
+        return exhaustive_plan(
+            query, catalog, model, tracer=tracer, notes=notes,
+            profiler=profiler,
+        )
 
 
 STRATEGIES = {
@@ -143,6 +153,7 @@ def optimize(
     params: CostParams | None = None,
     bushy: bool = False,
     tracer=None,
+    profiler=None,
 ) -> OptimizedPlan:
     """Optimize ``query`` against ``db`` with the named placement strategy.
 
@@ -153,7 +164,11 @@ def optimize(
     (the paper's suggested fix for LDL's left-deep limitation).
     ``tracer`` (a :class:`repro.obs.Tracer`) records nested spans for each
     optimizer phase and the strategy's per-decision events; the default is
-    the zero-overhead null tracer.
+    the zero-overhead null tracer. ``profiler`` (a
+    :class:`repro.obs.PhaseProfiler`) accumulates wall-clock per optimizer
+    phase — System R enumeration levels, migration fixpoint rounds,
+    exhaustive join orders, LDL DP steps — under the same null-object
+    default.
     """
     try:
         strategy_fn = STRATEGIES[strategy]
@@ -163,6 +178,7 @@ def optimize(
             f"choose one of {sorted(STRATEGIES)}"
         ) from None
     tracer = NULL_TRACER if tracer is None else tracer
+    profiler = NULL_PROFILER if profiler is None else profiler
     model = CostModel(
         db.catalog,
         params or db.params,
@@ -173,9 +189,10 @@ def optimize(
     started = time.perf_counter()
     with tracer.span(
         "optimize", strategy=strategy, query=query.name, bushy=bushy
-    ) as span:
+    ) as span, profiler.phase(f"optimize.{strategy}"):
         plan = strategy_fn(
-            query, db.catalog, model, bushy=bushy, tracer=tracer, notes=notes
+            query, db.catalog, model, bushy=bushy, tracer=tracer,
+            notes=notes, profiler=profiler,
         )
         span.set(estimated_cost=plan.estimated_cost)
     elapsed = time.perf_counter() - started

@@ -18,6 +18,7 @@ from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel, Estimate
 from repro.errors import OptimizerError
 from repro.expr.predicates import Predicate
+from repro.obs.profile import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.joinutil import (
     choose_primary,
@@ -97,18 +98,21 @@ class SystemRPlanner:
         methods: tuple[JoinMethod, ...] = tuple(JoinMethod),
         bushy: bool = False,
         tracer=NULL_TRACER,
+        profiler=NULL_PROFILER,
     ) -> None:
         """``bushy=True`` additionally enumerates bushy join trees (both
         join inputs may be composites) — the System R modification the
         paper mentions as the fix for LDL's left-deep limitation.
         ``tracer`` receives per-subset enumeration events and the policy's
-        per-join pullup verdicts."""
+        per-join pullup verdicts; ``profiler`` accumulates wall-clock per
+        DP level (``systemr.level_<k>``)."""
         self.catalog = catalog
         self.model = model
         self.policy = policy or PlacementPolicy()
         self.methods = methods
         self.bushy = bushy
         self.tracer = tracer
+        self.profiler = profiler
         self.policy.tracer = tracer
         self.stats = PlannerStats()
 
@@ -141,32 +145,37 @@ class SystemRPlanner:
         tracer = self.tracer
 
         dp: dict[frozenset[str], list[Candidate]] = {}
-        for table in table_list:
-            base = self._base_candidates(query, table)
-            self.stats.base_candidates += len(base)
-            dp[frozenset({table})] = self._prune(base)
+        with self.profiler.phase("systemr.level_1"):
+            for table in table_list:
+                base = self._base_candidates(query, table)
+                self.stats.base_candidates += len(base)
+                dp[frozenset({table})] = self._prune(base)
 
         for size in range(2, len(table_list) + 1):
-            for subset_tuple in itertools.combinations(table_list, size):
-                subset = frozenset(subset_tuple)
-                candidates = self._extend(query, dp, subset, join_predicates)
-                if not candidates:
+            with self.profiler.phase(f"systemr.level_{size}"):
+                for subset_tuple in itertools.combinations(table_list, size):
+                    subset = frozenset(subset_tuple)
                     candidates = self._extend(
-                        query, dp, subset, join_predicates, allow_cross=True
+                        query, dp, subset, join_predicates
                     )
-                if candidates:
-                    kept = self._prune(candidates)
-                    dp[subset] = kept
-                    if tracer.enabled:
-                        tracer.event(
-                            "systemr.subset",
-                            tables=sorted(subset),
-                            enumerated=len(candidates),
-                            kept=len(kept),
-                            unpruneable=sum(
-                                1 for c in kept if c.unpruneable
-                            ),
+                    if not candidates:
+                        candidates = self._extend(
+                            query, dp, subset, join_predicates,
+                            allow_cross=True,
                         )
+                    if candidates:
+                        kept = self._prune(candidates)
+                        dp[subset] = kept
+                        if tracer.enabled:
+                            tracer.event(
+                                "systemr.subset",
+                                tables=sorted(subset),
+                                enumerated=len(candidates),
+                                kept=len(kept),
+                                unpruneable=sum(
+                                    1 for c in kept if c.unpruneable
+                                ),
+                            )
 
         final = dp.get(frozenset(table_list))
         if not final:
@@ -222,7 +231,10 @@ class SystemRPlanner:
         allow_cross: bool = False,
     ) -> list[Candidate]:
         candidates: list[Candidate] = []
-        for inner_table in subset:
+        # Sorted so enumeration order — and therefore which of several
+        # cost-tied candidates survives pruning — does not depend on set
+        # hash order (plan fingerprints must be stable across processes).
+        for inner_table in sorted(subset):
             outer_set = subset - {inner_table}
             outer_candidates = dp.get(outer_set)
             if not outer_candidates:

@@ -1,0 +1,137 @@
+"""Tests for the ASCII report formatting edge cases."""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.harness import StrategyOutcome
+from repro.bench.report import format_outcomes, format_planning_times
+
+
+def completed_outcome(
+    strategy="migration",
+    estimated_cost=100.0,
+    charged=100.0,
+    relative=1.0,
+    planning_seconds=0.0123,
+):
+    return StrategyOutcome(
+        strategy=strategy,
+        plan=None,
+        estimated_cost=estimated_cost,
+        planning_seconds=planning_seconds,
+        charged=charged,
+        completed=True,
+        executed=True,
+        relative=relative,
+    )
+
+
+class TestFormatOutcomes:
+    def test_error_row(self):
+        failed = StrategyOutcome(
+            strategy="ldl-ikkbz",
+            plan=None,
+            estimated_cost=float("nan"),
+            planning_seconds=float("nan"),
+            error="cyclic join graph",
+        )
+        text = format_outcomes("T", [failed])
+        assert "ldl-ikkbz" in text
+        assert "ERROR: cyclic join graph" in text
+
+    def test_dnf_row(self):
+        dnf = StrategyOutcome(
+            strategy="pullup",
+            plan=None,
+            estimated_cost=500.0,
+            planning_seconds=0.002,
+            charged=15000.0,
+            completed=False,
+            executed=True,
+        )
+        text = format_outcomes("T", [dnf])
+        assert "DNF" in text
+        assert "never completed" in text
+        assert "2.0" in text  # planning time still reported for DNF rows
+
+    def test_not_run_row(self):
+        unexecuted = StrategyOutcome(
+            strategy="pushdown",
+            plan=None,
+            estimated_cost=42.0,
+            planning_seconds=0.001,
+        )
+        text = format_outcomes("T", [unexecuted])
+        assert "(not run)" in text
+
+    def test_all_rows_nan_relative_no_crash(self):
+        # With no completed plans max_relative falls back to 1.0 and no
+        # bar division blows up.
+        rows = [
+            StrategyOutcome(
+                strategy="pushdown",
+                plan=None,
+                estimated_cost=1.0,
+                planning_seconds=0.001,
+            ),
+            StrategyOutcome(
+                strategy="pullup",
+                plan=None,
+                estimated_cost=float("nan"),
+                planning_seconds=float("nan"),
+                error="boom",
+            ),
+        ]
+        text = format_outcomes("T", rows)
+        assert "pushdown" in text and "pullup" in text
+
+    def test_plan_ms_column(self):
+        text = format_outcomes("T", [completed_outcome()])
+        assert "plan.ms" in text
+        assert "12.3" in text  # 0.0123 s -> 12.3 ms
+
+    def test_nan_planning_time_renders_dash(self):
+        outcome = completed_outcome(planning_seconds=float("nan"))
+        text = format_outcomes("T", [outcome])
+        assert "—" in text
+
+    def test_zero_charge_estimation_error(self):
+        # A free plan with a zero estimate is a perfect estimate (+0%),
+        # not an undefined one (satellite: harness.estimation_error).
+        free = completed_outcome(estimated_cost=0.0, charged=0.0)
+        assert free.estimation_error == 0.0
+        text = format_outcomes("T", [free])
+        assert "+0%" in text
+
+    def test_zero_charge_nonzero_estimate_is_nan(self):
+        odd = completed_outcome(estimated_cost=10.0, charged=0.0)
+        assert math.isnan(odd.estimation_error)
+        assert "—" in format_outcomes("T", [odd])
+
+    def test_note_line_included(self):
+        text = format_outcomes("T", [completed_outcome()], note="SELECT 1")
+        assert "SELECT 1" in text
+
+
+class TestFormatPlanningTimes:
+    def test_normal_row(self):
+        text = format_planning_times("T", [completed_outcome()])
+        assert "12.3 ms" in text
+
+    def test_nan_renders_dash_not_nan(self):
+        outcome = completed_outcome(planning_seconds=float("nan"))
+        text = format_planning_times("T", [outcome])
+        assert "—" in text
+        assert "nan" not in text
+
+    def test_error_row(self):
+        failed = StrategyOutcome(
+            strategy="ldl-ikkbz",
+            plan=None,
+            estimated_cost=float("nan"),
+            planning_seconds=float("nan"),
+            error="no linear join tree",
+        )
+        text = format_planning_times("T", [failed])
+        assert "ERROR: no linear join tree" in text

@@ -157,3 +157,94 @@ class TestCli:
     def test_parser_requires_a_source(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--compare"])
+
+    def test_strategies_all_reaches_full_registry(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--workload", "q1", "--scale", "20",
+            "--compare", "--strategies", "all",
+        )
+        assert code == 0
+        assert "ldl-ikkbz" in out
+
+    def test_strategies_comma_list(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--sql", SQL, "--scale", "20",
+            "--compare", "--strategies", "pushdown,pullup",
+        )
+        assert code == 0
+        assert "pushdown" in out
+        assert "migration" not in out
+
+    def test_strategies_unknown_name_errors(self, capsys):
+        code, _, err = run_cli(
+            capsys, "--sql", SQL, "--scale", "20",
+            "--compare", "--strategies", "bogus",
+        )
+        assert code == 1
+        assert "unknown strategies" in err
+
+
+class TestRecordAndDiff:
+    def record(self, capsys, tmp_path, name, **overrides):
+        target = tmp_path / name
+        argv = [
+            "--workload", "q1", "--scale", "20", "--seed", "42",
+            "--compare", "--record", str(target),
+        ]
+        for flag, value in overrides.items():
+            argv += [f"--{flag}", str(value)]
+        code, out, err = run_cli(capsys, *argv)
+        assert code == 0
+        assert "artifact" in err
+        return target
+
+    def test_record_writes_artifact_with_profile(self, capsys, tmp_path):
+        target = self.record(capsys, tmp_path, "runA")
+        files = list(target.glob("BENCH_*.json"))
+        assert len(files) == 1
+        document = json.loads(files[0].read_text(encoding="utf-8"))
+        assert document["workload"] == "q1"
+        assert document["environment"]["scale"] == 20
+        assert "migration" in document["strategies"]
+        assert document["strategies"]["migration"]["fingerprint"]
+        # Recording turns the profiler on; hotspots land in the artifact.
+        assert document["hotspots"]
+
+    def test_bench_diff_identical_runs_exit_zero(self, capsys, tmp_path):
+        a = self.record(capsys, tmp_path, "runA")
+        b = self.record(capsys, tmp_path, "runB")
+        code, out, _ = run_cli(capsys, "bench-diff", str(a), str(b))
+        assert code == 0
+        assert "no regressions" in out
+
+    def test_bench_diff_detects_regression(self, capsys, tmp_path):
+        a = self.record(capsys, tmp_path, "runA")
+        b = self.record(capsys, tmp_path, "runB")
+        artifact = next(b.glob("BENCH_*.json"))
+        document = json.loads(artifact.read_text(encoding="utf-8"))
+        document["strategies"]["migration"]["charged"] *= 1.5
+        document["strategies"]["pushdown"]["fingerprint"] = "0" * 16
+        artifact.write_text(json.dumps(document), encoding="utf-8")
+        code, out, _ = run_cli(capsys, "bench-diff", str(a), str(b))
+        assert code == 1
+        assert "[REGRESSION]" in out
+        assert "charged" in out
+        assert "fingerprint" in out
+        assert "regression(s)" in out
+
+    def test_bench_diff_empty_candidate_dir_exit_two(self, capsys, tmp_path):
+        a = self.record(capsys, tmp_path, "runA")
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code, _, err = run_cli(capsys, "bench-diff", str(a), str(empty))
+        assert code == 2
+        assert "no BENCH_" in err
+
+    def test_bench_diff_unreadable_artifact_exit_two(self, capsys, tmp_path):
+        a = self.record(capsys, tmp_path, "runA")
+        broken = tmp_path / "broken"
+        broken.mkdir()
+        (broken / "BENCH_q1.json").write_text("{nope", encoding="utf-8")
+        code, _, err = run_cli(capsys, "bench-diff", str(a), str(broken))
+        assert code == 2
+        assert "not valid JSON" in err

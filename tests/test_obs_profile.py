@@ -1,0 +1,137 @@
+"""Tests for the phase profiler (repro.obs.profile)."""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import run_strategies
+from repro.bench.workloads import build_workload
+from repro.obs import (
+    NULL_PHASE,
+    NULL_PROFILER,
+    NullProfiler,
+    PhaseProfiler,
+)
+from repro.optimizer import optimize
+
+
+class TestNullProfiler:
+    def test_disabled_and_inert(self):
+        assert NULL_PROFILER.enabled is False
+        assert NULL_PROFILER.phase("anything") is NULL_PHASE
+        with NULL_PROFILER.phase("anything"):
+            pass
+        NULL_PROFILER.record("anything", 1.0)
+        assert NULL_PROFILER.as_dict() == {}
+        assert NULL_PROFILER.top_hotspots() == []
+
+    def test_null_is_the_shared_instance(self):
+        # The module-level singleton is what default arguments use; a
+        # private NullProfiler behaves identically.
+        assert isinstance(NULL_PROFILER, NullProfiler)
+        assert NullProfiler().phase("x") is NULL_PHASE
+
+
+class TestPhaseProfiler:
+    def test_single_phase_accumulates(self):
+        profiler = PhaseProfiler()
+        for _ in range(3):
+            with profiler.phase("work"):
+                time.sleep(0.001)
+        stat = profiler.stat("work")
+        assert stat.count == 3
+        assert stat.seconds >= 0.003
+        # No children: self time equals inclusive time.
+        assert stat.self_seconds == stat.seconds
+
+    def test_nested_phase_splits_self_time(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("outer"):
+            time.sleep(0.001)
+            with profiler.phase("inner"):
+                time.sleep(0.002)
+        outer = profiler.stat("outer")
+        inner = profiler.stat("inner")
+        assert outer.seconds >= inner.seconds  # inclusive of the child
+        assert inner.self_seconds == inner.seconds
+        # The child's time is subtracted from the parent's self time.
+        assert outer.self_seconds <= outer.seconds - inner.seconds + 1e-6
+
+    def test_record_folds_external_durations(self):
+        profiler = PhaseProfiler()
+        profiler.record("exec.op.Join", 0.5)
+        profiler.record("exec.op.Join", 0.25)
+        stat = profiler.stat("exec.op.Join")
+        assert stat.count == 2
+        assert stat.seconds == 0.75
+        assert stat.self_seconds == 0.75
+
+    def test_top_hotspots_ranked_by_self_time(self):
+        profiler = PhaseProfiler()
+        profiler.record("cold", 0.1)
+        profiler.record("hot", 3.0)
+        profiler.record("warm", 1.0)
+        hotspots = profiler.top_hotspots(2)
+        assert [entry["phase"] for entry in hotspots] == ["hot", "warm"]
+        assert hotspots[0]["self_seconds"] == 3.0
+
+    def test_as_dict_round_trips_stats(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("p"):
+            pass
+        snapshot = profiler.as_dict()
+        assert set(snapshot) == {"p"}
+        assert snapshot["p"]["count"] == 1
+        assert {"seconds", "self_seconds", "count"} <= set(snapshot["p"])
+
+
+class TestOptimizerIntegration:
+    def test_migration_phases_recorded(self, tiny_db):
+        workload = build_workload(tiny_db, "q1")
+        profiler = PhaseProfiler()
+        optimize(
+            tiny_db, workload.query, strategy="migration", profiler=profiler
+        )
+        phases = profiler.as_dict()
+        assert "optimize.migration" in phases
+        assert "systemr.level_1" in phases
+        assert "systemr.level_2" in phases
+        assert "migration.round" in phases
+        assert phases["migration.round"]["count"] >= 1
+
+    def test_each_strategy_contributes_its_phases(self, tiny_db):
+        workload = build_workload(tiny_db, "q1")
+        profiler = PhaseProfiler()
+        for strategy, marker in (
+            ("ldl", "ldl.step_1"),
+            ("exhaustive", "exhaustive.order"),
+        ):
+            optimize(
+                tiny_db, workload.query, strategy=strategy, profiler=profiler
+            )
+            assert marker in profiler.as_dict()
+
+    def test_run_strategies_collects_executor_phases(self, tiny_db):
+        workload = build_workload(tiny_db, "q1")
+        profiler = PhaseProfiler()
+        run_strategies(
+            tiny_db,
+            workload.query,
+            strategies=("migration",),
+            instrument=True,
+            profiler=profiler,
+        )
+        phases = profiler.as_dict()
+        assert "exec.build" in phases
+        assert "exec.run" in phases
+        # Instrumented runs fold per-operator actuals into the profile.
+        assert any(name.startswith("exec.op.") for name in phases)
+
+    def test_default_run_has_no_profile(self, tiny_db):
+        workload = build_workload(tiny_db, "q1")
+        # The default profiler is the null one: nothing accumulates and
+        # nothing crashes without an explicit profiler argument.
+        outcomes = run_strategies(
+            tiny_db, workload.query, strategies=("migration",)
+        )
+        assert outcomes[0].completed
