@@ -28,14 +28,28 @@ from repro.bench.accuracy import (
     worst_q_error,
 )
 from repro.bench.stress import StressReport, stress_optimizer
+from repro.bench.optspeed import (
+    OptSpeedSample,
+    chain_sql,
+    compare_runs,
+    format_payload,
+    measure,
+    run_payload,
+)
 
 __all__ = [
     "ALL_STRATEGIES",
     "DEFAULT_STRATEGIES",
+    "OptSpeedSample",
     "StressReport",
     "WORKLOADS",
     "StrategyOutcome",
     "Workload",
+    "chain_sql",
+    "compare_runs",
+    "measure",
+    "run_payload",
+    "format_payload",
     "format_accuracy",
     "measure_accuracy",
     "stress_optimizer",

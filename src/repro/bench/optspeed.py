@@ -1,0 +1,200 @@
+"""Planner-only microbenchmark: planning time per strategy × table count.
+
+The executor never runs here — the point is to make optimizer performance
+measurable (and regressable in CI) on its own. For each requested table
+count *k* the bench compiles a deterministic join chain over ``t2..t(k+1)``
+carrying one expensive selection at each end of the chain (so every
+placement strategy has real pullup/migration work to do), then times
+:func:`repro.optimizer.optimize` over several repetitions and reports the
+median and minimum wall-clock per strategy.
+
+Results serialise to JSON so CI can diff runs across commits. Wall-clock is
+machine-dependent, so comparisons warn rather than gate — see
+:func:`compare_runs`.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.database import Database
+from repro.errors import OptimizerError
+from repro.optimizer import optimize
+from repro.sql import compile_query
+
+#: Join-chain building blocks, smallest relations first so the microbench
+#: stays planning-bound rather than catalog-bound at any scale.
+CHAIN_TABLES = ("t2", "t3", "t4", "t5", "t6", "t7", "t8")
+
+#: Table counts exercised by default: the 2-way base case up to the widest
+#: chain the exhaustive strategy still enumerates quickly.
+DEFAULT_TABLE_COUNTS = (2, 3, 4, 5)
+
+DEFAULT_REPEATS = 5
+
+
+def chain_sql(tables: int) -> str:
+    """The deterministic *k*-table chain query used by the microbench.
+
+    ``tN.a1`` is unique and indexed, so each hop is a plain equijoin; the
+    two ``costly*`` selections sit on the chain's end tables, where
+    pushdown/pullup/migration genuinely disagree about placement.
+    """
+    if not 2 <= tables <= len(CHAIN_TABLES):
+        raise ValueError(
+            f"table count must be between 2 and {len(CHAIN_TABLES)}"
+        )
+    names = CHAIN_TABLES[:tables]
+    joins = [
+        f"{left}.a1 = {right}.a1"
+        for left, right in zip(names, names[1:])
+    ]
+    filters = [
+        f"costly100({names[0]}.u20)",
+        f"costly10({names[-1]}.u100)",
+    ]
+    return (
+        f"SELECT * FROM {', '.join(names)}\n"
+        f"WHERE {' AND '.join(joins + filters)}"
+    )
+
+
+@dataclass
+class OptSpeedSample:
+    """Median-of-N planning time for one (strategy, table count) cell."""
+
+    strategy: str
+    tables: int
+    median_ms: float = float("nan")
+    min_ms: float = float("nan")
+    runs_ms: list[float] = field(default_factory=list)
+    error: str = ""
+
+    @property
+    def key(self) -> str:
+        return f"{self.strategy}/{self.tables}"
+
+
+def measure(
+    db: Database,
+    strategies: tuple[str, ...],
+    table_counts: tuple[int, ...] = DEFAULT_TABLE_COUNTS,
+    repeats: int = DEFAULT_REPEATS,
+) -> list[OptSpeedSample]:
+    """Time ``optimize`` for every strategy × table count cell.
+
+    Each repetition is an independent ``optimize`` call (the planner's
+    memo caches are per-optimization, so repeats measure the same work).
+    Query compilation happens once per table count, outside the timed
+    region. Strategies that reject a query (e.g. ``ldl-ikkbz`` outside its
+    scope) produce a sample with ``error`` set instead of raising.
+    """
+    samples: list[OptSpeedSample] = []
+    for count in table_counts:
+        query = compile_query(db, chain_sql(count), name=f"chain{count}")
+        for strategy in strategies:
+            sample = OptSpeedSample(strategy=strategy, tables=count)
+            try:
+                runs: list[float] = []
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    optimize(db, query, strategy=strategy)
+                    runs.append((time.perf_counter() - started) * 1000.0)
+            except OptimizerError as exc:
+                sample.error = str(exc)
+            else:
+                sample.runs_ms = [round(ms, 4) for ms in runs]
+                sample.median_ms = round(statistics.median(runs), 4)
+                sample.min_ms = round(min(runs), 4)
+            samples.append(sample)
+    return samples
+
+
+def run_payload(
+    db: Database,
+    strategies: tuple[str, ...],
+    table_counts: tuple[int, ...] = DEFAULT_TABLE_COUNTS,
+    repeats: int = DEFAULT_REPEATS,
+) -> dict:
+    """The JSON-serialisable result document for one opt-speed run."""
+    samples = measure(db, strategies, table_counts, repeats)
+    return {
+        "bench": "opt-speed",
+        "scale": db.scale,
+        "seed": db.seed,
+        "repeats": repeats,
+        "table_counts": list(table_counts),
+        "strategies": list(strategies),
+        "samples": [asdict(sample) for sample in samples],
+    }
+
+
+def format_payload(payload: dict) -> str:
+    """A fixed-width table of median planning times (ms), one row per
+    strategy, one column per table count."""
+    counts = payload["table_counts"]
+    cells: dict[tuple[str, int], dict] = {
+        (s["strategy"], s["tables"]): s for s in payload["samples"]
+    }
+    lines = [
+        f"== opt-speed (scale={payload['scale']}, seed={payload['seed']}, "
+        f"median of {payload['repeats']}, ms)"
+    ]
+    header = f"{'strategy':<14}" + "".join(
+        f"{f'{c} tables':>12}" for c in counts
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for strategy in payload["strategies"]:
+        row = f"{strategy:<14}"
+        for count in counts:
+            sample = cells.get((strategy, count))
+            if sample is None or sample.get("error"):
+                row += f"{'—':>12}"
+            else:
+                row += f"{sample['median_ms']:>12.3f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def compare_runs(
+    baseline: dict, candidate: dict, threshold: float = 0.25
+) -> list[str]:
+    """Warnings for cells whose median planning time regressed beyond
+    ``threshold`` (fractional growth) against the baseline run.
+
+    Wall-clock is not comparable across machines, so callers should treat
+    these as warnings, never CI failures. Cells present in only one run
+    are reported too (a strategy or table count was added/removed).
+    """
+    warnings: list[str] = []
+
+    def cells(payload: dict) -> dict[str, dict]:
+        return {
+            f"{s['strategy']}/{s['tables']}": s
+            for s in payload.get("samples", [])
+            if not s.get("error")
+        }
+
+    base, cand = cells(baseline), cells(candidate)
+    for key in sorted(set(base) | set(cand)):
+        if key not in cand:
+            warnings.append(f"opt-speed: {key} missing from candidate run")
+            continue
+        if key not in base:
+            warnings.append(f"opt-speed: {key} has no baseline entry")
+            continue
+        before = base[key].get("median_ms")
+        after = cand[key].get("median_ms")
+        if not before or not after or before <= 0:
+            continue
+        growth = (after - before) / before
+        if growth > threshold:
+            warnings.append(
+                f"opt-speed: {key} median planning time regressed "
+                f"{growth * 100:+.0f}% ({before:.3f} ms -> {after:.3f} ms, "
+                f"threshold +{threshold * 100:.0f}%)"
+            )
+    return warnings

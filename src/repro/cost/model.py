@@ -26,7 +26,7 @@ meaningful.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.catalog.catalog import Catalog
 from repro.cost.params import CostParams
@@ -36,9 +36,13 @@ from repro.expr.predicates import Predicate
 from repro.plan.nodes import Join, JoinMethod, PlanNode, Scan
 
 
-@dataclass(frozen=True)
-class Estimate:
-    """Estimated properties of a plan node's output stream."""
+class Estimate(NamedTuple):
+    """Estimated properties of a plan node's output stream.
+
+    A named tuple rather than a (frozen) dataclass: estimates are built
+    in the enumerators' innermost loops, and tuple construction skips
+    the per-field ``object.__setattr__`` a frozen dataclass pays.
+    """
 
     rows: float
     cost: float
@@ -46,8 +50,7 @@ class Estimate:
     order: QualifiedColumn | None = None
 
 
-@dataclass(frozen=True)
-class PerInput:
+class PerInput(NamedTuple):
     """Differential (per-input) join quantities used for rank arithmetic."""
 
     outer_selectivity: float
@@ -82,6 +85,46 @@ class CostModel:
         self.params = params or CostParams()
         self.caching = caching
         self.global_model = global_model
+        # Per-optimization estimate memo, keyed by plan-node identity.
+        # Disabled (None) by default so ad-hoc estimation pays nothing;
+        # the enumerators call memo_enable() and invalidate via forget()
+        # whenever they mutate a node in place. Entries hold the node
+        # itself alongside its estimate so a live id() can never be
+        # recycled by the allocator while its entry is still cached.
+        self._memo: dict[int, tuple[PlanNode, Estimate]] | None = None
+        self.memo_hits = 0
+        self.memo_misses = 0
+        # Caches over static catalog facts (schema widths, join
+        # selectivities from table stats); entries keep the predicate
+        # alive so its id() cannot be recycled.
+        self._width_cache: dict[str, int] = {}
+        self._join_sel_cache: dict[int, tuple[Predicate, float]] = {}
+        # Scan estimates keyed by (table, access path, filter identities):
+        # enumeration and migration re-estimate structurally identical
+        # scans constantly (clones share predicate objects). The cached
+        # value holds the filter tuple so the keyed ids stay live.
+        self._scan_est_cache: dict[tuple, tuple[tuple, Estimate]] = {}
+
+    # -- estimate memoisation ----------------------------------------------
+
+    def memo_enable(self) -> None:
+        """Start memoising estimates by plan-node identity.
+
+        Safe only while callers treat estimated nodes as immutable or
+        call :meth:`forget` on every in-place mutation.
+        """
+        if self._memo is None:
+            self._memo = {}
+
+    def forget(self, node: PlanNode) -> None:
+        """Drop the cached estimate of one (mutated) node."""
+        if self._memo is not None:
+            self._memo.pop(id(node), None)
+
+    def seed(self, node: PlanNode, estimate: Estimate) -> None:
+        """Install a known estimate for a node (e.g. a shared copy)."""
+        if self._memo is not None:
+            self._memo[id(node)] = (node, estimate)
 
     # -- predicate-level estimates ------------------------------------------
 
@@ -119,6 +162,9 @@ class CostModel:
 
     def join_selectivity(self, predicate: Predicate) -> float:
         """Absolute selectivity ``s``: output = s · {R} · {S}."""
+        cached = self._join_sel_cache.get(id(predicate))
+        if cached is not None:
+            return cached[1]
         if predicate.equijoin is not None:
             left, right = predicate.equijoin
             ndistinct_left = self.catalog.table(left.table).stats.ndistinct(
@@ -127,22 +173,52 @@ class CostModel:
             ndistinct_right = self.catalog.table(right.table).stats.ndistinct(
                 right.attribute
             )
-            return 1.0 / max(1, ndistinct_left, ndistinct_right)
-        return predicate.selectivity
+            value = 1.0 / max(1, ndistinct_left, ndistinct_right)
+        else:
+            value = predicate.selectivity
+        self._join_sel_cache[id(predicate)] = (predicate, value)
+        return value
 
     # -- node-level estimates --------------------------------------------------
 
     def estimate_plan(self, node: PlanNode) -> Estimate:
+        memo = self._memo
+        if memo is not None:
+            cached = memo.get(id(node))
+            if cached is not None:
+                self.memo_hits += 1
+                return cached[1]
+            self.memo_misses += 1
         if isinstance(node, Scan):
-            return self.estimate_scan(node)
-        if isinstance(node, Join):
-            return self.estimate_join(node)
-        raise PlanError(f"cannot estimate node type: {type(node).__name__}")
+            estimate = self.estimate_scan(node)
+        elif isinstance(node, Join):
+            estimate = self.estimate_join(node)
+        else:
+            raise PlanError(
+                f"cannot estimate node type: {type(node).__name__}"
+            )
+        if memo is not None:
+            memo[id(node)] = (node, estimate)
+        return estimate
 
     def base_rows(self, table: str) -> int:
         return self.catalog.table(table).stats.cardinality
 
     def estimate_scan(self, scan: Scan) -> Estimate:
+        key = (
+            scan.table,
+            scan.index_attr,
+            scan.index_range,
+            tuple(map(id, scan.filters)),
+        )
+        cached = self._scan_est_cache.get(key)
+        if cached is not None:
+            return cached[1]
+        estimate = self._estimate_scan(scan)
+        self._scan_est_cache[key] = (tuple(scan.filters), estimate)
+        return estimate
+
+    def _estimate_scan(self, scan: Scan) -> Estimate:
         entry = self.catalog.table(scan.table)
         width = entry.schema.tuple_width
         if scan.index_attr is not None:
@@ -197,12 +273,82 @@ class CostModel:
             order=estimate.order,
         )
 
+    def estimate_join_methods(
+        self, join: Join, methods: list[JoinMethod]
+    ) -> list[Estimate]:
+        """Per-method estimates of one join, sharing method-independent work.
+
+        Each returned estimate is bit-identical to :meth:`estimate_join`
+        with ``join.method`` set accordingly (the helpers never read
+        ``join.method``, so the node is not mutated): input estimates,
+        widths, and selectivities are computed once, and the post-join
+        filter chain is shared between nested loop, merge, and hash,
+        whose pre-filter row counts are the same expression.
+        """
+        outer = self.estimate_plan(join.outer)
+        width = outer.width + self._inner_width(join)
+        selectivity = self.join_selectivity(join.primary)
+        inner: Estimate | None = None
+        shared_chain: tuple[float, float] | None = None
+        results: list[Estimate] = []
+        for method in methods:
+            if method is JoinMethod.INDEX_NESTED_LOOP:
+                estimate = self._estimate_index_nl(
+                    join, outer, selectivity, width
+                )
+                rows, filter_cost = self.filter_chain(
+                    estimate.rows, join.filters
+                )
+            else:
+                if inner is None:
+                    inner = self.estimate_plan(join.inner)
+                if method is JoinMethod.NESTED_LOOP:
+                    estimate = self._estimate_nl(
+                        join, outer, inner, selectivity, width
+                    )
+                elif method is JoinMethod.MERGE:
+                    estimate = self._estimate_merge(
+                        join, outer, inner, selectivity, width
+                    )
+                elif method is JoinMethod.HASH:
+                    estimate = self._estimate_hash(
+                        join, outer, inner, selectivity, width
+                    )
+                else:  # pragma: no cover - exhaustive over enum
+                    raise PlanError(f"unknown join method {method}")
+                if shared_chain is None:
+                    shared_chain = self.filter_chain(
+                        estimate.rows, join.filters
+                    )
+                rows, filter_cost = shared_chain
+            results.append(
+                Estimate(
+                    rows=rows,
+                    cost=estimate.cost + filter_cost,
+                    width=width,
+                    order=estimate.order,
+                )
+            )
+        return results
+
+    def _table_width(self, name: str) -> int:
+        width = self._width_cache.get(name)
+        if width is None:
+            width = self.catalog.table(name).schema.tuple_width
+            self._width_cache[name] = width
+        return width
+
+    def _node_width(self, node: PlanNode) -> int:
+        """Combined tuple width of a subtree's tables — recursion over the
+        join shape instead of materialising and sorting the table set
+        (integer addition, so the sum is order-independent)."""
+        if isinstance(node, Scan):
+            return self._table_width(node.table)
+        assert isinstance(node, Join)
+        return self._node_width(node.outer) + self._node_width(node.inner)
+
     def _inner_width(self, join: Join) -> int:
-        inner_tables = sorted(join.inner.tables())
-        return sum(
-            self.catalog.table(name).schema.tuple_width
-            for name in inner_tables
-        )
+        return self._node_width(join.inner)
 
     def _inner_scan(self, join: Join) -> Scan:
         if not isinstance(join.inner, Scan):
@@ -375,10 +521,7 @@ class CostModel:
         """(k, l) of the linear join cost ``k{R} + l{S} + m``, plus the
         ``c_p{other}`` share of an expensive primary join predicate."""
         params = self.params
-        outer_width = sum(
-            self.catalog.table(name).schema.tuple_width
-            for name in sorted(join.outer.tables())
-        )
+        outer_width = self._node_width(join.outer)
         inner_width = self._inner_width(join)
 
         cpu = params.cpu_per_tuple

@@ -176,19 +176,39 @@ def spine_join_modules(
     return outer_modules, inner_modules
 
 
-def _on_spine_stream(
-    spine: Spine, predicate: Predicate, slot: int, entry: int
-) -> bool:
-    """Is a predicate at ``slot`` part of the spine's combined stream?
+@dataclass(frozen=True)
+class _PredicateFacts:
+    """Placement-independent facts about one movable predicate, computed
+    once per :func:`migrate_node` call (the spine's structure is fixed, so
+    entry slots, ranks, and stream membership never change across rounds).
 
-    Everything is, except an inner-table selection sitting on its own
-    relation's scan (its filtering is then inside the entry join's module).
+    ``always_on_stream`` captures :ref:`the one exception <stream>`: an
+    inner-table selection is part of the combined stream only above its
+    entry slot (at the entry it sits on its own relation's scan, inside
+    the entry join's module).
     """
-    if not predicate.is_selection:
-        return True
-    if predicate.tables <= spine.leaf.tables():
-        return True
-    return slot > entry
+
+    entry: int
+    inner_entry: bool
+    always_on_stream: bool
+    rank: float
+    module: Module
+
+
+def _predicate_facts(spine: Spine, predicate: Predicate) -> _PredicateFacts:
+    entry = spine.entry_slot(predicate)
+    on_leaf = predicate.tables <= spine.leaf.tables()
+    return _PredicateFacts(
+        entry=entry,
+        inner_entry=(
+            predicate.is_selection
+            and not on_leaf
+            and entry < len(spine.joins)
+        ),
+        always_on_stream=not predicate.is_selection or on_leaf,
+        rank=predicate.rank,
+        module=Module(predicate.selectivity, predicate.cost_per_tuple, -1, -1),
+    )
 
 
 def _chain_for(
@@ -197,14 +217,11 @@ def _chain_for(
     outer_modules: list[Module],
     inner_modules: list[Module],
     current_slots: dict[Predicate, int],
+    facts: dict[int, _PredicateFacts],
 ) -> list[ChainItem]:
     """The ordered chain of elements ``predicate`` could climb past."""
-    entry = spine.entry_slot(predicate)
-    inner_entry = (
-        predicate.is_selection
-        and not predicate.tables <= spine.leaf.tables()
-        and entry < len(spine.joins)
-    )
+    own = facts[id(predicate)]
+    entry = own.entry
 
     # Key: (slot index, 0=predicate/1=join, rank) for stable stream order —
     # predicates execute within a slot, the join at position i moves the
@@ -213,24 +230,66 @@ def _chain_for(
     for position in range(entry, len(spine.joins)):
         module = (
             inner_modules[position]
-            if inner_entry and position == entry
+            if own.inner_entry and position == entry
             else outer_modules[position]
         )
         keyed.append(
             ((position, 1, 0.0), ChainItem(module, position + 1))
         )
     for other, slot in current_slots.items():
-        if other is predicate or other.rank > predicate.rank:
+        if other is predicate:
             continue
-        other_entry = spine.entry_slot(other)
+        theirs = facts[id(other)]
+        if theirs.rank > own.rank:
+            continue
         if slot <= entry:
             continue  # at or below this predicate's entry: always earlier
-        if not _on_spine_stream(spine, other, slot, other_entry):
+        if not (theirs.always_on_stream or slot > theirs.entry):
             continue
-        module = Module(other.selectivity, other.cost_per_tuple, -1, -1)
-        keyed.append(((slot, 0, other.rank), ChainItem(module, slot)))
+        keyed.append(((slot, 0, theirs.rank), ChainItem(theirs.module, slot)))
     keyed.sort(key=lambda pair: pair[0])
     return [item for _, item in keyed]
+
+
+def _apply_round(
+    current_slots: dict[Predicate, int],
+    placements: dict[Predicate, int],
+    node_for,
+    by_rank: list[Predicate],
+    placed_ids: set[int],
+) -> list[PlanNode]:
+    """One fixpoint round's placement rewrite.
+
+    Semantically identical to :meth:`Spine.apply_placement` — same final
+    filter lists, same touched set — but resolves owners and targets
+    through the precomputed ``node_for`` instead of walking the tree and
+    re-deriving entry slots every round. ``by_rank`` is the movable set
+    pre-sorted by rank (ranks are static), matching apply_placement's
+    global arrival order.
+    """
+    affected: dict[int, PlanNode] = {}
+    for predicate, slot in current_slots.items():
+        node = node_for(predicate, slot)
+        affected.setdefault(id(node), node)
+    arrivals: dict[int, list[Predicate]] = {}
+    for predicate in by_rank:
+        node = node_for(predicate, placements[predicate])
+        affected.setdefault(id(node), node)
+        arrivals.setdefault(id(node), []).append(predicate)
+    touched: list[PlanNode] = []
+    for node_id, node in affected.items():
+        final = [
+            predicate
+            for predicate in node.filters
+            if id(predicate) not in placed_ids
+        ]
+        final.extend(arrivals.get(node_id, ()))
+        if len(final) != len(node.filters) or any(
+            new is not old for new, old in zip(final, node.filters)
+        ):
+            node.filters = final
+            touched.append(node)
+    return touched
 
 
 def migrate_node(
@@ -246,8 +305,29 @@ def migrate_node(
     """
     spine = spine_of(root)
     movable = movable_predicates(spine)
+    facts = {
+        id(predicate): _predicate_facts(spine, predicate)
+        for predicate in movable
+    }
+    joins = [spine_join.join for spine_join in spine.joins]
+    scan_node = {
+        id(predicate): spine.scan_of(predicate)
+        for predicate in movable
+        if predicate.is_selection
+    }
+
+    def node_for(predicate: Predicate, slot: int) -> PlanNode:
+        """The node realising ``slot`` for this predicate — the relation's
+        scan at a selection's entry slot, join ``slot - 1`` above it."""
+        if slot == facts[id(predicate)].entry and predicate.is_selection:
+            return scan_node[id(predicate)]
+        return joins[slot - 1]
+
+    placed_ids = {id(predicate) for predicate in movable}
+    by_rank = sorted(movable, key=lambda p: facts[id(p)].rank)
     current_slots = {
-        predicate: _current_slot(spine, predicate) for predicate in movable
+        predicate: _current_slot(spine, predicate, facts[id(predicate)].entry)
+        for predicate in movable
     }
     previous: dict[Predicate, int] | None = None
     iterations = 0
@@ -258,12 +338,13 @@ def migrate_node(
             outer_modules, inner_modules = spine_join_modules(spine, model)
             placements: dict[Predicate, int] = {}
             for predicate in movable:
+                own = facts[id(predicate)]
                 chain = _chain_for(
                     spine, predicate, outer_modules, inner_modules,
-                    current_slots,
+                    current_slots, facts,
                 )
                 placements[predicate] = climb_chain(
-                    predicate.rank, chain, spine.entry_slot(predicate)
+                    own.rank, chain, own.entry
                 )
             changed = sum(
                 1
@@ -283,21 +364,34 @@ def migrate_node(
                 )
             if placements == previous:
                 break
-            spine.apply_placement(placements)
+            touched = _apply_round(
+                current_slots, placements, node_for, by_rank, placed_ids
+            )
+            # Dirty-stream worklist: only streams whose nodes were
+            # reordered this round are re-estimated next round — the
+            # memoised scan estimates of untouched streams stay valid.
+            for node in touched:
+                model.forget(node)
             current_slots = placements
             previous = placements
+            if not touched:
+                # The target placement was already realised bit-for-bit,
+                # so every stream is clean: the next round would see the
+                # exact same estimates and recompute the exact same
+                # placements. Converged.
+                break
     return iterations, moves
 
 
-def _current_slot(spine: Spine, predicate: Predicate) -> int:
+def _current_slot(spine: Spine, predicate: Predicate, entry: int) -> int:
     """Slot of a predicate's current position in the tree."""
     owner = spine.top.find_filter(predicate)
     for spine_join in spine.joins:
         if owner is spine_join.join:
             return spine_join.slot
         if owner is spine_join.join.inner:
-            return spine.entry_slot(predicate)
-    return spine.entry_slot(predicate)
+            return entry
+    return entry
 
 
 def migrate_plan(
@@ -317,6 +411,11 @@ def migrate_plan(
     from repro.plan.nodes import Join, Scan
 
     migrated = plan.clone()
+    # Estimates are memoised per node identity across fixpoint rounds;
+    # apply_placement reports which nodes were reordered and only those
+    # are forgotten (dirty streams). The clone above guarantees fresh
+    # node identities, so stale entries from enumeration cannot collide.
+    model.memo_enable()
     left_deep = all(
         isinstance(node.inner, Scan)
         for node in migrated.root.walk()
@@ -452,6 +551,10 @@ def migrate_bushy_node(
                     destination.filters + [predicate],
                     key=lambda p: p.rank,
                 )
+                # Bushy paths share composite subtrees, so a move can
+                # invalidate estimates anywhere; forget conservatively.
+                for node in root.walk():
+                    model.forget(node)
                 current[predicate] = target
                 changed = True
                 total_moves += 1

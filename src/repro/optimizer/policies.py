@@ -62,10 +62,20 @@ class PlacementPolicy:
     # -- shared pull helpers ---------------------------------------------
 
     @staticmethod
-    def _pull(join: Join, source: PlanNode, chosen: list[Predicate]) -> None:
+    def _pull(
+        join: Join,
+        source: PlanNode,
+        chosen: list[Predicate],
+        model: CostModel,
+    ) -> None:
+        if not chosen:
+            return
         for predicate in chosen:
             source.filters.remove(predicate)
         join.filters = rank_sorted(join.filters + chosen)
+        # The source's filter list changed under it; drop any memoised
+        # estimate so the join's estimate sees the post-pull input.
+        model.forget(source)
 
 
 class PushDownPolicy(PlacementPolicy):
@@ -85,7 +95,7 @@ class PullUpPolicy(PlacementPolicy):
     ) -> bool:
         for source in (join.outer, join.inner):
             expensive = [p for p in source.filters if p.is_expensive]
-            self._pull(join, source, expensive)
+            self._pull(join, source, expensive, model)
             if expensive:
                 self.count("pullups", len(expensive))
         return False
@@ -117,7 +127,7 @@ class PullRankPolicy(PlacementPolicy):
                 for p in source.filters
                 if p.is_expensive and p.rank <= input_rank
             ]
-            self._pull(join, source, pulled)
+            self._pull(join, source, pulled, model)
             if pulled:
                 self.count("pullups", len(pulled))
             if declined_expensive:

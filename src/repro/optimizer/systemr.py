@@ -7,12 +7,28 @@ subplan per interesting order, and — when the policy requests it — all
 not pulled up; Section 4.4 explains why Predicate Migration must retain
 them). Cross products are considered only when no join predicate connects a
 subset, per System R tradition.
+
+Performance notes (the chosen plans are identical to the original
+frozenset-based enumerator — plan fingerprints gate this in CI):
+
+* DP states are keyed by integer bitmask over the sorted table list, and
+  per-table join-edge lists carry precomputed predicate masks, so subset
+  connectivity tests are single AND instructions.
+* Join inputs are shared, not deep-cloned: the outer is a
+  :meth:`~repro.plan.nodes.PlanNode.shallow_copy` (placement policies only
+  mutate a node's own filter list) and the inner comes from a per-table
+  scan template. Anything that rewrites plans after enumeration
+  (Predicate Migration, the executor's debug validation) deep-clones
+  first, so the DP table's shared subtrees are never corrupted.
+* The cost model memoises estimates per node identity
+  (:meth:`~repro.cost.model.CostModel.memo_enable`), so shared subtrees
+  are costed once; hit/miss counts surface in :meth:`PlannerStats.as_notes`.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel, Estimate
@@ -71,6 +87,8 @@ class PlannerStats:
     unpruneable_kept: int = 0
     base_candidates: int = 0
     subplans_pruned: int = 0
+    cost_memo_hits: int = 0
+    cost_memo_misses: int = 0
 
     @property
     def subplans_enumerated(self) -> int:
@@ -84,6 +102,8 @@ class PlannerStats:
             "subplans_pruned": self.subplans_pruned,
             "candidates_kept": self.candidates_kept,
             "unpruneable_kept": self.unpruneable_kept,
+            "cost_memo_hits": self.cost_memo_hits,
+            "cost_memo_misses": self.cost_memo_misses,
         }
 
 
@@ -115,6 +135,7 @@ class SystemRPlanner:
         self.profiler = profiler
         self.policy.tracer = tracer
         self.stats = PlannerStats()
+        self._scan_templates: dict[str, tuple[Scan, Estimate]] = {}
 
     def notes(self) -> dict:
         """Decision counts for :attr:`OptimizedPlan.notes`: enumeration
@@ -140,36 +161,59 @@ class SystemRPlanner:
         """All retained complete plans: cheapest, interesting orders, and
         unpruneable subplans (Predicate Migration post-processes these)."""
         self.stats = PlannerStats()
+        self._scan_templates = {}
+        model = self.model
+        model.memo_enable()
+        memo_hits_before = model.memo_hits
+        memo_misses_before = model.memo_misses
+        # Tables are indexed once per query (sorted for stable enumeration
+        # order — plan fingerprints must not depend on set hash order);
+        # subsets are bitmasks over that indexing from here on.
         table_list = sorted(query.tables)
+        count = len(table_list)
+        index_of = {table: index for index, table in enumerate(table_list)}
         join_predicates = query.join_predicates()
+        pred_masks: list[tuple[int, Predicate]] = []
+        edges: list[list[tuple[int, Predicate]]] = [[] for _ in table_list]
+        for predicate in join_predicates:
+            mask = 0
+            for table in predicate.tables:
+                mask |= 1 << index_of[table]
+            pred_masks.append((mask, predicate))
+            for index in range(count):
+                if mask & (1 << index):
+                    edges[index].append((mask, predicate))
         tracer = self.tracer
 
-        dp: dict[frozenset[str], list[Candidate]] = {}
+        dp: dict[int, list[Candidate]] = {}
         with self.profiler.phase("systemr.level_1"):
-            for table in table_list:
+            for index, table in enumerate(table_list):
                 base = self._base_candidates(query, table)
                 self.stats.base_candidates += len(base)
-                dp[frozenset({table})] = self._prune(base)
+                dp[1 << index] = self._prune(base)
 
-        for size in range(2, len(table_list) + 1):
+        for size in range(2, count + 1):
             with self.profiler.phase(f"systemr.level_{size}"):
-                for subset_tuple in itertools.combinations(table_list, size):
-                    subset = frozenset(subset_tuple)
+                for combo in itertools.combinations(range(count), size):
+                    subset_mask = 0
+                    for index in combo:
+                        subset_mask |= 1 << index
                     candidates = self._extend(
-                        query, dp, subset, join_predicates
+                        query, dp, combo, subset_mask, edges, pred_masks,
+                        table_list,
                     )
                     if not candidates:
                         candidates = self._extend(
-                            query, dp, subset, join_predicates,
-                            allow_cross=True,
+                            query, dp, combo, subset_mask, edges, pred_masks,
+                            table_list, allow_cross=True,
                         )
                     if candidates:
                         kept = self._prune(candidates)
-                        dp[subset] = kept
+                        dp[subset_mask] = kept
                         if tracer.enabled:
                             tracer.event(
                                 "systemr.subset",
-                                tables=sorted(subset),
+                                tables=[table_list[i] for i in combo],
                                 enumerated=len(candidates),
                                 kept=len(kept),
                                 unpruneable=sum(
@@ -177,7 +221,9 @@ class SystemRPlanner:
                                 ),
                             )
 
-        final = dp.get(frozenset(table_list))
+        final = dp.get((1 << count) - 1)
+        self.stats.cost_memo_hits += model.memo_hits - memo_hits_before
+        self.stats.cost_memo_misses += model.memo_misses - memo_misses_before
         if not final:
             raise OptimizerError(
                 f"could not connect tables {table_list}; "
@@ -194,6 +240,18 @@ class SystemRPlanner:
         )
         return scan
 
+    def _scan_template(self, query: Query, table: str) -> tuple[Scan, Estimate]:
+        """The (immutable) sequential-scan template for one table, with
+        its estimate. Join construction clones it per use; the policy's
+        scan placement is deterministic, so one template stands for every
+        fresh ``_base_scan`` the original enumerator would have built."""
+        cached = self._scan_templates.get(table)
+        if cached is None:
+            scan = self._base_scan(query, table)
+            cached = (scan, self.model.estimate_plan(scan))
+            self._scan_templates[table] = cached
+        return cached
+
     def _base_candidates(self, query: Query, table: str) -> list[Candidate]:
         """Access-path selection for one base relation.
 
@@ -203,8 +261,8 @@ class SystemRPlanner:
         leaves the filter list. Index scans also carry an interesting
         order, which the pruner retains for merge joins above.
         """
-        seq_scan = self._base_scan(query, table)
-        candidates = [Candidate(seq_scan, self.model.estimate_plan(seq_scan))]
+        seq_scan, seq_estimate = self._scan_template(query, table)
+        candidates = [Candidate(seq_scan, seq_estimate)]
         entry = self.catalog.table(table)
         for predicate in seq_scan.filters:
             access = index_access(entry, predicate)
@@ -225,25 +283,28 @@ class SystemRPlanner:
     def _extend(
         self,
         query: Query,
-        dp: dict[frozenset[str], list[Candidate]],
-        subset: frozenset[str],
-        join_predicates: list[Predicate],
+        dp: dict[int, list[Candidate]],
+        combo: tuple[int, ...],
+        subset_mask: int,
+        edges: list[list[tuple[int, Predicate]]],
+        pred_masks: list[tuple[int, Predicate]],
+        table_list: list[str],
         allow_cross: bool = False,
     ) -> list[Candidate]:
         candidates: list[Candidate] = []
-        # Sorted so enumeration order — and therefore which of several
-        # cost-tied candidates survives pruning — does not depend on set
-        # hash order (plan fingerprints must be stable across processes).
-        for inner_table in sorted(subset):
-            outer_set = subset - {inner_table}
-            outer_candidates = dp.get(outer_set)
+        # ``combo`` is ascending over the sorted table indexing, so the
+        # enumeration order — and therefore which of several cost-tied
+        # candidates survives pruning — matches the original sorted-set
+        # iteration exactly.
+        for index in combo:
+            inner_table = table_list[index]
+            outer_candidates = dp.get(subset_mask & ~(1 << index))
             if not outer_candidates:
                 continue
             connecting = [
                 predicate
-                for predicate in join_predicates
-                if inner_table in predicate.tables
-                and predicate.tables <= subset
+                for mask, predicate in edges[index]
+                if mask & subset_mask == mask
             ]
             if not connecting and not allow_cross:
                 continue
@@ -255,40 +316,44 @@ class SystemRPlanner:
                 )
         if self.bushy:
             candidates.extend(
-                self._extend_bushy(dp, subset, join_predicates, allow_cross)
+                self._extend_bushy(
+                    dp, combo, subset_mask, pred_masks, allow_cross
+                )
             )
         return candidates
 
     def _extend_bushy(
         self,
-        dp: dict[frozenset[str], list[Candidate]],
-        subset: frozenset[str],
-        join_predicates: list[Predicate],
+        dp: dict[int, list[Candidate]],
+        combo: tuple[int, ...],
+        subset_mask: int,
+        pred_masks: list[tuple[int, Predicate]],
         allow_cross: bool,
     ) -> list[Candidate]:
         """Bushy partitions: both sides composite (|inner side| >= 2; the
         singleton-inner case is the left-deep extension above)."""
         candidates: list[Candidate] = []
-        members = sorted(subset)
-        for mask in range(1, 1 << len(members)):
-            inner_set = frozenset(
-                member
-                for position, member in enumerate(members)
-                if mask & (1 << position)
-            )
-            if len(inner_set) < 2 or len(inner_set) >= len(subset):
+        model = self.model
+        size = len(combo)
+        for local_mask in range(1, 1 << size):
+            inner_size = local_mask.bit_count()
+            if inner_size < 2 or inner_size >= size:
                 continue
-            outer_set = subset - inner_set
-            outer_candidates = dp.get(outer_set)
-            inner_candidates = dp.get(inner_set)
+            inner_mask = 0
+            for position in range(size):
+                if local_mask & (1 << position):
+                    inner_mask |= 1 << combo[position]
+            outer_mask = subset_mask & ~inner_mask
+            outer_candidates = dp.get(outer_mask)
+            inner_candidates = dp.get(inner_mask)
             if not outer_candidates or not inner_candidates:
                 continue
             connecting = [
-                p
-                for p in join_predicates
-                if p.tables <= subset
-                and p.tables & outer_set
-                and p.tables & inner_set
+                predicate
+                for mask, predicate in pred_masks
+                if mask & subset_mask == mask
+                and mask & outer_mask
+                and mask & inner_mask
             ]
             if not connecting and not allow_cross:
                 continue
@@ -303,26 +368,30 @@ class SystemRPlanner:
                     for method in methods:
                         if method not in self.methods:
                             continue
+                        outer = outer_candidate.node.shallow_copy()
+                        model.seed(outer, outer_candidate.estimate)
+                        inner = inner_candidate.node.shallow_copy()
+                        model.seed(inner, inner_candidate.estimate)
                         join = Join(
                             filters=rank_sorted(list(secondaries)),
-                            outer=outer_candidate.node.clone(),
-                            inner=inner_candidate.node.clone(),
+                            outer=outer,
+                            inner=inner,
                             method=method,
                             primary=primary,
                         )
                         ctx = JoinContext(
                             outer_rows=outer_candidate.estimate.rows,
                             inner_rows=inner_candidate.estimate.rows,
-                            per_input=self.model.per_input(
+                            per_input=model.per_input(
                                 join,
                                 outer_candidate.estimate.rows,
                                 inner_candidate.estimate.rows,
                             ),
                         )
                         unpruneable_here = self.policy.on_join(
-                            join, self.model, ctx
+                            join, model, ctx
                         )
-                        estimate = self.model.estimate_plan(join)
+                        estimate = model.estimate_plan(join)
                         self.stats.joins_built += 1
                         candidates.append(
                             Candidate(
@@ -345,6 +414,8 @@ class SystemRPlanner:
         connecting: list[Predicate],
     ) -> list[Candidate]:
         primary, secondaries, cheap = choose_primary(connecting)
+        model = self.model
+        template, template_estimate = self._scan_template(query, inner_table)
         built: list[Candidate] = []
         for method in eligible_methods(
             self.catalog,
@@ -354,8 +425,10 @@ class SystemRPlanner:
             self.methods,
             include_dominated=False,
         ):
-            outer = outer_candidate.node.clone()
-            inner = self._base_scan(query, inner_table)
+            outer = outer_candidate.node.shallow_copy()
+            model.seed(outer, outer_candidate.estimate)
+            inner = template.clone()
+            model.seed(inner, template_estimate)
             join = Join(
                 filters=rank_sorted(secondaries),
                 outer=outer,
@@ -363,18 +436,17 @@ class SystemRPlanner:
                 method=method,
                 primary=primary,
             )
-            inner_estimate = self.model.estimate_plan(inner)
             ctx = JoinContext(
                 outer_rows=outer_candidate.estimate.rows,
-                inner_rows=inner_estimate.rows,
-                per_input=self.model.per_input(
+                inner_rows=template_estimate.rows,
+                per_input=model.per_input(
                     join,
                     outer_candidate.estimate.rows,
-                    inner_estimate.rows,
+                    template_estimate.rows,
                 ),
             )
-            unpruneable_here = self.policy.on_join(join, self.model, ctx)
-            estimate = self.model.estimate_plan(join)
+            unpruneable_here = self.policy.on_join(join, model, ctx)
+            estimate = model.estimate_plan(join)
             self.stats.joins_built += 1
             built.append(
                 Candidate(
@@ -389,7 +461,9 @@ class SystemRPlanner:
 
     def _prune(self, candidates: list[Candidate]) -> list[Candidate]:
         """Keep min-cost overall, min-cost per interesting order, and the
-        unpruneable candidates.
+        unpruneable candidates — decided in one pass over the
+        enumeration-ordered candidate list (strictly-cheaper-wins, so the
+        first of several cost-tied candidates survives, as before).
 
         Unpruneable candidates are deduplicated to the cheapest per
         (spine table order, top join method): Predicate Migration re-places
@@ -400,28 +474,27 @@ class SystemRPlanner:
         space of join orders") while bounding the method-combination
         blowup.
         """
-        kept: list[Candidate] = []
-        best = min(candidates, key=lambda candidate: candidate.cost)
-        kept.append(best)
+        best: Candidate | None = None
         by_order: dict[object, Candidate] = {}
+        by_skeleton: dict[object, Candidate] = {}
         for candidate in candidates:
+            if best is None or candidate.cost < best.cost:
+                best = candidate
             order = candidate.estimate.order
-            if order is None:
-                continue
-            current = by_order.get(order)
-            if current is None or candidate.cost < current.cost:
-                by_order[order] = candidate
+            if order is not None:
+                current = by_order.get(order)
+                if current is None or candidate.cost < current.cost:
+                    by_order[order] = candidate
+            if candidate.unpruneable:
+                key = _skeleton_key(candidate.node)
+                current = by_skeleton.get(key)
+                if current is None or candidate.cost < current.cost:
+                    by_skeleton[key] = candidate
+        assert best is not None
+        kept: list[Candidate] = [best]
         for candidate in by_order.values():
             if candidate is not best:
                 kept.append(candidate)
-        by_skeleton: dict[object, Candidate] = {}
-        for candidate in candidates:
-            if not candidate.unpruneable:
-                continue
-            key = _skeleton_key(candidate.node)
-            current = by_skeleton.get(key)
-            if current is None or candidate.cost < current.cost:
-                by_skeleton[key] = candidate
         for candidate in by_skeleton.values():
             if candidate not in kept:
                 kept.append(candidate)

@@ -48,6 +48,13 @@ class PlanNode:
         """Deep-copy the tree structure; predicates are shared."""
         raise NotImplementedError
 
+    def shallow_copy(self) -> "PlanNode":
+        """Copy this node with a fresh top-level filter list but *shared*
+        child subtrees. Safe to hand to code that only mutates the copy's
+        own filters (placement policies); anything that rewrites deeper
+        structure must :meth:`clone` instead."""
+        raise NotImplementedError
+
     # -- traversal helpers -------------------------------------------------
 
     def walk(self) -> Iterator["PlanNode"]:
@@ -118,6 +125,9 @@ class Scan(PlanNode):
             index_range=self.index_range,
         )
 
+    def shallow_copy(self) -> "Scan":
+        return self.clone()  # a scan has no subtree to share
+
     def __str__(self) -> str:
         access = (
             f"IndexScan({self.table}.{self.index_attr})"
@@ -170,6 +180,15 @@ class Join(PlanNode):
             filters=list(self.filters),
             outer=self.outer.clone(),
             inner=self.inner.clone(),
+            method=self.method,
+            primary=self.primary,
+        )
+
+    def shallow_copy(self) -> "Join":
+        return Join(
+            filters=list(self.filters),
+            outer=self.outer,
+            inner=self.inner,
             method=self.method,
             primary=self.primary,
         )

@@ -117,24 +117,56 @@ class Spine:
 
     def apply_placement(
         self, placements: dict[Predicate, int], order_key=None
-    ) -> None:
+    ) -> list[PlanNode]:
         """Rewrite filter lists so each predicate sits at its target slot.
 
         Predicates sharing a node are ordered by ``order_key`` (default:
-        ascending rank — optimal for selections, per Section 4.1).
+        ascending rank — optimal for selections, per Section 4.1). Each
+        affected node's final filter list is the predicates it keeps (in
+        their current order) followed by its share of ``placements`` in
+        the global ``order_key`` order — exactly the remove-then-append
+        result, computed without rewriting untouched nodes.
+
+        Returns the nodes whose filter lists actually changed, so callers
+        (the migration worklist, cost-memo invalidation) can confine
+        re-work to dirty streams. An empty list means the placement was
+        already realised bit-for-bit.
         """
         if order_key is None:
             order_key = lambda predicate: predicate.rank  # noqa: E731
+        placed_ids = {id(predicate) for predicate in placements}
+        owners: dict[int, PlanNode] = {}
+        for node in self.top.walk():
+            for predicate in node.filters:
+                if id(predicate) in placed_ids:
+                    owners.setdefault(id(predicate), node)
         for predicate in placements:
-            owner = self.top.find_filter(predicate)
-            if owner is None:
+            if id(predicate) not in owners:
                 raise PlanError(f"predicate {predicate} not in plan")
-            owner.filters.remove(predicate)
+        affected: dict[int, PlanNode] = {
+            id(node): node for node in owners.values()
+        }
+        arrivals: dict[int, list[Predicate]] = {}
         for predicate, slot in sorted(
             placements.items(), key=lambda item: order_key(item[0])
         ):
             node = self.node_at_slot(predicate, slot)
-            node.filters.append(predicate)
+            affected.setdefault(id(node), node)
+            arrivals.setdefault(id(node), []).append(predicate)
+        touched: list[PlanNode] = []
+        for node_id, node in affected.items():
+            final = [
+                predicate
+                for predicate in node.filters
+                if id(predicate) not in placed_ids
+            ]
+            final.extend(arrivals.get(node_id, ()))
+            if len(final) != len(node.filters) or any(
+                new is not old for new, old in zip(final, node.filters)
+            ):
+                node.filters = final
+                touched.append(node)
+        return touched
 
 
 def spine_of(root: PlanNode) -> Spine:

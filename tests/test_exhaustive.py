@@ -56,6 +56,34 @@ class TestExhaustiveBasics:
         with pytest.raises(OptimizerError):
             exhaustive_plan(query, db.catalog, model_of(db), method_choice="x")
 
+    def test_notes_keys_uniform_across_exits(self, db):
+        """Every exit path — single-table early return and the full
+        multi-table search — must populate the same note keys, so
+        downstream consumers (artifact records, EXPLAIN notes) never see
+        partial accounting."""
+        single = Query(
+            tables=["t3"],
+            predicates=[costly_filter(db, "costly100", ("t3", "u20"))],
+        )
+        multi = Query(
+            tables=["t3", "t10"],
+            predicates=[
+                equijoin(db, ("t3", "a1"), ("t10", "ua1")),
+                costly_filter(db, "costly100", ("t10", "u20")),
+            ],
+        )
+        single_notes: dict = {}
+        multi_notes: dict = {}
+        exhaustive_plan(single, db.catalog, model_of(db), notes=single_notes)
+        exhaustive_plan(multi, db.catalog, model_of(db), notes=multi_notes)
+        assert single_notes, "single-table exit wrote no notes"
+        assert set(single_notes) == set(multi_notes)
+        # The single-table path does real (if trivial) accounting.
+        assert single_notes["orders_enumerated"] == 1
+        assert single_notes["subplans_enumerated"] == 1
+        assert single_notes["interleavings_counted"] == 0
+        assert single_notes["combos_pruned"] == 0
+
 
 class TestExhaustiveIsLowerBound:
     """Table 1: Exhaustive works for all queries — its estimate must lower-
