@@ -15,7 +15,10 @@ from repro.bench import format_outcomes, outcome_by_strategy, run_strategies
 def test_fig4_query2(benchmark, db, workloads, recorder, profiler):
     workload = workloads["q2"]
     outcomes = benchmark.pedantic(
-        lambda: run_strategies(db, workload.query, profiler=profiler),
+        lambda: run_strategies(
+            db, workload.query, profiler=profiler,
+            provenance=recorder.enabled,
+        ),
         rounds=1,
         iterations=1,
     )

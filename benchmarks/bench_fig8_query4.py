@@ -49,7 +49,10 @@ def test_fig8_query4_fixed_order(benchmark, db, workloads):
 
 def test_fig8_query4_free_order(db, workloads, recorder, profiler):
     workload = workloads["q4"]
-    outcomes = run_strategies(db, workload.query, profiler=profiler)
+    outcomes = run_strategies(
+        db, workload.query, profiler=profiler,
+        provenance=recorder.enabled,
+    )
     emit(format_outcomes(
         f"{workload.title} ({workload.figure}) — full System R enumeration",
         outcomes,

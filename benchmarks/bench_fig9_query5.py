@@ -17,7 +17,8 @@ def test_fig9_query5(benchmark, db, workloads, recorder, profiler):
     workload = workloads["q5"]
     outcomes = benchmark.pedantic(
         lambda: run_strategies(
-            db, workload.query, budget=workload.budget, profiler=profiler
+            db, workload.query, budget=workload.budget, profiler=profiler,
+            provenance=recorder.enabled,
         ),
         rounds=1,
         iterations=1,

@@ -10,6 +10,9 @@ Examples::
     python -m repro --workload q1 --compare --record artifacts/
     python -m repro bench-diff benchmarks/baselines artifacts/
     python -m repro opt-speed --scale 10 --out artifacts/OPTSPEED.json
+    python -m repro why q4 --strategy migration
+    python -m repro plan-diff q4 pushdown migration
+    python -m repro --workload q4 --trace-export trace.json
 """
 
 from __future__ import annotations
@@ -36,12 +39,15 @@ from repro.obs import (
     ArtifactRecorder,
     MetricsRegistry,
     PhaseProfiler,
+    ProvenanceLedger,
     Tracer,
     collect_artifacts,
     diff_artifacts,
+    export_chrome_trace,
     has_regressions,
     load_run_artifact,
     record_run,
+    why_report,
 )
 from repro.optimizer import STRATEGIES
 from repro.plan import explain_analyze
@@ -130,6 +136,13 @@ def build_parser() -> argparse.ArgumentParser:
         "as JSON lines",
     )
     parser.add_argument(
+        "--trace-export",
+        metavar="FILE",
+        help="record spans and profiler phases and write them to FILE as "
+        "Chrome trace_event JSON (loadable in chrome://tracing or "
+        "Perfetto)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print the plan./exec. metrics snapshot after the run "
@@ -154,7 +167,7 @@ def _print_stats(registry: MetricsRegistry, out) -> None:
             print(f"{name} = {value}", file=out)
 
 
-def _run(args, tracer, out) -> int:
+def _run(args, tracer, out, profiler=NULL_PROFILER) -> int:
     db = build_database(scale=args.scale, seed=args.seed)
     registry = MetricsRegistry() if args.stats else None
     if args.workload:
@@ -172,8 +185,10 @@ def _run(args, tracer, out) -> int:
 
     if args.compare:
         # Recording instruments the run so artifacts carry per-operator
-        # actuals and the profiler's hotspot report.
-        profiler = PhaseProfiler() if args.record else NULL_PROFILER
+        # actuals, per-strategy provenance ledgers, and the profiler's
+        # hotspot report.
+        if not profiler.enabled and args.record:
+            profiler = PhaseProfiler()
         outcomes = run_strategies(
             db,
             query,
@@ -184,6 +199,7 @@ def _run(args, tracer, out) -> int:
             tracer=tracer,
             instrument=args.explain_analyze or bool(args.record),
             profiler=profiler,
+            provenance=bool(args.record),
         )
         print(
             format_outcomes(
@@ -210,6 +226,7 @@ def _run(args, tracer, out) -> int:
         caching=args.caching,
         bushy=args.bushy,
         tracer=tracer,
+        profiler=profiler,
     )
     print(
         f"-- strategy: {args.strategy}  "
@@ -229,7 +246,8 @@ def _run(args, tracer, out) -> int:
         return 0
 
     executor = Executor(
-        db, caching=args.caching, budget=budget, tracer=tracer
+        db, caching=args.caching, budget=budget, tracer=tracer,
+        profiler=profiler,
     )
     result = executor.execute(
         optimized.plan,
@@ -531,6 +549,176 @@ def opt_speed(argv: list[str], out=None) -> int:
     return 0
 
 
+# -- why: the per-predicate placement explainer -------------------------------
+
+
+def build_why_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro why",
+        description=(
+            "Explain where a strategy placed each expensive predicate and "
+            "why: the recorded decision chain (rank orderings, rank "
+            "comparisons, migration passes) plus a counterfactual that "
+            "re-costs the plan with the predicate moved one join up/down."
+        ),
+    )
+    parser.add_argument(
+        "workload", choices=sorted(WORKLOADS), help="workload to explain"
+    )
+    parser.add_argument(
+        "--strategy", default="migration", choices=sorted(STRATEGIES),
+        help="placement strategy to explain (default migration)",
+    )
+    parser.add_argument(
+        "--predicate", metavar="SUBSTR",
+        help="only explain predicates whose text contains SUBSTR",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=10,
+        help="database scale factor (default 10, matching the committed "
+        "bench baselines)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="data generator seed"
+    )
+    parser.add_argument(
+        "--caching", action="store_true",
+        help="cost and plan under the function-cache model",
+    )
+    parser.add_argument(
+        "--bushy", action="store_true",
+        help="allow bushy join trees (exhaustive/migration strategies)",
+    )
+    return parser
+
+
+def why(argv: list[str], out=None) -> int:
+    """The ``why`` subcommand body; returns the exit code."""
+    from repro.obs import ProvenanceLedger, why_report
+
+    if out is None:
+        out = sys.stdout
+    args = build_why_parser().parse_args(argv)
+    try:
+        db = build_database(scale=args.scale, seed=args.seed)
+        workload = build_workload(db, args.workload)
+        ledger = ProvenanceLedger()
+        optimized = optimize(
+            db,
+            workload.query,
+            strategy=args.strategy,
+            caching=args.caching,
+            bushy=args.bushy,
+            ledger=ledger,
+        )
+        model = CostModel(db.catalog, db.params, caching=args.caching)
+        print(
+            why_report(optimized, model, predicate=args.predicate), file=out
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# -- plan-diff: aligned cross-strategy plan comparison ------------------------
+
+
+def build_plan_diff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro plan-diff",
+        description=(
+            "Optimize one workload under two strategies and show the plans "
+            "side by side — per-node estimated rows/cost, '≠' marking "
+            "differing lines — followed by each strategy's provenance "
+            "ledger event counts."
+        ),
+    )
+    parser.add_argument(
+        "workload", choices=sorted(WORKLOADS), help="workload to plan"
+    )
+    parser.add_argument(
+        "strategy_a", choices=sorted(STRATEGIES), help="left strategy"
+    )
+    parser.add_argument(
+        "strategy_b", choices=sorted(STRATEGIES), help="right strategy"
+    )
+    parser.add_argument(
+        "--scale", type=int, default=10,
+        help="database scale factor (default 10, matching the committed "
+        "bench baselines)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="data generator seed"
+    )
+    parser.add_argument(
+        "--caching", action="store_true",
+        help="cost and plan under the function-cache model",
+    )
+    parser.add_argument(
+        "--bushy", action="store_true",
+        help="allow bushy join trees (exhaustive/migration strategies)",
+    )
+    return parser
+
+
+def plan_diff(argv: list[str], out=None) -> int:
+    """The ``plan-diff`` subcommand body; returns the exit code."""
+    from repro.obs import ProvenanceLedger
+    from repro.plan.display import plan_tree_annotated, side_by_side
+
+    if out is None:
+        out = sys.stdout
+    args = build_plan_diff_parser().parse_args(argv)
+    try:
+        db = build_database(scale=args.scale, seed=args.seed)
+        workload = build_workload(db, args.workload)
+        model = CostModel(db.catalog, db.params, caching=args.caching)
+        columns = []
+        ledgers = []
+        for strategy in (args.strategy_a, args.strategy_b):
+            ledger = ProvenanceLedger()
+            optimized = optimize(
+                db,
+                workload.query,
+                strategy=strategy,
+                caching=args.caching,
+                bushy=args.bushy,
+                ledger=ledger,
+            )
+            title = (
+                f"{strategy}  (est cost {optimized.estimated_cost:,.1f}, "
+                f"{len(ledger.events)} ledger events)"
+            )
+            columns.append(
+                (title, plan_tree_annotated(optimized.plan, model))
+            )
+            ledgers.append(ledger)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    (title_a, tree_a), (title_b, tree_b) = columns
+    print(f"== {args.workload}: {workload.title}", file=out)
+    print(side_by_side(tree_a, tree_b, title_a, title_b), file=out)
+    print("", file=out)
+    print("ledger event counts:", file=out)
+    kinds = sorted(
+        set(ledgers[0].event_counts()) | set(ledgers[1].event_counts())
+    )
+    counts_a = ledgers[0].event_counts()
+    counts_b = ledgers[1].event_counts()
+    width = max([len(kind) for kind in kinds] or [4])
+    for kind in kinds:
+        print(
+            f"  {kind:<{width}}  {args.strategy_a}={counts_a.get(kind, 0)}"
+            f"  {args.strategy_b}={counts_b.get(kind, 0)}",
+            file=out,
+        )
+    if not kinds:
+        print("  (none recorded)", file=out)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -542,10 +730,15 @@ def main(argv: list[str] | None = None) -> int:
         return opt_speed(list(argv[1:]))
     if argv[:2] == ["bench", "opt-speed"]:
         return opt_speed(list(argv[2:]))
+    if argv and argv[0] == "why":
+        return why(list(argv[1:]))
+    if argv and argv[0] == "plan-diff":
+        return plan_diff(list(argv[1:]))
     args = build_parser().parse_args(argv)
-    tracer = Tracer() if args.trace else NULL_TRACER
+    tracer = Tracer() if args.trace or args.trace_export else NULL_TRACER
+    profiler = PhaseProfiler() if args.trace_export else NULL_PROFILER
     try:
-        code = _run(args, tracer, sys.stdout)
+        code = _run(args, tracer, sys.stdout, profiler=profiler)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         code = 1
@@ -558,6 +751,21 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 1
         print(f"-- trace: {count} spans -> {args.trace}", file=sys.stderr)
+    if args.trace_export:
+        try:
+            count = export_chrome_trace(
+                args.trace_export, tracer=tracer, profiler=profiler
+            )
+        except OSError as error:
+            print(
+                f"error: cannot write trace-export file: {error}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"-- trace-export: {count} events -> {args.trace_export}",
+            file=sys.stderr,
+        )
     return code
 
 

@@ -8,6 +8,7 @@ from repro.database import Database
 from repro.errors import OptimizerError
 from repro.exec import Executor
 from repro.obs.profile import NULL_PROFILER
+from repro.obs.provenance import NULL_LEDGER, ProvenanceLedger
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer import STRATEGIES, optimize
 from repro.plan.display import _node_label
@@ -122,6 +123,7 @@ def run_strategies(
     tracer=NULL_TRACER,
     instrument: bool = False,
     profiler=NULL_PROFILER,
+    provenance: bool = False,
 ) -> list[StrategyOutcome]:
     """Optimize and (optionally) execute ``query`` under each strategy.
 
@@ -132,10 +134,13 @@ def run_strategies(
     ``extras["operators"]``. A ``profiler``
     (:class:`repro.obs.PhaseProfiler`) accumulates per-phase wall-clock
     across all strategies — its hotspot report lands in recorded run
-    artifacts.
+    artifacts. ``provenance=True`` records each strategy's placement
+    decisions into a fresh :class:`repro.obs.ProvenanceLedger`, summarised
+    into ``extras["ledger"]`` (and from there into run artifacts).
     """
     outcomes: list[StrategyOutcome] = []
     for strategy in strategies:
+        ledger = ProvenanceLedger() if provenance else NULL_LEDGER
         try:
             optimized = optimize(
                 db,
@@ -145,6 +150,7 @@ def run_strategies(
                 global_model=global_model,
                 tracer=tracer,
                 profiler=profiler,
+                ledger=ledger,
             )
         except OptimizerError as error:
             outcomes.append(
@@ -164,6 +170,8 @@ def run_strategies(
             planning_seconds=optimized.planning_seconds,
             notes=dict(optimized.notes),
         )
+        if provenance:
+            outcome.extras["ledger"] = ledger.summary()
         if execute:
             executor = Executor(
                 db, caching=caching, budget=budget, tracer=tracer,

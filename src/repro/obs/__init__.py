@@ -14,7 +14,13 @@ Four small pieces:
 * :mod:`repro.obs.artifacts` — schema-versioned ``BENCH_<workload>.json``
   run artifacts (environment, per-strategy measurements, plan
   fingerprints, hotspots) plus :func:`diff_artifacts`, the plan-regression
-  gate behind ``python -m repro bench-diff``.
+  gate behind ``python -m repro bench-diff``;
+* :mod:`repro.obs.provenance` — a typed :class:`ProvenanceLedger` of every
+  placement decision (rank orderings, hoists, rank comparisons, migration
+  moves, prunes, virtual joins) with a zero-overhead :class:`NullLedger`
+  default, plus the ``repro why`` report and counterfactual re-costing;
+* :mod:`repro.obs.chrome` — Chrome ``trace_event`` export of tracer spans
+  and profiler phases, loadable in Perfetto.
 """
 
 from repro.obs.artifacts import (
@@ -32,12 +38,28 @@ from repro.obs.artifacts import (
     plan_fingerprint,
     record_run_artifact,
 )
+from repro.obs.chrome import (
+    build_chrome_trace,
+    export_chrome_trace,
+)
 from repro.obs.metrics import (
     Counter,
     Histogram,
     MetricsRegistry,
     Timer,
     record_run,
+)
+from repro.obs.provenance import (
+    EVENT_KINDS,
+    NULL_LEDGER,
+    Counterfactual,
+    CounterfactualReport,
+    LedgerEvent,
+    NullLedger,
+    ProvenanceLedger,
+    counterfactual_report,
+    skeleton_signature,
+    why_report,
 )
 from repro.obs.profile import (
     NULL_PHASE,
@@ -54,37 +76,51 @@ from repro.obs.tracer import (
     NullTracer,
     Span,
     Tracer,
+    canonical_value,
 )
 
 __all__ = [
     "ARTIFACT_PREFIX",
     "ArtifactRecorder",
     "Counter",
+    "Counterfactual",
+    "CounterfactualReport",
+    "EVENT_KINDS",
     "Finding",
     "Histogram",
+    "LedgerEvent",
     "MetricsRegistry",
+    "NULL_LEDGER",
     "NULL_PHASE",
     "NULL_PROFILER",
     "NULL_SPAN",
     "NULL_TRACER",
+    "NullLedger",
     "NullPhase",
     "NullProfiler",
     "NullSpan",
     "NullTracer",
     "PhaseProfiler",
     "PhaseStat",
+    "ProvenanceLedger",
     "SCHEMA_VERSION",
     "Span",
     "Timer",
     "Tracer",
     "artifact_path",
+    "build_chrome_trace",
     "build_run_artifact",
     "canonical_plan_form",
+    "canonical_value",
     "collect_artifacts",
+    "counterfactual_report",
     "diff_artifacts",
+    "export_chrome_trace",
     "has_regressions",
     "load_run_artifact",
     "plan_fingerprint",
     "record_run",
     "record_run_artifact",
+    "skeleton_signature",
+    "why_report",
 ]

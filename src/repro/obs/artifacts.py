@@ -150,6 +150,9 @@ def strategy_record(outcome) -> dict:
     operators = outcome.extras.get("operators")
     if operators is not None:
         record["operators"] = operators
+    ledger = outcome.extras.get("ledger")
+    if ledger is not None:
+        record["ledger"] = ledger
     return record
 
 
@@ -498,6 +501,25 @@ def diff_artifacts(
                         f"cost-model error narrowed by {-widened:.2f}",
                     )
                 )
+
+        # Decision-level drift: ledger event-count deltas are informational
+        # only (never gate) — they surface "the optimizer reasoned
+        # differently" even when the chosen plan's fingerprint is stable.
+        base_counts = (base.get("ledger") or {}).get("event_counts")
+        cand_counts = (cand.get("ledger") or {}).get("event_counts")
+        if base_counts and cand_counts:
+            for kind in sorted(set(base_counts) | set(cand_counts)):
+                before = int(base_counts.get(kind, 0))
+                after = int(cand_counts.get(kind, 0))
+                if before != after:
+                    findings.append(
+                        Finding(
+                            "note", workload, strategy, "ledger",
+                            f"{kind} event count changed "
+                            f"{before} -> {after} (informational; "
+                            "decision-level drift)",
+                        )
+                    )
 
     return findings
 

@@ -1,0 +1,132 @@
+"""Chrome ``trace_event`` export: one file, loadable in Perfetto.
+
+The tracer (:mod:`repro.obs.tracer`) exports JSONL for offline scripting;
+this module renders the same spans — plus the
+:class:`~repro.obs.profile.PhaseProfiler`'s aggregated phase table — in the
+Chrome Trace Event Format, so ``chrome://tracing`` / https://ui.perfetto.dev
+can display a run visually.
+
+Layout:
+
+* **tid 1** carries the tracer's span tree as ``"X"`` (complete) events,
+  one per span, with ``ts``/``dur`` in microseconds relative to the
+  tracer's epoch. Chrome infers nesting on a thread from ts/dur
+  containment, which matches span parentage exactly because spans enter
+  and exit in stack order on one thread. Span events (point-in-time
+  decisions) become ``"i"`` (instant) events, thread-scoped.
+* **tid 2** carries the profiler's *aggregate* phases laid end-to-end as
+  synthetic ``"X"`` events (the profiler keeps totals, not a timeline);
+  each carries its real ``count`` and self-time in ``args``. The track
+  reads as a proportional time breakdown, not a chronology.
+* ``"M"`` metadata events name the process and both threads.
+
+Everything emitted is plain JSON-safe data: span attributes were already
+canonicalised at record time (:func:`repro.obs.tracer.canonical_value`).
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Process id for all emitted events (one optimizer run = one "process").
+PID = 1
+
+#: Thread carrying the tracer's span tree.
+SPAN_TID = 1
+
+#: Thread carrying the profiler's aggregate phase breakdown.
+PHASE_TID = 2
+
+
+def _metadata(kind: str, tid: int | None = None, **args) -> dict:
+    # ``kind`` is the metadata event's own name ("process_name",
+    # "thread_name"); the label it assigns travels in ``args["name"]``.
+    return {
+        "ph": "M",
+        "ts": 0,
+        "pid": PID,
+        "tid": tid if tid is not None else 0,
+        "name": kind,
+        "args": args,
+    }
+
+
+def build_chrome_trace(tracer=None, profiler=None) -> dict:
+    """The Chrome trace document (``{"traceEvents": [...]}``) for a run.
+
+    Either source may be ``None`` or a disabled null object; the export
+    then simply omits that track.
+    """
+    events: list[dict] = [
+        _metadata("process_name", name="repro run"),
+        _metadata("thread_name", tid=SPAN_TID, name="tracer spans"),
+        _metadata("thread_name", tid=PHASE_TID, name="profiler phases"),
+    ]
+
+    if tracer is not None and tracer.enabled:
+        for record in tracer.to_records():
+            start_us = record["start_ms"] * 1000.0
+            events.append(
+                {
+                    "ph": "X",
+                    "ts": start_us,
+                    "dur": record["duration_ms"] * 1000.0,
+                    "pid": PID,
+                    "tid": SPAN_TID,
+                    "name": record["span"],
+                    "args": {
+                        "span_id": record["id"],
+                        "parent": record["parent"],
+                        **record["attrs"],
+                    },
+                }
+            )
+            for point in record["events"]:
+                args = {
+                    key: value
+                    for key, value in point.items()
+                    if key not in ("name", "at_ms")
+                }
+                events.append(
+                    {
+                        "ph": "i",
+                        "ts": point["at_ms"] * 1000.0,
+                        "pid": PID,
+                        "tid": SPAN_TID,
+                        "name": point["name"],
+                        "s": "t",
+                        "args": args,
+                    }
+                )
+
+    if profiler is not None and profiler.enabled:
+        cursor = 0.0
+        for name, stat in profiler.as_dict().items():
+            duration_us = stat["seconds"] * 1e6
+            events.append(
+                {
+                    "ph": "X",
+                    "ts": cursor,
+                    "dur": duration_us,
+                    "pid": PID,
+                    "tid": PHASE_TID,
+                    "name": name,
+                    "args": {
+                        "count": stat["count"],
+                        "self_seconds": stat["self_seconds"],
+                        "aggregate": True,
+                    },
+                }
+            )
+            cursor += duration_us
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(path: str, tracer=None, profiler=None) -> int:
+    """Write the Chrome trace JSON; returns the event count."""
+    document = build_chrome_trace(tracer=tracer, profiler=profiler)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+    return len(document["traceEvents"])

@@ -29,6 +29,35 @@ import time
 from typing import Iterator
 
 
+def canonical_value(value):
+    """Coerce one attribute value to deterministic, JSON-safe data.
+
+    Applied at *record* time (not export time) so a set of table names or
+    a tuple of slots recorded into a span can never make ``export_jsonl``
+    — or the Chrome trace export — raise later. Sets and frozensets become
+    sorted lists (sorted on a type-then-text key, so mixed element types
+    stay orderable); tuples become lists; dict keys become strings;
+    anything non-primitive falls back to ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (set, frozenset)):
+        items = [canonical_value(item) for item in value]
+        items.sort(key=_canonical_sort_key)
+        return items
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    if isinstance(value, dict):
+        return {
+            str(key): canonical_value(item) for key, item in value.items()
+        }
+    return str(value)
+
+
+def _canonical_sort_key(item) -> tuple[str, str]:
+    return (item.__class__.__name__, str(item))
+
+
 class NullSpan:
     """The do-nothing span: a stateless, reusable context manager."""
 
@@ -118,12 +147,14 @@ class Span(NullSpan):
     def event(self, name: str, **attrs: object) -> None:
         """Attach a point-in-time event to this span."""
         record = {"name": name, "at_ms": self.tracer._elapsed_ms()}
-        record.update(attrs)
+        for key, value in attrs.items():
+            record[key] = canonical_value(value)
         self.events.append(record)
 
     def set(self, **attrs: object) -> None:
         """Merge attributes into the span (e.g. results known at exit)."""
-        self.attrs.update(attrs)
+        for key, value in attrs.items():
+            self.attrs[key] = canonical_value(value)
 
     def to_record(self, epoch: float) -> dict:
         start = self.start if self.start is not None else epoch
@@ -157,7 +188,13 @@ class Tracer(NullTracer):
     def span(self, name: str, **attrs: object) -> Span:
         """A new span; nest it under the current one by entering it."""
         parent = self._stack[-1].span_id if self._stack else None
-        span = Span(self, self._next_id, parent, name, dict(attrs))
+        span = Span(
+            self,
+            self._next_id,
+            parent,
+            name,
+            {key: canonical_value(value) for key, value in attrs.items()},
+        )
         self._next_id += 1
         return span
 

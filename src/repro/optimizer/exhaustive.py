@@ -45,6 +45,7 @@ from repro.cost.model import CostModel
 from repro.errors import OptimizerError
 from repro.expr.predicates import Predicate
 from repro.obs.profile import NULL_PROFILER
+from repro.obs.provenance import NULL_LEDGER
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.joinutil import choose_primary, eligible_methods
 from repro.optimizer.policies import rank_sorted
@@ -69,12 +70,14 @@ def exhaustive_plan(
     tracer=NULL_TRACER,
     notes: dict | None = None,
     profiler=NULL_PROFILER,
+    ledger=NULL_LEDGER,
 ) -> Plan:
     """The minimum-estimated-cost plan over the full placement space."""
     if method_choice not in ("greedy", "enumerate"):
         raise OptimizerError(f"unknown method_choice: {method_choice!r}")
     search = _Search(
-        query, catalog, model, method_choice, combo_limit, tracer, profiler
+        query, catalog, model, method_choice, combo_limit, tracer, profiler,
+        ledger,
     )
     return search.run(notes)
 
@@ -84,7 +87,7 @@ class _Search:
 
     def __init__(
         self, query, catalog, model, method_choice, combo_limit, tracer,
-        profiler,
+        profiler, ledger=NULL_LEDGER,
     ):
         self.query = query
         self.catalog = catalog
@@ -93,6 +96,11 @@ class _Search:
         self.combo_limit = combo_limit
         self.tracer = tracer
         self.profiler = profiler
+        self.ledger = ledger
+        # The placement the combo loop is currently costing, stashed so
+        # ``_offer`` can ledger the incumbent's slot assignment.
+        self._current_movable = []
+        self._current_slots = ()
         self.tables = sorted(query.tables)
         self.join_predicates = query.join_predicates()
         self.best_root = None
@@ -217,8 +225,17 @@ class _Search:
         count = len(self.tables)
         if len(prefix) == count:
             self.orders_tried += 1
+            combos_before = self.combos_seen
+            pruned_before = self.combos_pruned
             with self.profiler.phase("exhaustive.order"):
                 self._evaluate_order(tuple(prefix), steps)
+            if self.ledger.enabled:
+                self.ledger.record(
+                    "exhaustive.combos",
+                    order=list(prefix),
+                    interleavings=self.combos_seen - combos_before,
+                    pruned=self.combos_pruned - pruned_before,
+                )
             return
         for table in self.tables:
             if table in seen:
@@ -240,7 +257,16 @@ class _Search:
                 self.best_root is not None
                 and floor * FLOOR_SAFETY >= self.best_cost
             ):
-                self.orders_pruned += math.factorial(count - len(prefix) - 1)
+                completions = math.factorial(count - len(prefix) - 1)
+                self.orders_pruned += completions
+                if self.ledger.enabled:
+                    self.ledger.record(
+                        "exhaustive.order_pruned",
+                        prefix=prefix + [table],
+                        completions_pruned=completions,
+                        floor=floor,
+                        incumbent=self.best_cost,
+                    )
                 continue
             rows_new = rows_floor * self._scan_rows_floor[table]
             for p in connecting:
@@ -374,6 +400,9 @@ class _Search:
 
         current = None
         cost_at = [0.0] * top
+        ledger_on = self.ledger.enabled
+        if ledger_on:
+            self._current_movable = movable
         stale_from = 0  # first spine position not matching current filters
         method_state = _MethodState() if self.method_choice == "enumerate" \
             else None
@@ -414,6 +443,8 @@ class _Search:
                 if position < min_pos:
                     min_pos = position
             start = min(min_pos, stale_from)
+            if ledger_on:
+                self._current_slots = slots
             if self.method_choice == "greedy":
                 stale_from = self._greedy_combo(
                     order, root, joins, order_methods, cost_at, start, top
@@ -525,6 +556,19 @@ class _Search:
                     cost=cost,
                     order=list(order),
                     interleaving=self.combos_seen,
+                )
+            if self.ledger.enabled:
+                self.ledger.record(
+                    "exhaustive.new_best",
+                    cost=cost,
+                    order=list(order),
+                    interleaving=self.combos_seen,
+                    placements={
+                        str(predicate): slot
+                        for predicate, slot in zip(
+                            self._current_movable, self._current_slots
+                        )
+                    },
                 )
 
 

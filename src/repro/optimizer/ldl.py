@@ -24,6 +24,7 @@ from repro.cost.model import CostModel
 from repro.errors import OptimizerError
 from repro.expr.predicates import Predicate
 from repro.obs.profile import NULL_PROFILER
+from repro.obs.provenance import NULL_LEDGER, skeleton_signature
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.joinutil import choose_primary, eligible_methods
 from repro.optimizer.policies import rank_sorted
@@ -49,6 +50,7 @@ def ldl_plan(
     tracer=NULL_TRACER,
     notes: dict | None = None,
     profiler=NULL_PROFILER,
+    ledger=NULL_LEDGER,
 ) -> Plan:
     """Best plan with expensive predicates as virtual join steps.
 
@@ -109,6 +111,7 @@ def ldl_plan(
                         join_predicates,
                         successors,
                         candidate_of,
+                        ledger,
                     )
                     if bushy:
                         _apply_bushy_pairings(
@@ -171,6 +174,7 @@ def _apply_transitions(
     join_predicates,
     successors,
     candidate_of,
+    ledger=NULL_LEDGER,
 ) -> None:
     # (a) Apply one pending expensive predicate on top of the current plan —
     # the virtual-relation join step.
@@ -179,6 +183,14 @@ def _apply_transitions(
             continue
         node = candidate.node.clone()
         node.filters = rank_sorted(node.filters + [predicate])
+        if ledger.enabled:
+            ledger.record(
+                "ldl.virtual_join",
+                predicate=str(predicate),
+                tables=sorted(joined),
+                applied=len(applied) + 1,
+                signature=skeleton_signature(node),
+            )
         state = (joined, applied | {pred_id})
         successors.setdefault(state, []).append(candidate_of(node))
 

@@ -25,6 +25,7 @@ from repro.cost.model import CostModel
 from repro.errors import OptimizerError
 from repro.expr.predicates import Predicate
 from repro.obs.profile import NULL_PROFILER
+from repro.obs.provenance import NULL_LEDGER, skeleton_signature
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.ikkbz import IKKBZNode, ikkbz_linearize, sequence_cost
 from repro.optimizer.joinutil import choose_primary, eligible_methods
@@ -42,6 +43,7 @@ def ldl_ikkbz_plan(
     tracer=NULL_TRACER,
     notes: dict | None = None,
     profiler=NULL_PROFILER,
+    ledger=NULL_LEDGER,
 ) -> Plan:
     """Plan via the LDL rewrite linearised by IK-KBZ.
 
@@ -68,7 +70,7 @@ def ldl_ikkbz_plan(
         )
     if tracer.enabled:
         tracer.event("ikkbz.order", order=list(order))
-    return _build_plan(query, catalog, model, order)
+    return _build_plan(query, catalog, model, order, ledger)
 
 
 def _validate(query: Query) -> None:
@@ -188,7 +190,11 @@ def _orient(root: str, adjacency: dict[str, list[str]]) -> dict[str, str | None]
 
 
 def _build_plan(
-    query: Query, catalog: Catalog, model: CostModel, order: list[str]
+    query: Query,
+    catalog: Catalog,
+    model: CostModel,
+    order: list[str],
+    ledger=NULL_LEDGER,
 ) -> Plan:
     """Realise an IK-KBZ order as a left-deep plan with greedy methods."""
     _, extra_secondaries = _graph(query, model)
@@ -213,6 +219,16 @@ def _build_plan(
             if root is None:
                 raise OptimizerError("ldl-ikkbz order starts with a predicate")
             root.filters = rank_sorted(root.filters + [predicate])
+            if ledger.enabled:
+                ledger.record(
+                    "ldl.virtual_join",
+                    predicate=str(predicate),
+                    tables=sorted(seen),
+                    applied=len(
+                        [p for p in root.filters if p.is_expensive]
+                    ),
+                    signature=skeleton_signature(root),
+                )
             continue
         if root is None:
             root = cheap_scan(step)

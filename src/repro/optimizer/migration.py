@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from repro.cost.model import CostModel
 from repro.expr.predicates import Predicate, rank
 from repro.obs.profile import NULL_PROFILER
+from repro.obs.provenance import NULL_LEDGER
 from repro.obs.tracer import NULL_TRACER
 from repro.plan.nodes import Plan, PlanNode
 from repro.plan.streams import Spine, movable_predicates, spine_of
@@ -297,11 +298,16 @@ def migrate_node(
     model: CostModel,
     tracer=NULL_TRACER,
     profiler=NULL_PROFILER,
+    ledger=NULL_LEDGER,
+    candidate: int = 0,
 ) -> tuple[int, int]:
     """Optimally re-place all movable predicates of ``root`` in place.
 
     Returns ``(fixpoint iterations, predicate moves)`` — the decision
-    counts surfaced in the migration strategy's notes.
+    counts surfaced in the migration strategy's notes. ``ledger`` receives
+    ``migration.pass``/``migration.move`` provenance events, tagged with
+    ``candidate`` (the retained-skeleton index being migrated) so
+    ``repro why`` can single out the winning candidate's history.
     """
     spine = spine_of(root)
     movable = movable_predicates(spine)
@@ -329,6 +335,12 @@ def migrate_node(
         predicate: _current_slot(spine, predicate, facts[id(predicate)].entry)
         for predicate in movable
     }
+    if ledger.enabled:
+        stream = sorted(spine.leaf.tables()) + [
+            table
+            for spine_join in spine.joins
+            for table in sorted(spine_join.join.inner.tables())
+        ]
     previous: dict[Predicate, int] | None = None
     iterations = 0
     moves = 0
@@ -362,6 +374,30 @@ def migrate_node(
                         for predicate, slot in placements.items()
                     },
                 )
+            if ledger.enabled:
+                ledger.record(
+                    "migration.pass",
+                    candidate=candidate,
+                    round=iterations,
+                    stream=stream,
+                    moves=changed,
+                    placements={
+                        str(predicate): slot
+                        for predicate, slot in placements.items()
+                    },
+                )
+                for predicate, slot in placements.items():
+                    before = current_slots.get(predicate)
+                    if before != slot:
+                        ledger.record(
+                            "migration.move",
+                            candidate=candidate,
+                            round=iterations,
+                            predicate=str(predicate),
+                            from_slot=before,
+                            to_slot=slot,
+                            stream=stream,
+                        )
             if placements == previous:
                 break
             touched = _apply_round(
@@ -400,6 +436,8 @@ def migrate_plan(
     tracer=NULL_TRACER,
     notes: dict | None = None,
     profiler=NULL_PROFILER,
+    ledger=NULL_LEDGER,
+    candidate: int = 0,
 ) -> Plan:
     """Migrate a (cloned) plan and return it with refreshed estimates.
 
@@ -423,11 +461,13 @@ def migrate_plan(
     )
     if left_deep:
         iterations, moves = migrate_node(
-            migrated.root, model, tracer=tracer, profiler=profiler
+            migrated.root, model, tracer=tracer, profiler=profiler,
+            ledger=ledger, candidate=candidate,
         )
     else:
         iterations, moves = migrate_bushy_node(
-            migrated.root, model, tracer=tracer, profiler=profiler
+            migrated.root, model, tracer=tracer, profiler=profiler,
+            ledger=ledger, candidate=candidate,
         )
     if notes is not None:
         notes["plans_migrated"] = notes.get("plans_migrated", 0) + 1
@@ -476,6 +516,8 @@ def migrate_bushy_node(
     model: CostModel,
     tracer=NULL_TRACER,
     profiler=NULL_PROFILER,
+    ledger=NULL_LEDGER,
+    candidate: int = 0,
 ) -> tuple[int, int]:
     """Predicate Migration for arbitrary trees: apply the series–parallel
     placement to each root-to-leaf path until no progress is made.
@@ -555,6 +597,16 @@ def migrate_bushy_node(
                 # invalidate estimates anywhere; forget conservatively.
                 for node in root.walk():
                     model.forget(node)
+                if ledger.enabled:
+                    ledger.record(
+                        "migration.move",
+                        candidate=candidate,
+                        round=iterations,
+                        predicate=str(predicate),
+                        from_slot=current.get(predicate),
+                        to_slot=target,
+                        stream=sorted(path.leaf.tables()),
+                    )
                 current[predicate] = target
                 changed = True
                 total_moves += 1
@@ -566,6 +618,15 @@ def migrate_bushy_node(
                         iteration=iterations,
                     )
         round_phase.__exit__(None, None, None)
+        if ledger.enabled:
+            ledger.record(
+                "migration.pass",
+                candidate=candidate,
+                round=iterations,
+                stream=sorted(root.tables()),
+                moves=total_moves,
+                placements={},
+            )
         if not changed:
             break
     return iterations, total_moves

@@ -10,6 +10,7 @@ from repro.cost.model import CostModel
 from repro.cost.params import CostParams
 from repro.errors import OptimizerError
 from repro.obs.profile import NULL_PROFILER
+from repro.obs.provenance import NULL_LEDGER, skeleton_signature
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.exhaustive import exhaustive_plan
 from repro.optimizer.ldl import ldl_plan
@@ -35,11 +36,12 @@ def _policy_strategy(policy_factory):
         tracer=NULL_TRACER,
         notes: dict | None = None,
         profiler=NULL_PROFILER,
+        ledger=NULL_LEDGER,
     ) -> Plan:
         policy = policy_factory()
         planner = SystemRPlanner(
             catalog, model, policy, bushy=bushy, tracer=tracer,
-            profiler=profiler,
+            profiler=profiler, ledger=ledger,
         )
         with tracer.span("enumerate", policy=policy.name):
             plan = planner.plan(query)
@@ -58,6 +60,7 @@ def migration_strategy(
     tracer=NULL_TRACER,
     notes: dict | None = None,
     profiler=NULL_PROFILER,
+    ledger=NULL_LEDGER,
 ) -> Plan:
     """Predicate Migration: PullRank enumeration with unpruneable retention,
     then series–parallel migration of every retained plan (Section 4.4).
@@ -65,14 +68,15 @@ def migration_strategy(
     the paper's per-root-to-leaf-path formulation."""
     planner = SystemRPlanner(
         catalog, model, MigrationPhaseOnePolicy(), bushy=bushy,
-        tracer=tracer, profiler=profiler,
+        tracer=tracer, profiler=profiler, ledger=ledger,
     )
     with tracer.span("enumerate", policy=planner.policy.name):
         candidates = planner.final_candidates(query)
     migration_notes: dict = {}
     best: Plan | None = None
+    best_index = -1
     with tracer.span("migrate", candidates=len(candidates)) as span:
-        for candidate in candidates:
+        for index, candidate in enumerate(candidates):
             migrated = migrate_plan(
                 Plan(candidate.node, candidate.estimate.cost,
                      candidate.estimate.rows),
@@ -80,11 +84,21 @@ def migration_strategy(
                 tracer=tracer,
                 notes=migration_notes,
                 profiler=profiler,
+                ledger=ledger,
+                candidate=index,
             )
             if best is None or migrated.estimated_cost < best.estimated_cost:
                 best = migrated
+                best_index = index
         assert best is not None
         span.set(best_cost=best.estimated_cost)
+    if ledger.enabled:
+        ledger.record(
+            "migration.select_best",
+            candidate=best_index,
+            cost=best.estimated_cost,
+            signature=skeleton_signature(best.root),
+        )
     if notes is not None:
         notes.update(planner.notes())
         notes.update(migration_notes)
@@ -99,6 +113,7 @@ def exhaustive_strategy(
     tracer=NULL_TRACER,
     notes: dict | None = None,
     profiler=NULL_PROFILER,
+    ledger=NULL_LEDGER,
 ) -> Plan:
     # Exhaustive placement enumerates left-deep orders; it is already the
     # optimal baseline for the workloads (bushy shapes add nothing for
@@ -107,7 +122,7 @@ def exhaustive_strategy(
     with tracer.span("enumerate", policy="exhaustive"):
         return exhaustive_plan(
             query, catalog, model, tracer=tracer, notes=notes,
-            profiler=profiler,
+            profiler=profiler, ledger=ledger,
         )
 
 
@@ -137,6 +152,9 @@ class OptimizedPlan:
     planning_seconds: float
     query_name: str = ""
     notes: dict = field(default_factory=dict)
+    #: The placement-decision ledger (:mod:`repro.obs.provenance`), set
+    #: only when ``optimize(..., ledger=...)`` was given a live ledger.
+    provenance: object | None = None
 
     @property
     def estimated_cost(self) -> float:
@@ -154,6 +172,7 @@ def optimize(
     bushy: bool = False,
     tracer=None,
     profiler=None,
+    ledger=None,
 ) -> OptimizedPlan:
     """Optimize ``query`` against ``db`` with the named placement strategy.
 
@@ -168,7 +187,9 @@ def optimize(
     :class:`repro.obs.PhaseProfiler`) accumulates wall-clock per optimizer
     phase — System R enumeration levels, migration fixpoint rounds,
     exhaustive join orders, LDL DP steps — under the same null-object
-    default.
+    default. ``ledger`` (a :class:`repro.obs.ProvenanceLedger`) records the
+    placement decisions themselves; when live, it is attached to the
+    returned plan as :attr:`OptimizedPlan.provenance`.
     """
     try:
         strategy_fn = STRATEGIES[strategy]
@@ -179,6 +200,7 @@ def optimize(
         ) from None
     tracer = NULL_TRACER if tracer is None else tracer
     profiler = NULL_PROFILER if profiler is None else profiler
+    ledger = NULL_LEDGER if ledger is None else ledger
     model = CostModel(
         db.catalog,
         params or db.params,
@@ -192,7 +214,7 @@ def optimize(
     ) as span, profiler.phase(f"optimize.{strategy}"):
         plan = strategy_fn(
             query, db.catalog, model, bushy=bushy, tracer=tracer,
-            notes=notes, profiler=profiler,
+            notes=notes, profiler=profiler, ledger=ledger,
         )
         span.set(estimated_cost=plan.estimated_cost)
     elapsed = time.perf_counter() - started
@@ -202,4 +224,5 @@ def optimize(
         planning_seconds=elapsed,
         query_name=query.name,
         notes=notes,
+        provenance=ledger if ledger.enabled else None,
     )

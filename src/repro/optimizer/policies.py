@@ -5,6 +5,15 @@ consulted twice: when a base scan is formed (how to order that table's
 selections) and every time a join node is constructed (which filters to pull
 up from the two inputs). Policies mutate freshly-cloned nodes, so shared
 subplans in the DP table are never corrupted.
+
+The public hooks (:meth:`PlacementPolicy.place_scan`,
+:meth:`PlacementPolicy.on_join`) wrap the policy bodies in profiler phases
+(``policy.<name>.place_scan`` / ``policy.<name>.on_join``) so hotspot
+tables and Chrome traces cover every strategy uniformly; subclasses
+override the underscored bodies (``_place_scan`` / ``_on_join``). When a
+provenance ledger is attached, the bodies also record the decisions
+themselves — rank orderings, hoists, rank-vs-join-rank comparisons — as
+typed :mod:`repro.obs.provenance` events.
 """
 
 from __future__ import annotations
@@ -13,6 +22,8 @@ from dataclasses import dataclass
 
 from repro.cost.model import CostModel, PerInput
 from repro.expr.predicates import Predicate
+from repro.obs.provenance import NULL_LEDGER, skeleton_signature
+from repro.obs.profile import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 from repro.plan.nodes import Join, PlanNode, Scan
 
@@ -43,20 +54,54 @@ class PlacementPolicy:
         self.counters: dict[str, int] = {}
         #: Decision-trace sink; the planner swaps in a live tracer.
         self.tracer = NULL_TRACER
+        #: Phase-time sink; the planner swaps in a live profiler.
+        self.profiler = NULL_PROFILER
+        #: Placement-decision sink; the planner swaps in a live ledger.
+        self.ledger = NULL_LEDGER
+        self._scan_phase = f"policy.{self.name}.place_scan"
+        self._join_phase = f"policy.{self.name}.on_join"
 
     def count(self, key: str, amount: int = 1) -> None:
         self.counters[key] = self.counters.get(key, 0) + amount
 
+    # -- public hooks (profiled wrappers) --------------------------------
+
     def place_scan(
         self, scan: Scan, selections: list[Predicate], model: CostModel
     ) -> None:
-        scan.filters = rank_sorted(selections)
+        if self.profiler.enabled:
+            with self.profiler.phase(self._scan_phase):
+                self._place_scan(scan, selections, model)
+        else:
+            self._place_scan(scan, selections, model)
 
     def on_join(
         self, join: Join, model: CostModel, ctx: JoinContext
     ) -> bool:
         """Mutate the join's (cloned) inputs; return True to mark the
         subplan unpruneable (used only by Predicate Migration)."""
+        if self.profiler.enabled:
+            with self.profiler.phase(self._join_phase):
+                return self._on_join(join, model, ctx)
+        return self._on_join(join, model, ctx)
+
+    # -- policy bodies (override these) ----------------------------------
+
+    def _place_scan(
+        self, scan: Scan, selections: list[Predicate], model: CostModel
+    ) -> None:
+        scan.filters = rank_sorted(selections)
+        if self.ledger.enabled and selections:
+            self.ledger.record(
+                "scan.rank_order",
+                table=scan.table,
+                order=[str(p) for p in scan.filters],
+                ranks=[p.rank for p in scan.filters],
+            )
+
+    def _on_join(
+        self, join: Join, model: CostModel, ctx: JoinContext
+    ) -> bool:
         return False
 
     # -- shared pull helpers ---------------------------------------------
@@ -90,11 +135,25 @@ class PullUpPolicy(PlacementPolicy):
 
     name = "pullup"
 
-    def on_join(
+    def _on_join(
         self, join: Join, model: CostModel, ctx: JoinContext
     ) -> bool:
         for source in (join.outer, join.inner):
             expensive = [p for p in source.filters if p.is_expensive]
+            if expensive and self.ledger.enabled:
+                side = "outer" if source is join.outer else "inner"
+                signature = skeleton_signature(join)
+                for predicate in expensive:
+                    self.ledger.record(
+                        "pullup.hoist",
+                        predicate=str(predicate),
+                        predicate_rank=predicate.rank,
+                        side=side,
+                        join=str(join.primary),
+                        join_signature=signature,
+                        outer_rows=ctx.outer_rows,
+                        inner_rows=ctx.inner_rows,
+                    )
             self._pull(join, source, expensive, model)
             if expensive:
                 self.count("pullups", len(expensive))
@@ -113,13 +172,23 @@ class PullRankPolicy(PlacementPolicy):
     #: unpruneable — the System R modification Predicate Migration needs.
     mark_unpruneable = False
 
-    def on_join(
+    def _on_join(
         self, join: Join, model: CostModel, ctx: JoinContext
     ) -> bool:
         unpruneable = False
-        for source, input_rank in (
-            (join.outer, ctx.per_input.outer_rank),
-            (join.inner, ctx.per_input.inner_rank),
+        for source, input_rank, input_selectivity, input_cost in (
+            (
+                join.outer,
+                ctx.per_input.outer_rank,
+                ctx.per_input.outer_selectivity,
+                ctx.per_input.outer_cost,
+            ),
+            (
+                join.inner,
+                ctx.per_input.inner_rank,
+                ctx.per_input.inner_selectivity,
+                ctx.per_input.inner_cost,
+            ),
         ):
             pulled = [p for p in source.filters if p.rank > input_rank]
             declined_expensive = [
@@ -127,6 +196,27 @@ class PullRankPolicy(PlacementPolicy):
                 for p in source.filters
                 if p.is_expensive and p.rank <= input_rank
             ]
+            if self.ledger.enabled and (pulled or declined_expensive):
+                side = "outer" if source is join.outer else "inner"
+                signature = skeleton_signature(join)
+                for predicate, was_pulled in (
+                    [(p, True) for p in pulled]
+                    + [(p, False) for p in declined_expensive]
+                ):
+                    self.ledger.record(
+                        "pullrank.compare",
+                        predicate=str(predicate),
+                        predicate_rank=predicate.rank,
+                        join_rank=input_rank,
+                        side=side,
+                        join=str(join.primary),
+                        join_signature=signature,
+                        pulled=was_pulled,
+                        input_selectivity=input_selectivity,
+                        input_cost=input_cost,
+                        outer_rows=ctx.outer_rows,
+                        inner_rows=ctx.inner_rows,
+                    )
             self._pull(join, source, pulled, model)
             if pulled:
                 self.count("pullups", len(pulled))

@@ -35,6 +35,7 @@ from repro.cost.model import CostModel, Estimate
 from repro.errors import OptimizerError
 from repro.expr.predicates import Predicate
 from repro.obs.profile import NULL_PROFILER
+from repro.obs.provenance import NULL_LEDGER, skeleton_signature
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.joinutil import (
     choose_primary,
@@ -119,13 +120,15 @@ class SystemRPlanner:
         bushy: bool = False,
         tracer=NULL_TRACER,
         profiler=NULL_PROFILER,
+        ledger=NULL_LEDGER,
     ) -> None:
         """``bushy=True`` additionally enumerates bushy join trees (both
         join inputs may be composites) — the System R modification the
         paper mentions as the fix for LDL's left-deep limitation.
         ``tracer`` receives per-subset enumeration events and the policy's
         per-join pullup verdicts; ``profiler`` accumulates wall-clock per
-        DP level (``systemr.level_<k>``)."""
+        DP level (``systemr.level_<k>``); ``ledger`` records the placement
+        decisions themselves (:mod:`repro.obs.provenance`)."""
         self.catalog = catalog
         self.model = model
         self.policy = policy or PlacementPolicy()
@@ -133,7 +136,10 @@ class SystemRPlanner:
         self.bushy = bushy
         self.tracer = tracer
         self.profiler = profiler
+        self.ledger = ledger
         self.policy.tracer = tracer
+        self.policy.profiler = profiler
+        self.policy.ledger = ledger
         self.stats = PlannerStats()
         self._scan_templates: dict[str, tuple[Scan, Estimate]] = {}
 
@@ -499,6 +505,13 @@ class SystemRPlanner:
             if candidate not in kept:
                 kept.append(candidate)
                 self.stats.unpruneable_kept += 1
+                if self.ledger.enabled:
+                    self.ledger.record(
+                        "systemr.unpruneable",
+                        signature=skeleton_signature(candidate.node),
+                        cost=candidate.cost,
+                        tables=sorted(candidate.node.tables()),
+                    )
         self.stats.candidates_kept += len(kept)
         self.stats.subplans_pruned += len(candidates) - len(kept)
         return kept

@@ -36,6 +36,80 @@ def plan_tree(plan: Plan | PlanNode) -> str:
     return "\n".join(lines)
 
 
+def _annotated_label(node: PlanNode, cost_model) -> str:
+    estimate = cost_model.estimate_plan(node)
+    return (
+        _node_label(node)
+        + f"  (est rows={estimate.rows:.0f} cost={estimate.cost:.1f})"
+    )
+
+
+def _render_annotated(
+    node: PlanNode,
+    prefix: str,
+    is_last: bool,
+    lines: list[str],
+    cost_model,
+) -> None:
+    connector = "└─ " if is_last else "├─ "
+    child_prefix = prefix + ("   " if is_last else "│  ")
+    lines.append(prefix + connector + _annotated_label(node, cost_model))
+    for predicate in reversed(node.filters):
+        lines.append(child_prefix + f"· filter: {predicate}")
+    children = node.children()
+    for position, child in enumerate(children):
+        _render_annotated(
+            child, child_prefix, position == len(children) - 1, lines,
+            cost_model,
+        )
+
+
+def plan_tree_annotated(plan: Plan | PlanNode, cost_model) -> str:
+    """The plan tree with per-node estimated rows and cost — the static
+    (un-executed) sibling of :func:`explain_analyze`, used by the
+    ``plan-diff`` view."""
+    root = plan.root if isinstance(plan, Plan) else plan
+    lines: list[str] = [_annotated_label(root, cost_model)]
+    for predicate in reversed(root.filters):
+        lines.append(f"· filter: {predicate}")
+    children = root.children()
+    for position, child in enumerate(children):
+        _render_annotated(
+            child, "", position == len(children) - 1, lines, cost_model
+        )
+    return "\n".join(lines)
+
+
+def side_by_side(
+    left: str,
+    right: str,
+    left_title: str = "",
+    right_title: str = "",
+    gutter: str = "   ",
+) -> str:
+    """Two text blocks as aligned columns, ``≠`` marking differing lines.
+
+    Alignment is positional (line i next to line i), which reads well for
+    plan trees that share a join order and stays honest — no fuzzy
+    matching — when they do not.
+    """
+    left_lines = left.splitlines()
+    right_lines = right.splitlines()
+    width = max(
+        [len(line) for line in left_lines + [left_title]] or [0]
+    )
+    lines: list[str] = []
+    if left_title or right_title:
+        lines.append(f"{left_title:<{width}}{gutter} {right_title}")
+        lines.append(f"{'-' * width}{gutter} {'-' * max(len(right_title), 1)}")
+    for position in range(max(len(left_lines), len(right_lines))):
+        lhs = left_lines[position] if position < len(left_lines) else ""
+        rhs = right_lines[position] if position < len(right_lines) else ""
+        marker = "≠" if lhs != rhs else " "
+        lines.append(f"{lhs:<{width}}{gutter}{marker}{rhs}")
+    return "\n".join(lines)
+
+
 def _relative_error(estimated: float, actual: float) -> str:
     """Signed relative error of an estimate vs. its actual, as a percent.
 

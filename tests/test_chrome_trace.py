@@ -1,0 +1,139 @@
+"""Tests for the Chrome trace_event export (repro.obs.chrome)."""
+
+import json
+
+from repro.obs.chrome import (
+    PHASE_TID,
+    PID,
+    SPAN_TID,
+    build_chrome_trace,
+    export_chrome_trace,
+)
+from repro.obs.profile import NULL_PROFILER, PhaseProfiler
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("optimize", strategy="migration"):
+        with tracer.span("enumerate") as inner:
+            inner.event("prune", tables={"t2", "t1"})
+        with tracer.span("migrate"):
+            pass
+    return tracer
+
+
+def _sample_profiler() -> PhaseProfiler:
+    profiler = PhaseProfiler()
+    with profiler.phase("optimizer.total"):
+        with profiler.phase("optimizer.enumerate"):
+            pass
+    return profiler
+
+
+class TestEventShape:
+    def test_every_event_has_required_keys(self):
+        document = build_chrome_trace(_sample_tracer(), _sample_profiler())
+        assert document["traceEvents"]
+        for event in document["traceEvents"]:
+            for key in REQUIRED_KEYS:
+                assert key in event, f"{key} missing from {event}"
+            assert event["pid"] == PID
+
+    def test_metadata_names_process_and_threads(self):
+        events = build_chrome_trace()["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in metadata} == {
+            "process_name", "thread_name",
+        }
+        thread_names = {
+            e["tid"]: e["args"]["name"]
+            for e in metadata if e["name"] == "thread_name"
+        }
+        assert thread_names == {
+            SPAN_TID: "tracer spans", PHASE_TID: "profiler phases",
+        }
+
+    def test_null_sources_emit_only_metadata(self):
+        events = build_chrome_trace(NULL_TRACER, NULL_PROFILER)[
+            "traceEvents"
+        ]
+        assert all(e["ph"] == "M" for e in events)
+
+    def test_span_events_become_instants(self):
+        events = build_chrome_trace(tracer=_sample_tracer())["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "prune"
+        assert instants[0]["s"] == "t"
+        # Attributes were canonicalised at record time: sets are sorted
+        # lists by the time they reach the export.
+        assert instants[0]["args"]["tables"] == ["t1", "t2"]
+
+
+class TestNesting:
+    def test_x_event_containment_matches_span_parentage(self):
+        tracer = _sample_tracer()
+        events = build_chrome_trace(tracer=tracer)["traceEvents"]
+        by_name = {
+            e["name"]: e
+            for e in events
+            if e["ph"] == "X" and e["tid"] == SPAN_TID
+        }
+        assert set(by_name) == {"optimize", "enumerate", "migrate"}
+        spans = {r["id"]: r for r in tracer.to_records()}
+        for event in by_name.values():
+            parent_id = event["args"]["parent"]
+            if parent_id is None:
+                continue
+            parent_span = spans[parent_id]
+            parent_event = by_name[parent_span["span"]]
+            # Chrome infers nesting from ts/dur containment on a thread;
+            # the child interval must sit inside its parent's.
+            assert parent_event["ts"] <= event["ts"]
+            assert (
+                event["ts"] + event["dur"]
+                <= parent_event["ts"] + parent_event["dur"] + 1e-6
+            )
+
+    def test_siblings_do_not_overlap(self):
+        events = build_chrome_trace(tracer=_sample_tracer())["traceEvents"]
+        by_name = {
+            e["name"]: e
+            for e in events
+            if e["ph"] == "X" and e["tid"] == SPAN_TID
+        }
+        first, second = by_name["enumerate"], by_name["migrate"]
+        assert first["ts"] + first["dur"] <= second["ts"] + 1e-6
+
+
+class TestProfilerTrack:
+    def test_phases_laid_end_to_end(self):
+        events = build_chrome_trace(profiler=_sample_profiler())[
+            "traceEvents"
+        ]
+        phases = [
+            e for e in events
+            if e["ph"] == "X" and e["tid"] == PHASE_TID
+        ]
+        assert len(phases) == 2
+        cursor = 0.0
+        for event in phases:
+            assert event["ts"] == cursor
+            assert event["args"]["aggregate"] is True
+            assert event["args"]["count"] >= 1
+            cursor += event["dur"]
+
+
+class TestExport:
+    def test_writes_valid_json_and_returns_count(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = export_chrome_trace(
+            str(path), _sample_tracer(), _sample_profiler()
+        )
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert len(document["traceEvents"]) == count
+        assert count > 3  # more than just metadata

@@ -327,3 +327,98 @@ class TestOptSpeed:
         )
         assert code == 2
         assert "unknown strategies" in err
+
+
+class TestWhy:
+    def test_explains_expensive_predicate(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "why", "q4", "--strategy", "migration", "--scale", "5"
+        )
+        assert code == 0
+        assert "== why: Query 4 under migration" in out
+        assert "costly100sel10(t3.u20)" in out
+        assert "rank comparison" in out
+        assert "counterfactual" in out
+        assert "re-costs to" in out
+
+    def test_predicate_filter(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "why", "q4", "--scale", "5",
+            "--predicate", "no-such-predicate",
+        )
+        assert code == 0
+        assert "no expensive predicate matching" in out
+
+    def test_unknown_strategy_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(capsys, "why", "q4", "--strategy", "bogus")
+        assert excinfo.value.code == 2
+
+    def test_unknown_workload_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(capsys, "why", "q99")
+        assert excinfo.value.code == 2
+
+
+class TestPlanDiff:
+    def test_side_by_side_with_ledger_counts(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "plan-diff", "q4", "pushdown", "migration",
+            "--scale", "5",
+        )
+        assert code == 0
+        assert "pushdown" in out and "migration" in out
+        assert "est cost" in out
+        assert "ledger events)" in out
+        assert "≠" in out  # the two strategies disagree on q4
+        assert "ledger event counts:" in out
+        assert "scan.rank_order" in out
+
+    def test_same_strategy_diff_has_no_markers(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "plan-diff", "q1", "pushdown", "pushdown",
+            "--scale", "5",
+        )
+        assert code == 0
+        assert "≠" not in out
+
+    def test_unknown_strategy_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(capsys, "plan-diff", "q4", "pushdown", "bogus")
+        assert excinfo.value.code == 2
+
+
+class TestTraceExport:
+    def test_writes_chrome_trace(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        code, _, err = run_cli(
+            capsys, "--workload", "q4", "--scale", "5",
+            "--trace-export", str(path),
+        )
+        assert code == 0
+        assert "trace-export" in err
+        document = json.loads(path.read_text(encoding="utf-8"))
+        events = document["traceEvents"]
+        assert any(e["ph"] == "X" and e["tid"] == 1 for e in events)
+        # The profiler rides along: optimizer/executor phases on tid 2.
+        assert any(e["ph"] == "X" and e["tid"] == 2 for e in events)
+
+    def test_unwritable_path_exits_1(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "--workload", "q4", "--scale", "5",
+            "--explain-only",
+            "--trace-export", str(tmp_path / "no" / "dir" / "t.json"),
+        )
+        assert code == 1
+        assert "cannot write trace-export" in err
+
+    def test_combines_with_jsonl_trace(self, capsys, tmp_path):
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.json"
+        code, _, err = run_cli(
+            capsys, "--workload", "q1", "--scale", "5", "--explain-only",
+            "--trace", str(jsonl), "--trace-export", str(chrome),
+        )
+        assert code == 0
+        assert jsonl.exists() and chrome.exists()
+        assert "-- trace:" in err and "-- trace-export:" in err

@@ -296,3 +296,69 @@ class TestDiff:
             record["estimation_error"] = None
             record["planning_seconds"] = None
         assert not has_regressions(diff_artifacts(nulled, nulled))
+
+
+class TestLedgerInArtifacts:
+    @pytest.fixture(scope="class")
+    def provenance_outcomes(self, tiny_db):
+        workload = build_workload(tiny_db, "q4")
+        return run_strategies(
+            tiny_db,
+            workload.query,
+            strategies=("pushdown", "migration"),
+            execute=False,
+            provenance=True,
+        )
+
+    def test_ledger_serialised_per_strategy(
+        self, provenance_outcomes, tmp_path
+    ):
+        target = record_run_artifact(
+            tmp_path, "q4", provenance_outcomes, scale=20, seed=11
+        )
+        document = load_run_artifact(target)
+        for strategy in ("pushdown", "migration"):
+            ledger = document["strategies"][strategy]["ledger"]
+            assert ledger["event_counts"]
+            assert ledger["events"]
+            assert ledger["events"][0]["seq"] == 0
+        counts = document["strategies"]["migration"]["ledger"][
+            "event_counts"
+        ]
+        assert "migration.select_best" in counts
+
+    def test_without_provenance_no_ledger_key(self, outcomes, tmp_path):
+        target = record_run_artifact(
+            tmp_path, "q1", outcomes, scale=20, seed=11
+        )
+        document = load_run_artifact(target)
+        for record in document["strategies"].values():
+            assert "ledger" not in record
+
+    def test_event_count_drift_is_a_note_not_a_gate(
+        self, provenance_outcomes
+    ):
+        artifact = build_run_artifact(
+            "q4", provenance_outcomes, scale=20, seed=11
+        )
+        drifted = copy.deepcopy(artifact)
+        counts = drifted["strategies"]["migration"]["ledger"][
+            "event_counts"
+        ]
+        counts["migration.move"] = counts.get("migration.move", 0) + 3
+        counts["systemr.unpruneable"] = 0
+        findings = diff_artifacts(artifact, drifted)
+        ledger_findings = [f for f in findings if f.kind == "ledger"]
+        assert len(ledger_findings) == 2
+        assert all(f.severity == "note" for f in ledger_findings)
+        assert not has_regressions(findings)
+        assert any(
+            "migration.move" in f.message for f in ledger_findings
+        )
+
+    def test_identical_ledgers_no_findings(self, provenance_outcomes):
+        artifact = build_run_artifact(
+            "q4", provenance_outcomes, scale=20, seed=11
+        )
+        findings = diff_artifacts(artifact, copy.deepcopy(artifact))
+        assert not any(f.kind == "ledger" for f in findings)

@@ -129,3 +129,52 @@ class TestTracer:
         assert [r["span"] for r in records] == ["outer", "inner"]
         assert records[1]["parent"] == records[0]["id"]
         assert records[1]["events"][0]["value"] == 3
+
+
+class TestCanonicalValue:
+    def test_scalars_pass_through(self):
+        from repro.obs.tracer import canonical_value
+
+        for value in (None, True, 3, 2.5, "s"):
+            assert canonical_value(value) is value
+
+    def test_sets_become_sorted_lists(self):
+        from repro.obs.tracer import canonical_value
+
+        assert canonical_value({"t2", "t10", "t1"}) == ["t1", "t10", "t2"]
+        assert canonical_value(frozenset({3, 1, 2})) == [1, 2, 3]
+
+    def test_mixed_type_sets_sort_deterministically(self):
+        from repro.obs.tracer import canonical_value
+
+        # Heterogeneous members would make plain sorted() raise; the
+        # canonical order is (type name, repr) and must not depend on
+        # insertion or hash order.
+        assert canonical_value({1, "a"}) == canonical_value({"a", 1})
+
+    def test_tuples_and_nesting(self):
+        from repro.obs.tracer import canonical_value
+
+        assert canonical_value((1, {"b", "a"})) == [1, ["a", "b"]]
+        assert canonical_value({1: {"y", "x"}}) == {"1": ["x", "y"]}
+
+    def test_fallback_is_str(self):
+        from repro.obs.tracer import canonical_value
+
+        class Opaque:
+            def __str__(self):
+                return "opaque"
+
+        assert canonical_value(Opaque()) == "opaque"
+
+    def test_span_attrs_canonicalised_at_record_time(self):
+        tracer = Tracer()
+        with tracer.span("work", tables={"t2", "t1"}) as span:
+            span.event("decide", order=("b", "a"))
+            span.set(pulled=frozenset({"p"}))
+        (record,) = tracer.to_records()
+        assert record["attrs"]["tables"] == ["t1", "t2"]
+        assert record["attrs"]["pulled"] == ["p"]
+        assert record["events"][0]["order"] == ["b", "a"]
+        # The export is therefore deterministic JSON, not repr()-of-set.
+        json.dumps(record)

@@ -1,0 +1,266 @@
+"""Tests for the placement provenance ledger (repro.obs.provenance)."""
+
+import json
+
+import pytest
+
+from repro.bench.workloads import build_workload
+from repro.cost.model import CostModel
+from repro.obs import provenance as provenance_module
+from repro.obs.provenance import (
+    EVENT_KINDS,
+    NULL_LEDGER,
+    LedgerEvent,
+    NullLedger,
+    ProvenanceLedger,
+    counterfactual_report,
+    expensive_targets,
+    plan_join_signatures,
+    skeleton_signature,
+    why_report,
+)
+from repro.optimizer import optimize
+from repro.plan.display import plan_tree
+from repro.plan.streams import spine_of
+
+
+class TestNullLedger:
+    def test_disabled(self):
+        assert NULL_LEDGER.enabled is False
+
+    def test_record_is_noop(self):
+        NULL_LEDGER.record("scan.rank_order", table="t1")
+        assert NULL_LEDGER.events == ()
+
+    def test_unknown_kind_not_validated_when_off(self):
+        # The null ledger never inspects its arguments.
+        NULL_LEDGER.record("not.a.kind", junk=object())
+
+    def test_empty_views(self):
+        assert NULL_LEDGER.events_of("scan.rank_order") == []
+        assert NULL_LEDGER.event_counts() == {}
+        assert NULL_LEDGER.summary() == {"event_counts": {}, "events": []}
+
+    def test_is_base_of_real_ledger(self):
+        assert isinstance(ProvenanceLedger(), NullLedger)
+
+
+class TestProvenanceLedger:
+    def test_records_in_sequence(self):
+        ledger = ProvenanceLedger()
+        ledger.record("scan.rank_order", table="t1")
+        ledger.record("pullup.hoist", predicate="p")
+        assert [e.seq for e in ledger.events] == [0, 1]
+        assert [e.kind for e in ledger.events] == [
+            "scan.rank_order", "pullup.hoist",
+        ]
+
+    def test_rejects_unknown_kind(self):
+        ledger = ProvenanceLedger()
+        with pytest.raises(ValueError, match="unknown ledger event kind"):
+            ledger.record("made.up", x=1)
+
+    def test_every_kind_documented(self):
+        for kind, description in EVENT_KINDS.items():
+            assert "." in kind
+            assert description
+
+    def test_data_canonicalised_at_record_time(self):
+        ledger = ProvenanceLedger()
+        ledger.record(
+            "scan.rank_order",
+            tables={"t2", "t1"},
+            order=("a", "b"),
+            nested={1: {"z", "a"}},
+        )
+        data = ledger.events[0].data
+        assert data["tables"] == ["t1", "t2"]
+        assert data["order"] == ["a", "b"]
+        assert data["nested"] == {"1": ["a", "z"]}
+        # Canonical data is JSON-serialisable by construction.
+        json.dumps(ledger.summary())
+
+    def test_events_of_and_counts(self):
+        ledger = ProvenanceLedger()
+        ledger.record("migration.pass", candidate=0)
+        ledger.record("migration.move", predicate="p")
+        ledger.record("migration.pass", candidate=0)
+        assert len(ledger.events_of("migration.pass")) == 2
+        assert ledger.event_counts() == {
+            "migration.pass": 2, "migration.move": 1,
+        }
+
+    def test_summary_shape(self):
+        ledger = ProvenanceLedger()
+        ledger.record("ldl.virtual_join", predicate="p", tables=["t1"])
+        summary = ledger.summary()
+        assert summary["event_counts"] == {"ldl.virtual_join": 1}
+        assert summary["events"] == [
+            {"seq": 0, "kind": "ldl.virtual_join",
+             "predicate": "p", "tables": ["t1"]},
+        ]
+
+
+class TestSkeletonSignature:
+    def test_identifies_joins_independent_of_filters(self, db):
+        workload = build_workload(db, "q4")
+        optimized = optimize(db, workload.query, strategy="migration")
+        root = optimized.plan.root
+        signatures = plan_join_signatures(root)
+        assert signatures
+        for signature, join in signatures.items():
+            before = skeleton_signature(join)
+            saved = list(join.filters)
+            join.filters.clear()
+            try:
+                assert skeleton_signature(join) == before == signature
+            finally:
+                join.filters.extend(saved)
+
+    def test_mentions_method_and_primary(self, db):
+        workload = build_workload(db, "q1")
+        optimized = optimize(db, workload.query, strategy="pushdown")
+        for signature in plan_join_signatures(optimized.plan.root):
+            assert "[" in signature and "(" in signature
+
+
+class TestStrategiesRecord:
+    """Every strategy emits its own event vocabulary on q4."""
+
+    @pytest.mark.parametrize(
+        "strategy, expected_kinds",
+        [
+            ("pushdown", {"scan.rank_order"}),
+            ("pullup", {"pullup.hoist"}),
+            ("pullrank", {"pullrank.compare"}),
+            ("migration", {"migration.pass", "migration.select_best",
+                           "systemr.unpruneable"}),
+            ("exhaustive", {"exhaustive.new_best", "exhaustive.combos"}),
+            ("ldl", {"ldl.virtual_join"}),
+        ],
+    )
+    def test_event_kinds(self, db, strategy, expected_kinds):
+        workload = build_workload(db, "q4")
+        ledger = ProvenanceLedger()
+        optimize(db, workload.query, strategy=strategy, ledger=ledger)
+        assert expected_kinds <= set(ledger.event_counts())
+
+    def test_ledger_attached_to_optimized_plan(self, db):
+        workload = build_workload(db, "q4")
+        ledger = ProvenanceLedger()
+        optimized = optimize(
+            db, workload.query, strategy="migration", ledger=ledger
+        )
+        assert optimized.provenance is ledger
+
+    def test_no_ledger_means_no_provenance(self, db):
+        workload = build_workload(db, "q4")
+        optimized = optimize(db, workload.query, strategy="migration")
+        assert optimized.provenance is None
+
+
+class TestRecordingNeverChangesPlans:
+    @pytest.mark.parametrize(
+        "strategy",
+        ["pushdown", "pullup", "pullrank", "migration", "exhaustive",
+         "ldl"],
+    )
+    def test_plan_identical_with_and_without_ledger(self, db, strategy):
+        workload = build_workload(db, "q4")
+        plain = optimize(db, workload.query, strategy=strategy)
+        recorded = optimize(
+            db, workload.query, strategy=strategy,
+            ledger=ProvenanceLedger(),
+        )
+        assert plan_tree(recorded.plan) == plan_tree(plain.plan)
+        assert recorded.estimated_cost == plain.estimated_cost
+
+
+class TestZeroOverheadWhenOff:
+    def test_default_path_never_constructs_events(self, db, monkeypatch):
+        def explode(*args, **kwargs):
+            raise AssertionError(
+                "LedgerEvent constructed on the default (no-ledger) path"
+            )
+
+        monkeypatch.setattr(provenance_module, "LedgerEvent", explode)
+        workload = build_workload(db, "q4")
+        for strategy in ("pushdown", "migration", "exhaustive", "ldl"):
+            optimize(db, workload.query, strategy=strategy)
+
+
+class TestCounterfactual:
+    def _expensive_filter(self, root):
+        for predicate, role in expensive_targets(root):
+            if role == "filter":
+                return predicate
+        pytest.fail("no movable expensive predicate in plan")
+
+    def test_alt_cost_matches_independent_estimate(self, db):
+        workload = build_workload(db, "q4")
+        optimized = optimize(db, workload.query, strategy="migration")
+        model = CostModel(db.catalog, db.params)
+        predicate = self._expensive_filter(optimized.plan.root)
+        report = counterfactual_report(optimized.plan, predicate, model)
+        assert report.note == ""
+        assert report.moves, "expected at least one legal one-slot move"
+        base = model.estimate_plan(optimized.plan.root.clone()).cost
+        assert report.base_cost == pytest.approx(base, rel=1e-9)
+        for move in report.moves:
+            clone = optimized.plan.root.clone()
+            spine_of(clone).apply_placement({predicate: move.to_slot})
+            independent = model.estimate_plan(clone).cost
+            assert move.alt_cost == pytest.approx(independent, rel=1e-9)
+            assert move.delta == pytest.approx(
+                independent - base, rel=1e-9
+            )
+
+    def test_input_plan_left_untouched(self, db):
+        workload = build_workload(db, "q4")
+        optimized = optimize(db, workload.query, strategy="migration")
+        model = CostModel(db.catalog, db.params)
+        before = plan_tree(optimized.plan)
+        predicate = self._expensive_filter(optimized.plan.root)
+        counterfactual_report(optimized.plan, predicate, model)
+        assert plan_tree(optimized.plan) == before
+
+    def test_join_primary_gets_note(self, db):
+        workload = build_workload(db, "q4")
+        optimized = optimize(db, workload.query, strategy="migration")
+        model = CostModel(db.catalog, db.params)
+        primary = optimized.plan.root.primary
+        report = counterfactual_report(optimized.plan, primary, model)
+        assert "join primary" in report.note
+
+
+class TestWhyReport:
+    def test_names_predicate_with_numbers(self, db):
+        workload = build_workload(db, "q4")
+        ledger = ProvenanceLedger()
+        optimized = optimize(
+            db, workload.query, strategy="migration", ledger=ledger
+        )
+        model = CostModel(db.catalog, db.params)
+        report = why_report(optimized, model)
+        assert "costly100sel10(t3.u20)" in report
+        assert "rank comparison" in report
+        assert "selectivity" in report
+        assert "counterfactual" in report
+        assert "re-costs to" in report
+
+    def test_predicate_filter_narrows_subjects(self, db):
+        workload = build_workload(db, "q4")
+        ledger = ProvenanceLedger()
+        optimized = optimize(
+            db, workload.query, strategy="migration", ledger=ledger
+        )
+        model = CostModel(db.catalog, db.params)
+        report = why_report(optimized, model, predicate="nonexistent")
+        assert "no expensive predicate matching" in report
+
+    def test_without_ledger_still_renders(self, db):
+        workload = build_workload(db, "q4")
+        optimized = optimize(db, workload.query, strategy="pushdown")
+        model = CostModel(db.catalog, db.params)
+        report = why_report(optimized, model)
+        assert "no provenance ledger was recorded" in report

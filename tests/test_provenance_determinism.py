@@ -1,0 +1,69 @@
+"""Provenance ledgers and plan-diff output are byte-stable across runs.
+
+Ledger data is canonicalised at record time
+(:func:`repro.obs.tracer.canonical_value`), which sorts sets and
+stringifies dict keys — so nothing in a ledger depends on Python's
+per-process hash randomisation. These tests run the whole pipeline in
+fresh interpreters under differing ``PYTHONHASHSEED`` values and require
+identical bytes out.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+#: Emits one sorted-JSON ledger summary line per workload × strategy,
+#: then the full plan-diff text for q4.
+SCRIPT = """
+import json
+from repro import build_database, optimize
+from repro.bench.workloads import build_workload
+from repro.obs import ProvenanceLedger
+from repro.__main__ import plan_diff
+
+db = build_database(scale=3, seed=42)
+for name in ("q1", "q2", "q3", "q4", "q5"):
+    workload = build_workload(db, name)
+    for strategy in ("pushdown", "migration"):
+        ledger = ProvenanceLedger()
+        optimize(db, workload.query, strategy=strategy, ledger=ledger)
+        print(name, strategy, json.dumps(ledger.summary(), sort_keys=True))
+plan_diff(["q4", "pushdown", "migration", "--scale", "3"])
+"""
+
+
+def _run(hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = SRC
+    result = subprocess.run(
+        [sys.executable, "-c", SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return [_run(seed) for seed in ("0", "0", "1")]
+
+
+def test_output_nonempty(runs):
+    assert "q4 migration" in runs[0]
+    assert "ledger event counts:" in runs[0]
+
+
+def test_stable_across_identical_runs(runs):
+    assert runs[0] == runs[1]
+
+
+def test_stable_across_hash_seeds(runs):
+    assert runs[0] == runs[2]
