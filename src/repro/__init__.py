@@ -29,13 +29,15 @@ from repro.catalog.datagen import (
     register_standard_functions,
 )
 from repro.database import Database
-from repro.exec import Executor, QueryResult
+from repro.exec import Executor, FailurePolicy, QueryResult
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.obs import MetricsRegistry, Tracer, record_run
 from repro.optimizer import (
     STRATEGIES,
     OptimizedPlan,
     Query,
     optimize,
+    optimize_degraded,
 )
 from repro.plan import explain, explain_analyze, plan_tree
 from repro.sql import compile_query
@@ -45,6 +47,10 @@ __version__ = "1.0.0"
 __all__ = [
     "Database",
     "Executor",
+    "FailurePolicy",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "MetricsRegistry",
     "OptimizedPlan",
     "Query",
@@ -57,6 +63,7 @@ __all__ = [
     "explain",
     "explain_analyze",
     "optimize",
+    "optimize_degraded",
     "paper_scale_database",
     "plan_tree",
     "record_run",

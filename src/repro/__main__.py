@@ -12,6 +12,8 @@ Examples::
     python -m repro opt-speed --scale 10 --out artifacts/OPTSPEED.json
     python -m repro why q4 --strategy migration
     python -m repro plan-diff q4 pushdown migration
+    python -m repro chaos q4 --seed 7
+    python -m repro chaos q1 --seeds 7,11,13 --policy skip-row --report artifacts/
     python -m repro --workload q4 --trace-export trace.json
 """
 
@@ -32,7 +34,9 @@ from repro.bench.optspeed import (
 )
 from repro.bench.workloads import WORKLOADS, build_workload
 from repro.cost.model import CostModel
-from repro.errors import ArtifactError, ReproError
+from repro.errors import ArtifactError, OptimizerError, ReproError
+from repro.exec.containment import DEFAULT_RETRIES, EXHAUSTION_POLICIES
+from repro.faults.plan import PROFILES
 from repro.obs import (
     NULL_PROFILER,
     NULL_TRACER,
@@ -189,10 +193,17 @@ def _run(args, tracer, out, profiler=NULL_PROFILER) -> int:
         # hotspot report.
         if not profiler.enabled and args.record:
             profiler = PhaseProfiler()
+        try:
+            strategies = resolve_strategies(args.strategies)
+        except OptimizerError as error:
+            # A mistyped strategy name is a usage error, not a runtime
+            # failure: one line of valid choices, argparse's exit code.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         outcomes = run_strategies(
             db,
             query,
-            strategies=resolve_strategies(args.strategies),
+            strategies=strategies,
             caching=args.caching,
             budget=budget,
             execute=not args.explain_only,
@@ -343,8 +354,12 @@ def _fmt_err(value: float) -> str:
 def _print_workload_diff(
     workload: str, baseline: dict, candidate: dict, out
 ) -> None:
-    base_strategies = baseline.get("strategies", {})
-    cand_strategies = candidate.get("strategies", {})
+    def strategies_of(document: dict) -> dict:
+        value = document.get("strategies")
+        return value if isinstance(value, dict) else {}
+
+    base_strategies = strategies_of(baseline)
+    cand_strategies = strategies_of(candidate)
     title = f"== {workload} (baseline -> candidate)"
     print(title, file=out)
     header = (
@@ -359,6 +374,9 @@ def _print_workload_diff(
         if base is None or cand is None:
             side = "candidate" if base is None else "baseline"
             print(f"{strategy:<12} (only in {side})", file=out)
+            continue
+        if not isinstance(base, dict) or not isinstance(cand, dict):
+            print(f"{strategy:<12} (malformed record)", file=out)
             continue
         fingerprints = (base.get("fingerprint"), cand.get("fingerprint"))
         plan = "same" if fingerprints[0] == fingerprints[1] else "CHANGED"
@@ -719,6 +737,132 @@ def plan_diff(argv: list[str], out=None) -> int:
     return 0
 
 
+# -- chaos: seeded fault injection across every strategy ----------------------
+
+
+def build_chaos_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description=(
+            "Run one workload under seeded fault schedules (UDF errors, "
+            "injected latency, corrupted statistics, planner crashes) "
+            "across every strategy, and check the robustness invariants: "
+            "recoverable faults reproduce the fault-free rows exactly, "
+            "unrecoverable faults surface as structured DNFs or honest "
+            "quarantines, and nothing ever escapes as a traceback. "
+            "Exits 1 on any invariant violation."
+        ),
+    )
+    parser.add_argument(
+        "workload", choices=sorted(WORKLOADS), help="workload to torment"
+    )
+    parser.add_argument(
+        "--seed", type=int, action="append", metavar="N",
+        help="one chaos seed (repeatable); overrides --seeds",
+    )
+    parser.add_argument(
+        "--seeds", default="7,11,13", metavar="LIST",
+        help="comma-separated chaos seeds (default 7,11,13)",
+    )
+    parser.add_argument(
+        "--strategies", default="chaos", metavar="SPEC",
+        help="'chaos' (the degradation ladder's rungs), 'default', 'all', "
+        "or a comma-separated list of strategy names",
+    )
+    parser.add_argument(
+        "--policy", default="abort", choices=EXHAUSTION_POLICIES,
+        help="on-exhaustion policy after bounded retries (default abort)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=DEFAULT_RETRIES,
+        help=f"bounded retries per failing evaluation "
+        f"(default {DEFAULT_RETRIES})",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=5,
+        help="database scale factor (default 5 — chaos runs many "
+        "executions, so small is deliberate)",
+    )
+    parser.add_argument(
+        "--db-seed", type=int, default=42, help="data generator seed"
+    )
+    parser.add_argument(
+        "--profile", default="mixed", choices=sorted(PROFILES),
+        help="fault-generation profile (default mixed)",
+    )
+    parser.add_argument(
+        "--planner-fault-rate", type=float, default=0.25, metavar="FRAC",
+        help="probability each non-floor ladder rung is made to crash "
+        "(default 0.25)",
+    )
+    parser.add_argument(
+        "--report", metavar="DIR",
+        help="write the full report (fault plans, outcomes, quarantines) "
+        "as CHAOS_<workload>.json into DIR",
+    )
+    return parser
+
+
+def chaos(argv: list[str], out=None) -> int:
+    """The ``chaos`` subcommand body; returns the exit code."""
+    import json
+    import os
+
+    from repro.faults.chaos import (
+        DEFAULT_CHAOS_STRATEGIES,
+        format_chaos_report,
+        run_chaos,
+    )
+
+    if out is None:
+        out = sys.stdout
+    args = build_chaos_parser().parse_args(argv)
+    try:
+        if args.strategies == "chaos":
+            strategies = DEFAULT_CHAOS_STRATEGIES
+        else:
+            strategies = resolve_strategies(args.strategies)
+        if args.seed:
+            seeds = tuple(args.seed)
+        else:
+            seeds = tuple(
+                int(part)
+                for part in args.seeds.split(",")
+                if part.strip()
+            )
+        if not seeds:
+            raise ReproError(f"no chaos seeds in {args.seeds!r}")
+    except (ReproError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        report = run_chaos(
+            args.workload,
+            seeds=seeds,
+            strategies=strategies,
+            policy=args.policy,
+            retries=args.retries,
+            scale=args.scale,
+            db_seed=args.db_seed,
+            profile=args.profile,
+            planner_fault_rate=args.planner_fault_rate,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_chaos_report(report), file=out)
+    if args.report:
+        os.makedirs(args.report, exist_ok=True)
+        target = os.path.join(
+            args.report, f"CHAOS_{args.workload}.json"
+        )
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"-- chaos artifact: {target}", file=sys.stderr)
+    return 0 if report.passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -734,6 +878,8 @@ def main(argv: list[str] | None = None) -> int:
         return why(list(argv[1:]))
     if argv and argv[0] == "plan-diff":
         return plan_diff(list(argv[1:]))
+    if argv and argv[0] == "chaos":
+        return chaos(list(argv[1:]))
     args = build_parser().parse_args(argv)
     tracer = Tracer() if args.trace or args.trace_export else NULL_TRACER
     profiler = PhaseProfiler() if args.trace_export else NULL_PROFILER

@@ -211,4 +211,7 @@ def outcome_by_strategy(
     for outcome in outcomes:
         if outcome.strategy == strategy:
             return outcome
-    raise KeyError(strategy)
+    raise OptimizerError(
+        f"no outcome recorded for strategy {strategy!r}; "
+        f"ran {[o.strategy for o in outcomes]}"
+    )

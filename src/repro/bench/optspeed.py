@@ -43,7 +43,7 @@ def chain_sql(tables: int) -> str:
     pushdown/pullup/migration genuinely disagree about placement.
     """
     if not 2 <= tables <= len(CHAIN_TABLES):
-        raise ValueError(
+        raise OptimizerError(
             f"table count must be between 2 and {len(CHAIN_TABLES)}"
         )
     names = CHAIN_TABLES[:tables]

@@ -56,6 +56,32 @@ class ExecutionError(ReproError):
     """Plan execution failed."""
 
 
+class UdfError(ExecutionError):
+    """A user-defined function failed at evaluation time.
+
+    Carries enough context for containment and reporting: which function,
+    which invocation (1-based call index at the time of the failure), and
+    whether the fault is transient (a retry may succeed) or permanent.
+    """
+
+    def __init__(
+        self,
+        function: str,
+        call_index: int = 0,
+        transient: bool = False,
+        reason: str = "injected fault",
+    ) -> None:
+        flavour = "transient" if transient else "permanent"
+        super().__init__(
+            f"UDF {function!r} failed on call #{call_index} "
+            f"({flavour}): {reason}"
+        )
+        self.function = function
+        self.call_index = call_index
+        self.transient = transient
+        self.reason = reason
+
+
 class BudgetExceededError(ExecutionError):
     """Execution exceeded its charged-cost budget.
 
@@ -83,6 +109,28 @@ class PlanError(ReproError):
 
 class OptimizerError(ReproError):
     """The optimizer could not produce a plan."""
+
+
+class StatisticsError(ReproError):
+    """A catalog statistic is unusable (non-finite or out of range).
+
+    Raised only when a statistic cannot be repaired; the optimizer's
+    guardrails normally clamp bad values in place and record a
+    ``stats.clamp`` provenance event instead of raising.
+    """
+
+
+class PlanningTimeout(OptimizerError):
+    """A placement strategy exceeded its planning-time budget."""
+
+    def __init__(self, strategy: str, elapsed: float, budget: float) -> None:
+        super().__init__(
+            f"strategy {strategy!r} exceeded its planning budget: "
+            f"{elapsed:.3f}s > {budget:.3f}s"
+        )
+        self.strategy = strategy
+        self.elapsed = elapsed
+        self.budget = budget
 
 
 class SQLError(ReproError):

@@ -10,13 +10,23 @@ Query 5 PullUp plan "never completed") via
 """
 
 from repro.exec.cache import CacheStats, PredicateCache
+from repro.exec.containment import (
+    EXHAUSTION_POLICIES,
+    FailurePolicy,
+    QuarantineEntry,
+    QuarantineReport,
+)
 from repro.exec.operators import OperatorStats
 from repro.exec.runtime import Executor, QueryResult
 
 __all__ = [
     "CacheStats",
+    "EXHAUSTION_POLICIES",
     "Executor",
+    "FailurePolicy",
     "OperatorStats",
     "PredicateCache",
+    "QuarantineEntry",
+    "QuarantineReport",
     "QueryResult",
 ]

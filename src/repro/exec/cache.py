@@ -25,6 +25,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Hashable
 
+from repro.errors import ExecutionError
+
 #: Supported replacement policies for bounded caches.
 REPLACEMENT_POLICIES = ("fifo", "lru")
 
@@ -61,7 +63,7 @@ class PredicateCache:
 
     def __post_init__(self) -> None:
         if self.replacement not in REPLACEMENT_POLICIES:
-            raise ValueError(
+            raise ExecutionError(
                 f"replacement must be one of {REPLACEMENT_POLICIES}, "
                 f"got {self.replacement!r}"
             )

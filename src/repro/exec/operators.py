@@ -22,8 +22,9 @@ from typing import Iterator
 
 from repro.catalog.catalog import Catalog
 from repro.cost.params import CostParams
-from repro.errors import ExecutionError, PlanError
+from repro.errors import ExecutionError, PlanError, UdfError
 from repro.exec.cache import PredicateCache
+from repro.exec.containment import ContainmentState
 from repro.expr.expressions import Scope
 from repro.expr.predicates import Predicate
 from repro.plan.nodes import Join, JoinMethod, PlanNode, Scan
@@ -78,6 +79,10 @@ class RuntimeContext:
     #: :class:`InstrumentedOperator` and records its actuals here, keyed by
     #: ``id(plan_node)`` (EXPLAIN ANALYZE mode).
     node_stats: dict[int, OperatorStats] | None = None
+    #: When not ``None``, predicate evaluation runs under UDF failure
+    #: containment: bounded retries with simulated-clock backoff, then the
+    #: policy's on-exhaustion action, with quarantine bookkeeping.
+    containment: ContainmentState | None = None
 
     def __post_init__(self) -> None:
         if self.cache_mode not in ("predicate", "function"):
@@ -129,11 +134,41 @@ class _CachingFunctions:
 def evaluate_predicate(
     predicate: Predicate, row: tuple, scope: Scope, ctx: RuntimeContext
 ) -> bool:
-    """Evaluate one predicate on one row, with charging and caching.
+    """Evaluate one predicate on one row, with charging, caching, and —
+    when the context carries a :class:`ContainmentState` — UDF failure
+    containment (bounded retries, then the on-exhaustion policy).
 
     Returns ``False`` for SQL NULL results (a WHERE conjunct only passes
     rows for which it is true).
     """
+    containment = ctx.containment
+    if containment is None:
+        return _evaluate_once(predicate, row, scope, ctx)
+    attempts = 0
+    while True:
+        try:
+            value = _evaluate_once(predicate, row, scope, ctx)
+        except UdfError as error:
+            containment.note_failure()
+            if attempts < containment.policy.retries:
+                containment.wait_before_retry(attempts, error)
+                attempts += 1
+                continue
+            # Exhausted: quarantine the tuple and apply the policy
+            # (``abort`` re-raises; the executor turns it into a
+            # structured DNF result).
+            return containment.quarantine(
+                predicate, row, error, attempts + 1
+            )
+        if attempts:
+            containment.note_recovered()
+        return value
+
+
+def _evaluate_once(
+    predicate: Predicate, row: tuple, scope: Scope, ctx: RuntimeContext
+) -> bool:
+    """One uncontained evaluation attempt (the pre-containment body)."""
     functions = ctx.catalog.functions
     caching = (
         ctx.caching

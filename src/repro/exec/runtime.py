@@ -5,13 +5,19 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import BudgetExceededError
+from repro.errors import BudgetExceededError, UdfError
 from repro.exec.cache import CacheStats, PredicateCache
+from repro.exec.containment import (
+    ContainmentState,
+    FailurePolicy,
+    QuarantineReport,
+)
 from repro.exec.operators import (
     OperatorStats,
     RuntimeContext,
     build_operator,
 )
+from repro.faults.clock import SimulatedClock
 from repro.expr.expressions import QualifiedColumn, Scope
 from repro.obs.profile import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
@@ -40,6 +46,23 @@ class QueryResult:
     #: Per-plan-node actuals keyed by ``id(plan_node)``; filled only when
     #: the execution was instrumented (EXPLAIN ANALYZE).
     node_stats: dict[int, OperatorStats] | None = None
+    #: Structured DNF reason when ``completed`` is ``False`` — e.g.
+    #: ``"budget: charged 1234.0 > budget 1000.0"`` or
+    #: ``"udf: UDF 'costly100' failed on call #5 (permanent): ..."``.
+    error: str = ""
+    #: Degraded-run ledger: tuples whose predicate verdicts came from the
+    #: failure policy rather than evaluation. ``None`` unless the executor
+    #: ran with a :class:`FailurePolicy`.
+    quarantine: QuarantineReport | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """Completed, but with policy-decided tuples in quarantine."""
+        return (
+            self.completed
+            and self.quarantine is not None
+            and self.quarantine.quarantined > 0
+        )
 
     @property
     def row_count(self) -> int:
@@ -67,6 +90,8 @@ class Executor:
         cache_bypass_threshold: float = 0.95,
         tracer=None,
         profiler=None,
+        failure_policy: FailurePolicy | None = None,
+        clock: SimulatedClock | None = None,
     ) -> None:
         """``cache_mode`` selects predicate-level (Montage) or
         function-level ([Jhi88]) memoisation; ``cache_bypass`` enables the
@@ -75,7 +100,12 @@ class Executor:
         such predicates costs memory and buys nothing). ``tracer`` records
         execute-phase spans (default: the zero-overhead null tracer);
         ``profiler`` accumulates build/run wall-clock plus, on
-        instrumented runs, per-operator actuals (``exec.op.<label>``)."""
+        instrumented runs, per-operator actuals (``exec.op.<label>``).
+        ``failure_policy`` enables UDF failure containment (bounded
+        retries with simulated-clock backoff, then the policy's
+        on-exhaustion action); ``clock`` is the
+        :class:`~repro.faults.clock.SimulatedClock` backoff and injected
+        latency accrue on (a private one is created when omitted)."""
         self.db = db
         self.caching = caching
         self.budget = budget
@@ -86,6 +116,8 @@ class Executor:
         self.cache_bypass_threshold = cache_bypass_threshold
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.profiler = NULL_PROFILER if profiler is None else profiler
+        self.failure_policy = failure_policy
+        self.clock = clock
 
     def _bypass_ids(self, node: PlanNode) -> frozenset[int]:
         """Predicates not worth caching: nearly every binding is distinct.
@@ -152,6 +184,13 @@ class Executor:
         node_stats: dict[int, OperatorStats] | None = (
             {} if instrument else None
         )
+        containment = (
+            ContainmentState(
+                self.failure_policy, clock=self.clock, tracer=tracer
+            )
+            if self.failure_policy is not None
+            else None
+        )
         ctx = RuntimeContext(
             catalog=db.catalog,
             meter=db.meter,
@@ -161,10 +200,12 @@ class Executor:
             cache_mode=self.cache_mode,
             bypass_ids=self._bypass_ids(node),
             node_stats=node_stats,
+            containment=containment,
         )
         started = time.perf_counter()
         rows: list[tuple] = []
         completed = True
+        error = ""
         scope: Scope | None = None
         with tracer.span(
             "execute", caching=self.caching, instrumented=instrument
@@ -178,10 +219,20 @@ class Executor:
                         profiler.phase("exec.run"):
                     for row in operator:
                         rows.append(row)
-            except BudgetExceededError:
+            except BudgetExceededError as exc:
                 if raise_on_budget:
                     raise
                 completed = False
+                error = (
+                    f"budget: charged {exc.charged:.1f} > "
+                    f"budget {exc.budget:.1f}"
+                )
+            except UdfError as exc:
+                # Only the ``abort`` exhaustion policy lets a UdfError
+                # escape the operators; surface it as a structured DNF
+                # rather than a traceback.
+                completed = False
+                error = f"udf: {exc}"
             finally:
                 # Restore whatever budget the shared Database carried
                 # before this execution, not unconditionally None.
@@ -190,6 +241,7 @@ class Executor:
                 rows=len(rows),
                 completed=completed,
                 charged=db.meter.charged,
+                error=error,
             )
         elapsed = time.perf_counter() - started
 
@@ -211,14 +263,22 @@ class Executor:
             rows = [tuple(row[slot] for slot in slots) for row in rows]
             scope = Scope(list(project))
 
+        metrics = db.meter.snapshot()
+        if containment is not None:
+            metrics.update(containment.metrics())
+
         return QueryResult(
             rows=rows,
             scope=scope,
             completed=completed,
             charged=db.meter.charged,
-            metrics=db.meter.snapshot(),
+            metrics=metrics,
             cache_stats=cache.stats if cache is not None else None,
             cache_entries=cache.total_entries() if cache is not None else 0,
             wall_seconds=elapsed,
             node_stats=node_stats,
+            error=error,
+            quarantine=(
+                containment.report if containment is not None else None
+            ),
         )

@@ -1,0 +1,455 @@
+"""The chaos harness: seeded fault schedules against every strategy.
+
+One :func:`run_chaos` call takes a workload, computes its fault-free
+*oracle* rows once, then for each chaos seed generates a
+:class:`~repro.faults.plan.FaultPlan`, installs it on the catalog, and
+runs every requested strategy through the graceful-degradation ladder
+and the containment-enabled executor. Each run is checked against the
+robustness invariants:
+
+* **Nothing escapes.** Planning and execution may only fail through
+  :class:`~repro.errors.ReproError` subclasses surfaced as structured
+  results — any other exception is a violation, as is an uncontained
+  ``ReproError`` leaking out of the executor.
+* **Recoverable ⇒ oracle-exact.** When the fault plan is recoverable
+  under the retry budget (no permanent errors, every transient window
+  within ``retries``), the run must complete with zero quarantined
+  tuples and exactly the oracle's rows.
+* **Unrecoverable ⇒ structured.** Under ``abort`` an exhausted UDF must
+  produce a ``completed=False`` result with a populated ``error`` —
+  never a traceback. Under ``skip-row``/``assume-fail`` the run must
+  complete with the surviving rows a multiset-subset of the oracle;
+  under ``assume-pass`` a multiset-superset.
+* **Quarantine is honest.** A completed run with an empty quarantine
+  must equal the oracle: every masked fault was genuinely recovered.
+
+Latency and corrupted-statistics faults never change result rows: the
+clock is simulated (latency only accrues virtual time) and the planner
+guardrails clamp hostile statistics into plans that stay semantically
+equivalent. Rows are compared in a canonical column order (sorted
+tables, schema attribute order) so plans with different join orders
+compare equal.
+
+This module imports the optimizer and executor, so it must *not* be
+re-exported from ``repro.faults.__init__`` (the executor's containment
+layer imports ``repro.faults.clock``, which would close an import
+cycle). Import it explicitly: ``from repro.faults.chaos import
+run_chaos``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.bench.workloads import WORKLOADS, Workload, build_workload
+from repro.catalog.datagen import build_database
+from repro.database import Database
+from repro.errors import ReproError
+from repro.exec import Executor, FailurePolicy
+from repro.exec.containment import DEFAULT_RETRIES, EXHAUSTION_POLICIES
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import PROFILES, FaultPlan
+from repro.obs.provenance import ProvenanceLedger
+from repro.optimizer import optimize, optimize_degraded
+
+#: Default chaos seeds — three distinct schedules per suite run.
+DEFAULT_SEEDS = (7, 11, 13)
+
+#: Strategies chaos exercises by default: the ladder's rungs plus the
+#: over-eager baseline the paper warns about.
+DEFAULT_CHAOS_STRATEGIES = (
+    "pushdown",
+    "pullrank",
+    "migration",
+    "exhaustive",
+)
+
+#: Ladder rungs eligible for injected planner faults. PushDown is the
+#: documented floor of the degradation ladder — faulting it would make
+#: "planning always lands somewhere" untestable.
+FAULTABLE_STRATEGIES = ("exhaustive", "migration", "pullrank")
+
+
+@dataclass
+class ChaosOutcome:
+    """One (seed, strategy) run under faults, plus its invariant audit."""
+
+    seed: int
+    strategy: str
+    completed: bool = False
+    error: str = ""
+    row_count: int = 0
+    #: ``equal`` | ``subset`` | ``superset`` | ``diverged`` | ``n/a``
+    #: (multiset relation of the run's rows to the oracle's).
+    rows_vs_oracle: str = "n/a"
+    quarantined: int = 0
+    retries: int = 0
+    recovered: int = 0
+    failures: int = 0
+    errors_fired: int = 0
+    backoff_units: float = 0.0
+    latency_units: float = 0.0
+    stats_clamped: int = 0
+    #: Ladder rungs that failed before a plan was produced.
+    degraded: list[str] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "strategy": self.strategy,
+            "completed": self.completed,
+            "error": self.error,
+            "row_count": self.row_count,
+            "rows_vs_oracle": self.rows_vs_oracle,
+            "quarantined": self.quarantined,
+            "retries": self.retries,
+            "recovered": self.recovered,
+            "failures": self.failures,
+            "errors_fired": self.errors_fired,
+            "backoff_units": self.backoff_units,
+            "latency_units": self.latency_units,
+            "stats_clamped": self.stats_clamped,
+            "degraded": list(self.degraded),
+            "violations": list(self.violations),
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos suite run learned, JSON-serialisable."""
+
+    workload: str
+    scale: int
+    db_seed: int
+    profile: str
+    policy: str
+    retries: int
+    strategies: tuple[str, ...]
+    seeds: tuple[int, ...]
+    oracle_rows: int = 0
+    fault_plans: dict[int, dict] = field(default_factory=dict)
+    outcomes: list[ChaosOutcome] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[str]:
+        return [
+            f"seed {o.seed} {o.strategy}: {violation}"
+            for o in self.outcomes
+            for violation in o.violations
+        ]
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "scale": self.scale,
+            "db_seed": self.db_seed,
+            "profile": self.profile,
+            "policy": self.policy,
+            "retries": self.retries,
+            "strategies": list(self.strategies),
+            "seeds": list(self.seeds),
+            "oracle_rows": self.oracle_rows,
+            "fault_plans": {
+                str(seed): plan for seed, plan in self.fault_plans.items()
+            },
+            "outcomes": [outcome.as_dict() for outcome in self.outcomes],
+            "violations": self.violations,
+            "passed": self.passed,
+        }
+
+
+def _canonical_project(db: Database, workload: Workload) -> list[tuple]:
+    """A plan-independent output column order for row comparison."""
+    return [
+        (table, name)
+        for table in sorted(workload.query.tables)
+        for name in db.catalog.table(table).schema.attribute_names
+    ]
+
+
+def _workload_functions(workload: Workload) -> list[str]:
+    """The UDF names the workload's predicates invoke — fault targets."""
+    names: set[str] = set()
+    for predicate in workload.query.predicates:
+        names.update(predicate.expr.function_names())
+    return sorted(names)
+
+
+def _relation(rows: list[tuple], oracle: list[tuple]) -> str:
+    """Multiset relation of a run's rows to the oracle's rows."""
+    got, want = Counter(rows), Counter(oracle)
+    if got == want:
+        return "equal"
+    if not got - want:
+        return "subset"
+    if not want - got:
+        return "superset"
+    return "diverged"
+
+
+def _audit(
+    outcome: ChaosOutcome,
+    relation: str,
+    recoverable: bool,
+    policy: str,
+) -> None:
+    """Apply the robustness invariants; append violations in place."""
+    if recoverable:
+        if not outcome.completed:
+            outcome.violations.append(
+                f"recoverable plan did not complete: {outcome.error!r}"
+            )
+        elif outcome.quarantined:
+            outcome.violations.append(
+                f"recoverable plan quarantined {outcome.quarantined} rows"
+            )
+        elif relation != "equal":
+            outcome.violations.append(
+                f"recoverable plan rows {relation} oracle"
+            )
+        return
+    if not outcome.completed:
+        if policy != "abort":
+            outcome.violations.append(
+                f"policy {policy!r} must complete, got DNF: {outcome.error!r}"
+            )
+        elif not outcome.error:
+            outcome.violations.append("DNF without a structured error")
+        return
+    # Completed under an unrecoverable plan: either the fault never
+    # actually fired (clean run must equal the oracle) or the policy
+    # decided some verdicts (quarantine must be honest about which way).
+    if outcome.quarantined == 0:
+        if relation != "equal":
+            outcome.violations.append(
+                f"clean run (no quarantine) rows {relation} oracle"
+            )
+        return
+    if policy == "abort":
+        outcome.violations.append(
+            "abort policy completed with quarantined rows"
+        )
+    elif policy == "assume-pass":
+        if relation not in ("equal", "superset"):
+            outcome.violations.append(
+                f"assume-pass rows {relation} oracle (need superset)"
+            )
+    elif relation not in ("equal", "subset"):
+        outcome.violations.append(
+            f"{policy} rows {relation} oracle (need subset)"
+        )
+
+
+def run_chaos(
+    workload_key: str,
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    strategies: tuple[str, ...] = DEFAULT_CHAOS_STRATEGIES,
+    policy: str = "abort",
+    retries: int = DEFAULT_RETRIES,
+    scale: int = 5,
+    db_seed: int = 42,
+    profile: str = "mixed",
+    planner_fault_rate: float = 0.25,
+) -> ChaosReport:
+    """Run the chaos suite for one workload; returns the full report.
+
+    Builds a private database (``scale``/``db_seed``), computes the
+    fault-free oracle rows once, then per chaos seed installs a
+    generated :class:`FaultPlan` and runs every strategy through
+    :func:`~repro.optimizer.optimize_degraded` (so injected planner
+    faults degrade down the ladder) and a containment-enabled
+    :class:`~repro.exec.Executor`. Execution is unbudgeted: the only
+    DNFs a chaos run may produce are UDF aborts, which keeps the
+    invariants exact.
+    """
+    if workload_key not in WORKLOADS:
+        raise ReproError(
+            f"unknown workload {workload_key!r}; "
+            f"choose one of {sorted(WORKLOADS)}"
+        )
+    if profile not in PROFILES:
+        raise ReproError(
+            f"unknown fault profile {profile!r}; "
+            f"choose one of {sorted(PROFILES)}"
+        )
+    if policy not in EXHAUSTION_POLICIES:
+        raise ReproError(
+            f"unknown on-exhaustion policy {policy!r}; "
+            f"choose one of {EXHAUSTION_POLICIES}"
+        )
+    report = ChaosReport(
+        workload=workload_key,
+        scale=scale,
+        db_seed=db_seed,
+        profile=profile,
+        policy=policy,
+        retries=retries,
+        strategies=tuple(strategies),
+        seeds=tuple(seeds),
+    )
+
+    db = build_database(scale=scale, seed=db_seed)
+    workload = build_workload(db, workload_key)
+    project = _canonical_project(db, workload)
+    functions = _workload_functions(workload)
+
+    oracle_plan = optimize(db, workload.query, strategy="pushdown")
+    oracle = sorted(
+        Executor(db).execute(oracle_plan.plan, project=project).rows
+    )
+    report.oracle_rows = len(oracle)
+
+    failure_policy = FailurePolicy(retries=retries, on_exhausted=policy)
+    for seed in seeds:
+        fault_plan = FaultPlan.generate(
+            seed,
+            functions,
+            profile=profile,
+            planner_fault_rate=planner_fault_rate,
+            strategies=FAULTABLE_STRATEGIES,
+        )
+        report.fault_plans[seed] = {
+            **fault_plan.as_dict(),
+            "described": fault_plan.describe(),
+        }
+        recoverable = fault_plan.recoverable(retries)
+        injector = FaultInjector(fault_plan)
+        with injector.install(db.catalog):
+            # Recompile so corrupted catalog statistics reach the
+            # compiled predicates — the guardrails' actual input.
+            chaos_query = build_workload(db, workload_key).query
+            for strategy in strategies:
+                outcome = ChaosOutcome(seed=seed, strategy=strategy)
+                report.outcomes.append(outcome)
+                ledger = ProvenanceLedger()
+                try:
+                    optimized = optimize_degraded(
+                        db,
+                        chaos_query,
+                        strategy=strategy,
+                        fault_plan=fault_plan,
+                        ledger=ledger,
+                    )
+                except ReproError as error:
+                    # PushDown is never faulted, so the ladder must
+                    # always land somewhere: reaching here is a bug.
+                    outcome.error = f"planner: {error}"
+                    outcome.violations.append(
+                        f"planning failed despite ladder: {error}"
+                    )
+                    continue
+                except Exception as error:  # noqa: BLE001 — the point
+                    outcome.error = f"uncaught: {error}"
+                    outcome.violations.append(
+                        f"planning raised non-Repro "
+                        f"{type(error).__name__}: {error}"
+                    )
+                    continue
+                outcome.degraded = list(
+                    optimized.notes.get("degraded", [])
+                )
+                outcome.stats_clamped = optimized.notes.get(
+                    "stats_clamped", 0
+                )
+                executor = Executor(
+                    db,
+                    failure_policy=failure_policy,
+                    clock=injector.clock,
+                )
+                fired_before = injector.stats.errors_injected
+                clock_before = injector.clock.latency_units
+                try:
+                    result = executor.execute(
+                        optimized.plan, project=project
+                    )
+                except Exception as error:  # noqa: BLE001 — the point
+                    kind = (
+                        "uncontained Repro"
+                        if isinstance(error, ReproError)
+                        else "non-Repro"
+                    )
+                    outcome.error = f"uncaught: {error}"
+                    outcome.violations.append(
+                        f"execution raised {kind} "
+                        f"{type(error).__name__}: {error}"
+                    )
+                    continue
+                outcome.completed = result.completed
+                outcome.error = result.error
+                outcome.row_count = result.row_count
+                outcome.errors_fired = (
+                    injector.stats.errors_injected - fired_before
+                )
+                outcome.latency_units = (
+                    injector.clock.latency_units - clock_before
+                )
+                quarantine = result.quarantine
+                if quarantine is not None:
+                    outcome.quarantined = int(
+                        result.metrics.get("udf.quarantined", 0)
+                    )
+                    outcome.retries = quarantine.retries
+                    outcome.recovered = quarantine.recovered
+                    outcome.failures = quarantine.failures
+                    outcome.backoff_units = quarantine.backoff_units
+                relation = (
+                    _relation(sorted(result.rows), oracle)
+                    if result.completed
+                    else "n/a"
+                )
+                outcome.rows_vs_oracle = relation
+                _audit(outcome, relation, recoverable, policy)
+    return report
+
+
+def format_chaos_report(report: ChaosReport) -> str:
+    """Human-readable chaos report: fault plans, per-run table, verdict."""
+    lines = [
+        f"chaos: {report.workload} scale={report.scale} "
+        f"db-seed={report.db_seed} profile={report.profile} "
+        f"policy={report.policy} retries={report.retries}",
+        f"oracle: {report.oracle_rows} rows (fault-free pushdown)",
+    ]
+    for seed in report.seeds:
+        plan = report.fault_plans.get(seed, {})
+        lines.append(f"seed {seed}:")
+        described = plan.get("described", [])
+        if not described:
+            lines.append("  (no faults drawn)")
+        for fault in described:
+            lines.append(f"  fault: {fault}")
+    header = (
+        f"{'seed':>5}  {'strategy':<10} {'status':<9} {'rows':>5} "
+        f"{'vs-oracle':<9} {'quar':>5} {'retry':>5} {'fired':>5}  verdict"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for o in report.outcomes:
+        status = "ok" if o.completed else "DNF"
+        if o.violations:
+            verdict = "VIOLATION: " + o.violations[0]
+        elif o.degraded:
+            verdict = f"pass (degraded x{len(o.degraded)})"
+        else:
+            verdict = "pass"
+        lines.append(
+            f"{o.seed:>5}  {o.strategy:<10} {status:<9} {o.row_count:>5} "
+            f"{o.rows_vs_oracle:<9} {o.quarantined:>5} {o.retries:>5} "
+            f"{o.errors_fired:>5}  {verdict}"
+        )
+    lines.append(
+        f"result: {'PASS' if report.passed else 'FAIL'} "
+        f"({len(report.outcomes)} runs, "
+        f"{len(report.violations)} violations)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""A simulated clock: virtual time for latency and backoff.
+
+Injected UDF latency and retry backoff must not slow the test suite down
+or make runs machine-dependent, so neither ever sleeps. Both advance a
+:class:`SimulatedClock` instead, in the same charged-cost units the rest
+of the reproduction uses (random-I/O equivalents), and reports surface
+the virtual total next to the meter's charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimulatedClock:
+    """Monotonic virtual time, advanced explicitly and never by sleeping."""
+
+    now: float = 0.0
+    #: Units attributed to injected UDF latency.
+    latency_units: float = field(default=0.0, init=False)
+    #: Units attributed to retry backoff waits.
+    backoff_units: float = field(default=0.0, init=False)
+
+    def advance(self, units: float) -> float:
+        """Advance virtual time by ``units`` and return the new reading."""
+        if units < 0:
+            raise ValueError(f"cannot advance time by {units}")
+        self.now += units
+        return self.now
+
+    def charge_latency(self, units: float) -> None:
+        self.latency_units += units
+        self.advance(units)
+
+    def charge_backoff(self, units: float) -> None:
+        self.backoff_units += units
+        self.advance(units)
+
+    def reset(self) -> None:
+        self.now = 0.0
+        self.latency_units = 0.0
+        self.backoff_units = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "now": self.now,
+            "latency_units": self.latency_units,
+            "backoff_units": self.backoff_units,
+        }
+
+
+def backoff_schedule(
+    base: float, retries: int, multiplier: float = 2.0
+) -> list[float]:
+    """Exponential backoff waits for ``retries`` attempts: base, 2·base, …
+
+    Deterministic (no jitter): chaos runs must replay identically given a
+    seed, and the clock is simulated anyway — jitter would only blur
+    assertions without modelling anything the charged-cost world observes.
+    """
+    if retries <= 0:
+        return []
+    return [base * multiplier**attempt for attempt in range(retries)]

@@ -1,0 +1,145 @@
+"""Install a :class:`~repro.faults.plan.FaultPlan` onto a catalog.
+
+The injector rewires the registered
+:class:`~repro.catalog.functions.UserFunction` objects *in place*: the
+function body is wrapped with the fault schedule, and ``corrupt-stats``
+faults overwrite the declared selectivity / per-call cost. Nothing else
+in the system changes — the executor, the predicate analyzers, and both
+cache modes all reach UDFs through ``catalog.functions.get(name)``, so
+wrapping at the registry is complete coverage with zero call-site edits.
+
+``install``/``uninstall`` are symmetric (originals are saved and
+restored), and the injector is a context manager so chaos runs cannot
+leak faults into later tests even when they raise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.catalog.catalog import Catalog
+from repro.errors import ReproError, UdfError
+from repro.faults.clock import SimulatedClock
+from repro.faults.plan import FaultPlan, FaultSpec
+
+
+@dataclass
+class _Original:
+    """Saved state of one wrapped function, for uninstall."""
+
+    fn: Callable[..., object]
+    selectivity: float
+    cost_per_call: float
+
+
+@dataclass
+class InjectionStats:
+    """What the injector actually did at run time."""
+
+    errors_injected: int = 0
+    latency_injected: int = 0
+    stats_corrupted: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "errors_injected": self.errors_injected,
+            "latency_injected": self.latency_injected,
+            "stats_corrupted": self.stats_corrupted,
+        }
+
+
+@dataclass
+class FaultInjector:
+    """Applies one fault plan to one catalog, reversibly."""
+
+    plan: FaultPlan
+    clock: SimulatedClock = field(default_factory=SimulatedClock)
+    stats: InjectionStats = field(default_factory=InjectionStats)
+
+    def __post_init__(self) -> None:
+        self._originals: dict[str, _Original] = {}
+        self._catalog: Catalog | None = None
+
+    @property
+    def installed(self) -> bool:
+        return self._catalog is not None
+
+    def install(self, catalog: Catalog) -> "FaultInjector":
+        """Wrap every function the plan names; idempotence is an error."""
+        if self.installed:
+            raise ReproError("fault plan already installed")
+        registry = catalog.functions
+        for name in self.plan.functions():
+            function = registry.get(name)  # UnknownFunctionError if absent
+            self._originals[name] = _Original(
+                fn=function.fn,
+                selectivity=function.selectivity,
+                cost_per_call=function.cost_per_call,
+            )
+            specs = self.plan.specs_for(name)
+            for spec in specs:
+                if spec.kind != "corrupt-stats":
+                    continue
+                if spec.selectivity is not None:
+                    function.selectivity = spec.selectivity
+                if spec.cost_per_call is not None:
+                    function.cost_per_call = spec.cost_per_call
+                self.stats.stats_corrupted += 1
+            runtime_specs = tuple(
+                spec for spec in specs if spec.kind != "corrupt-stats"
+            )
+            if runtime_specs:
+                function.fn = self._wrap(function, runtime_specs)
+        self._catalog = catalog
+        return self
+
+    def uninstall(self) -> None:
+        """Restore every wrapped function to its saved state."""
+        if self._catalog is None:
+            return
+        registry = self._catalog.functions
+        for name, original in self._originals.items():
+            function = registry.get(name)
+            function.fn = original.fn
+            function.selectivity = original.selectivity
+            function.cost_per_call = original.cost_per_call
+        self._originals.clear()
+        self._catalog = None
+
+    def __enter__(self) -> "FaultInjector":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.uninstall()
+
+    def _wrap(
+        self, function, specs: tuple[FaultSpec, ...]
+    ) -> Callable[..., object]:
+        """The faulty body: consult the schedule, then run the original.
+
+        ``UserFunction.__call__`` increments ``calls`` *before* invoking
+        the body, so inside the wrapper ``function.calls`` is the current
+        1-based invocation index — exactly the schedule's currency.
+        """
+        original = function.fn
+        injector = self
+
+        def faulty(*args: object) -> object:
+            index = function.calls
+            for spec in specs:
+                if spec.kind == "latency" and spec.fires_on(index):
+                    injector.stats.latency_injected += 1
+                    injector.clock.charge_latency(spec.latency_units)
+            for spec in specs:
+                if spec.kind == "error" and spec.fires_on(index):
+                    injector.stats.errors_injected += 1
+                    raise UdfError(
+                        function.name,
+                        call_index=index,
+                        transient=spec.transient,
+                        reason=spec.reason,
+                    )
+            return original(*args)
+
+        return faulty

@@ -1,0 +1,297 @@
+"""Seeded, reproducible fault schedules.
+
+A :class:`FaultSpec` describes one fault on one UDF; a :class:`FaultPlan`
+is a whole schedule — the unit ``repro chaos`` replays. Schedules are
+pure data: nothing here touches the catalog (that is the injector's job),
+so a plan can be printed, serialised into a chaos report, and rebuilt
+bit-identically from its seed.
+
+Fault kinds:
+
+``error``
+    The function raises :class:`~repro.errors.UdfError` on calls
+    ``first_call .. first_call + failures - 1`` (transient — later calls
+    succeed, so bounded retries can recover) or on every call from
+    ``first_call`` onward (permanent).
+``latency``
+    The function charges ``latency_units`` of simulated time on matching
+    calls; results are unaffected.
+``corrupt-stats``
+    The function's *catalog metadata* (declared selectivity and/or
+    per-call cost) is replaced with a hostile value — ``nan``, ``inf``, a
+    negative, or an out-of-range number — at install time. The function
+    itself still computes honestly; only the planner's inputs lie.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+FAULT_KINDS = ("error", "latency", "corrupt-stats")
+
+#: Hostile statistic values a generated ``corrupt-stats`` fault draws
+#: from. Selectivities must land in [0, 1]; costs must be finite and
+#: non-negative; each entry violates one of those contracts.
+CORRUPT_SELECTIVITIES = (float("nan"), float("inf"), -0.25, 3.0)
+CORRUPT_COSTS = (float("nan"), float("-inf"), -100.0, float("inf"))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault on one function. Immutable so schedules stay replayable."""
+
+    function: str
+    kind: str
+    #: 1-based invocation index at which the fault starts firing.
+    first_call: int = 1
+    #: Consecutive failing calls for a transient ``error`` fault.
+    failures: int = 1
+    #: Transient errors stop after ``failures`` calls; permanent errors
+    #: fire on every call from ``first_call`` onward.
+    transient: bool = True
+    #: For ``latency``: re-fire every Nth call after ``first_call``
+    #: (``None`` = only the window/first call).
+    every: int | None = None
+    latency_units: float = 0.0
+    #: ``corrupt-stats`` replacements (``None`` = leave that field alone).
+    selectivity: float | None = None
+    cost_per_call: float | None = None
+    reason: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose one of {FAULT_KINDS}"
+            )
+        if self.first_call < 1:
+            raise ReproError(
+                f"first_call is a 1-based call index, got {self.first_call}"
+            )
+        if self.kind == "error" and self.failures < 1:
+            raise ReproError(f"failures must be >= 1, got {self.failures}")
+
+    def fires_on(self, call_index: int) -> bool:
+        """Does this fault fire on the given 1-based invocation?"""
+        if call_index < self.first_call:
+            return False
+        if self.kind == "error":
+            if not self.transient:
+                return True
+            return call_index < self.first_call + self.failures
+        if self.kind == "latency":
+            if self.every is not None:
+                return (call_index - self.first_call) % self.every == 0
+            return call_index < self.first_call + max(1, self.failures)
+        return False  # corrupt-stats is an install-time fault
+
+    def describe(self) -> str:
+        if self.kind == "error":
+            if self.transient:
+                return (
+                    f"{self.function}: transient error on calls "
+                    f"#{self.first_call}..#{self.first_call + self.failures - 1}"
+                )
+            return f"{self.function}: permanent error from call #{self.first_call}"
+        if self.kind == "latency":
+            cadence = (
+                f"every {self.every} calls" if self.every else "once"
+            )
+            return (
+                f"{self.function}: +{self.latency_units:g} latency units "
+                f"from call #{self.first_call} ({cadence})"
+            )
+        parts = []
+        if self.selectivity is not None:
+            parts.append(f"selectivity={self.selectivity!r}")
+        if self.cost_per_call is not None:
+            parts.append(f"cost_per_call={self.cost_per_call!r}")
+        return f"{self.function}: corrupted stats ({', '.join(parts)})"
+
+    def as_dict(self) -> dict:
+        data = {
+            "function": self.function,
+            "kind": self.kind,
+            "first_call": self.first_call,
+        }
+        if self.kind == "error":
+            data["transient"] = self.transient
+            if self.transient:
+                data["failures"] = self.failures
+        if self.kind == "latency":
+            data["latency_units"] = self.latency_units
+            data["every"] = self.every
+        if self.kind == "corrupt-stats":
+            data["selectivity"] = _json_float(self.selectivity)
+            data["cost_per_call"] = _json_float(self.cost_per_call)
+        return data
+
+
+def _json_float(value: float | None):
+    if value is None:
+        return None
+    return value if math.isfinite(value) else repr(value)
+
+
+#: Named generation profiles: which fault kinds a seeded plan draws from.
+PROFILES = {
+    "transient": ("error-transient", "latency"),
+    "permanent": ("error-permanent",),
+    "stats": ("corrupt-stats",),
+    "mixed": (
+        "error-transient",
+        "error-permanent",
+        "latency",
+        "corrupt-stats",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible schedule of faults plus optional planner faults.
+
+    ``planner_faults`` maps strategy name -> failure reason; the
+    degradation ladder consults it to simulate a placement strategy
+    crashing, deterministically, without monkeypatching the registry.
+    """
+
+    seed: int
+    specs: tuple[FaultSpec, ...] = ()
+    planner_faults: dict[str, str] = field(default_factory=dict)
+
+    def specs_for(self, function: str) -> tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if s.function == function)
+
+    def planner_fault(self, strategy: str) -> str | None:
+        return self.planner_faults.get(strategy)
+
+    def functions(self) -> list[str]:
+        return sorted({spec.function for spec in self.specs})
+
+    def recoverable(self, retries: int) -> bool:
+        """Can bounded retries mask every runtime fault in this plan?
+
+        True when no permanent error exists and every transient error's
+        consecutive-failure window fits inside the retry budget. Latency
+        and corrupted statistics never affect result rows (stats are
+        clamped by the planner guardrails and plans stay semantically
+        equivalent), so they do not make a plan unrecoverable.
+        """
+        for spec in self.specs:
+            if spec.kind != "error":
+                continue
+            if not spec.transient:
+                return False
+            if spec.failures > retries:
+                return False
+        return True
+
+    def describe(self) -> list[str]:
+        lines = [spec.describe() for spec in self.specs]
+        for strategy in sorted(self.planner_faults):
+            lines.append(
+                f"planner[{strategy}]: {self.planner_faults[strategy]}"
+            )
+        return lines
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "specs": [spec.as_dict() for spec in self.specs],
+            "planner_faults": dict(sorted(self.planner_faults.items())),
+        }
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        functions: list[str],
+        profile: str = "mixed",
+        max_faults: int = 3,
+        planner_fault_rate: float = 0.0,
+        strategies: tuple[str, ...] = (),
+    ) -> "FaultPlan":
+        """Draw a deterministic schedule from ``seed``.
+
+        At most one ``error`` fault per function (so consecutive-failure
+        windows never merge and :meth:`recoverable` stays exact), plus
+        independent latency/stat-corruption faults. ``planner_fault_rate``
+        optionally marks strategies as crashing for ladder tests.
+        """
+        if profile not in PROFILES:
+            raise ReproError(
+                f"unknown fault profile {profile!r}; "
+                f"choose one of {sorted(PROFILES)}"
+            )
+        if not functions:
+            raise ReproError("cannot generate faults without any functions")
+        rng = random.Random(seed)
+        menu = PROFILES[profile]
+        specs: list[FaultSpec] = []
+        errored: set[str] = set()
+        count = rng.randint(1, max(1, max_faults))
+        for _ in range(count):
+            function = rng.choice(sorted(functions))
+            choice = rng.choice(menu)
+            if choice == "error-transient":
+                if function in errored:
+                    continue
+                errored.add(function)
+                specs.append(
+                    FaultSpec(
+                        function=function,
+                        kind="error",
+                        first_call=rng.randint(1, 12),
+                        failures=rng.randint(1, 3),
+                        transient=True,
+                        reason=f"seeded transient fault (seed {seed})",
+                    )
+                )
+            elif choice == "error-permanent":
+                if function in errored:
+                    continue
+                errored.add(function)
+                specs.append(
+                    FaultSpec(
+                        function=function,
+                        kind="error",
+                        first_call=rng.randint(1, 12),
+                        transient=False,
+                        reason=f"seeded permanent fault (seed {seed})",
+                    )
+                )
+            elif choice == "latency":
+                specs.append(
+                    FaultSpec(
+                        function=function,
+                        kind="latency",
+                        first_call=rng.randint(1, 8),
+                        every=rng.choice([None, 2, 5]),
+                        latency_units=float(rng.randint(1, 50)),
+                    )
+                )
+            else:
+                specs.append(
+                    FaultSpec(
+                        function=function,
+                        kind="corrupt-stats",
+                        selectivity=rng.choice(CORRUPT_SELECTIVITIES),
+                        cost_per_call=rng.choice(CORRUPT_COSTS),
+                    )
+                )
+        planner_faults: dict[str, str] = {}
+        for strategy in strategies:
+            if rng.random() < planner_fault_rate:
+                planner_faults[strategy] = (
+                    f"injected planner fault (seed {seed})"
+                )
+        return cls(
+            seed=seed,
+            specs=tuple(specs),
+            planner_faults=planner_faults,
+        )

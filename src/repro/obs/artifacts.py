@@ -327,6 +327,27 @@ def _as_float(value) -> float:
     return float("nan")
 
 
+def _as_dict(value) -> dict:
+    """A dict, or empty when the field is absent or malformed.
+
+    Older artifacts simply lack newer optional sections (pre-provenance
+    baselines have no ``ledger``); hand-edited ones may carry the wrong
+    shape. Either way the diff must keep working on the fields both
+    sides do share, not crash.
+    """
+    return value if isinstance(value, dict) else {}
+
+
+def _ledger_counts(record: dict) -> dict | None:
+    """A strategy record's ledger event counts, or ``None`` when the
+    artifact predates provenance recording (or the section is malformed
+    — treated the same: no decision-level data to compare)."""
+    counts = _as_dict(record.get("ledger")).get("event_counts")
+    if isinstance(counts, dict):
+        return counts
+    return None
+
+
 def _ratio_delta(baseline: float, candidate: float) -> float | None:
     """``(candidate - baseline) / baseline``, or None when undefined."""
     if not math.isfinite(baseline) or not math.isfinite(candidate):
@@ -363,8 +384,8 @@ def diff_artifacts(
     workload = str(candidate.get("workload", baseline.get("workload", "?")))
     findings: list[Finding] = []
 
-    base_env = baseline.get("environment", {})
-    cand_env = candidate.get("environment", {})
+    base_env = _as_dict(baseline.get("environment"))
+    cand_env = _as_dict(candidate.get("environment"))
     for key in ("scale", "seed"):
         if base_env.get(key) != cand_env.get(key):
             findings.append(
@@ -379,12 +400,30 @@ def diff_artifacts(
                 )
             )
 
-    base_strategies = baseline.get("strategies", {})
-    cand_strategies = candidate.get("strategies", {})
+    base_strategies = _as_dict(baseline.get("strategies"))
+    cand_strategies = _as_dict(candidate.get("strategies"))
 
     for strategy in sorted(set(base_strategies) | set(cand_strategies)):
         base = base_strategies.get(strategy)
         cand = cand_strategies.get(strategy)
+        if base is not None and not isinstance(base, dict):
+            findings.append(
+                Finding(
+                    "note", workload, strategy, "malformed",
+                    "baseline record is not an object; skipping "
+                    "comparisons for this strategy",
+                )
+            )
+            continue
+        if cand is not None and not isinstance(cand, dict):
+            findings.append(
+                Finding(
+                    "note", workload, strategy, "malformed",
+                    "candidate record is not an object; skipping "
+                    "comparisons for this strategy",
+                )
+            )
+            continue
         if base is None:
             findings.append(
                 Finding(
@@ -505,8 +544,20 @@ def diff_artifacts(
         # Decision-level drift: ledger event-count deltas are informational
         # only (never gate) — they surface "the optimizer reasoned
         # differently" even when the chosen plan's fingerprint is stable.
-        base_counts = (base.get("ledger") or {}).get("event_counts")
-        cand_counts = (cand.get("ledger") or {}).get("event_counts")
+        # Pre-provenance baselines have no ledger at all: say so once as
+        # a note instead of silently skipping (or worse, crashing).
+        base_counts = _ledger_counts(base)
+        cand_counts = _ledger_counts(cand)
+        if (base_counts is None) != (cand_counts is None):
+            side = "candidate" if base_counts is None else "baseline"
+            findings.append(
+                Finding(
+                    "note", workload, strategy, "ledger",
+                    f"provenance ledger recorded only in the {side} run "
+                    "(the other artifact predates decision-level "
+                    "recording); ledger drift not compared",
+                )
+            )
         if base_counts and cand_counts:
             for kind in sorted(set(base_counts) | set(cand_counts)):
                 before = int(base_counts.get(kind, 0))

@@ -81,6 +81,14 @@ EVENT_KINDS = {
         "expensive predicate applied as a virtual-relation join step "
         "(Section 3.1 LDL rewrite)"
     ),
+    "stats.clamp": (
+        "a non-finite or out-of-range predicate statistic was clamped by "
+        "the cost-model guardrails before any rank was computed"
+    ),
+    "planner.degraded": (
+        "a placement strategy failed or timed out and the ladder fell "
+        "back to a cheaper strategy"
+    ),
 }
 
 

@@ -23,12 +23,20 @@ The entry point is :func:`~repro.optimizer.optimizer.optimize`, which takes a
 """
 
 from repro.optimizer.query import Query, true_predicate
-from repro.optimizer.optimizer import STRATEGIES, OptimizedPlan, optimize
+from repro.optimizer.guardrails import sanitize_predicate, sanitize_query
+from repro.optimizer.optimizer import (
+    DEGRADATION_LADDER,
+    STRATEGIES,
+    OptimizedPlan,
+    optimize,
+    optimize_degraded,
+)
 from repro.optimizer.systemr import SystemRPlanner
 from repro.optimizer.migration import migrate_plan
 from repro.optimizer.ikkbz import ikkbz_order
 
 __all__ = [
+    "DEGRADATION_LADDER",
     "STRATEGIES",
     "OptimizedPlan",
     "Query",
@@ -36,5 +44,8 @@ __all__ = [
     "ikkbz_order",
     "migrate_plan",
     "optimize",
+    "optimize_degraded",
+    "sanitize_predicate",
+    "sanitize_query",
     "true_predicate",
 ]

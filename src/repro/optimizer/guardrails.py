@@ -1,0 +1,115 @@
+"""Cost-model guardrails: repair hostile statistics before ranking.
+
+Every placement strategy in this repository ranks predicates by
+``(selectivity - 1) / cost`` and compares plan costs with ``<``. A single
+``nan`` selectivity poisons both: ``nan`` ranks make sort orders
+undefined (silently wrong plans), and ``nan`` costs make every
+branch-and-bound comparison false. Catalog statistics for user-defined
+functions are exactly the kind of input that lies in production — the
+UDF author declared them — so the optimizer validates and *clamps* them
+at the front door instead of trusting them.
+
+Clamping is a repair, not a rejection: the query still plans, each
+repaired field is recorded as a ``stats.clamp`` provenance event (and
+counted in the plan's ``notes``), and the clamped value is the most
+conservative in-range interpretation of the lie:
+
+* selectivity ``nan`` → 0.5 (the registry's own default prior);
+* selectivity below 0 → 0.0; above 1 → 1.0 (selection predicates are
+  pass rates; fanout lives in per-input join selectivities, which are
+  derived, not declared);
+* cost ``nan`` or negative → 0.0 (a predicate that lies about cost is
+  treated as free — it can then never displace honest placements);
+* cost ``+inf`` → :data:`MAX_COST` (finite, so ranks stay ordered).
+
+Sanitisation is idempotent and plan-fingerprint-neutral on sane inputs:
+a query whose statistics are already finite and in range is untouched.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.expr.predicates import Predicate
+from repro.obs.provenance import NULL_LEDGER
+
+#: Finite stand-in for an infinite declared cost. Large enough to sort
+#: after every honest predicate, small enough that rank arithmetic
+#: (divisions by cost) stays finite.
+MAX_COST = 1e12
+
+#: Replacement for a ``nan`` selectivity: the function registry's own
+#: default prior for boolean UDFs.
+DEFAULT_SELECTIVITY = 0.5
+
+
+def _clamp_selectivity(value: float) -> float | None:
+    """The repaired value, or ``None`` when no repair is needed."""
+    if math.isnan(value):
+        return DEFAULT_SELECTIVITY
+    if value < 0.0:
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return None
+
+
+def _clamp_cost(value: float) -> float | None:
+    if math.isnan(value) or value < 0.0:
+        return 0.0
+    if math.isinf(value):
+        return MAX_COST
+    return None
+
+
+def _fmt(value: float) -> str:
+    """Deterministic, JSON-safe rendering of possibly non-finite floats."""
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return f"{value:g}"
+
+
+def sanitize_predicate(predicate: Predicate, ledger=NULL_LEDGER) -> int:
+    """Clamp one predicate's statistics in place; returns clamp count."""
+    clamps = 0
+    repaired_sel = _clamp_selectivity(predicate.selectivity)
+    if repaired_sel is not None:
+        if ledger.enabled:
+            ledger.record(
+                "stats.clamp",
+                predicate=str(predicate),
+                field="selectivity",
+                old=_fmt(predicate.selectivity),
+                new=_fmt(repaired_sel),
+            )
+        predicate.selectivity = repaired_sel
+        clamps += 1
+    repaired_cost = _clamp_cost(predicate.cost_per_tuple)
+    if repaired_cost is not None:
+        if ledger.enabled:
+            ledger.record(
+                "stats.clamp",
+                predicate=str(predicate),
+                field="cost_per_tuple",
+                old=_fmt(predicate.cost_per_tuple),
+                new=_fmt(repaired_cost),
+            )
+        predicate.cost_per_tuple = repaired_cost
+        clamps += 1
+    return clamps
+
+
+def sanitize_query(query, ledger=NULL_LEDGER) -> int:
+    """Clamp every predicate statistic a query carries, in place.
+
+    Runs unconditionally at the top of ``optimize()`` — it is the
+    guarantee that no ``nan`` rank ever reaches a placement decision,
+    whichever strategy runs. Returns the number of clamped fields (0 on
+    honest queries, which are left bit-identical).
+    """
+    return sum(
+        sanitize_predicate(predicate, ledger=ledger)
+        for predicate in query.predicates
+    )

@@ -35,6 +35,7 @@ import math
 from dataclasses import dataclass
 
 from repro.cost.model import CostModel
+from repro.errors import PlanError
 from repro.expr.predicates import Predicate, rank
 from repro.obs.profile import NULL_PROFILER
 from repro.obs.provenance import NULL_LEDGER
@@ -638,7 +639,7 @@ def group_rank(
     """The paper's displayed formula for the rank of a join group, exposed
     for tests: rank(J1..Jk) with series composition."""
     if not selectivities or len(selectivities) != len(costs):
-        raise ValueError("need matching non-empty selectivity/cost lists")
+        raise PlanError("need matching non-empty selectivity/cost lists")
     module = Module(selectivities[0], costs[0], 0, 0)
     for position in range(1, len(selectivities)):
         module = module.merge(

@@ -8,11 +8,12 @@ from dataclasses import dataclass, field
 from repro.catalog.catalog import Catalog
 from repro.cost.model import CostModel
 from repro.cost.params import CostParams
-from repro.errors import OptimizerError
+from repro.errors import OptimizerError, PlanningTimeout, ReproError
 from repro.obs.profile import NULL_PROFILER
 from repro.obs.provenance import NULL_LEDGER, skeleton_signature
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer.exhaustive import exhaustive_plan
+from repro.optimizer.guardrails import sanitize_query
 from repro.optimizer.ldl import ldl_plan
 from repro.optimizer.ldl_ikkbz import ldl_ikkbz_plan
 from repro.optimizer.migration import migrate_plan
@@ -208,6 +209,13 @@ def optimize(
         global_model=global_model,
     )
     notes: dict = {}
+    # Guardrails: no nan/out-of-range statistic may reach a rank or a
+    # cost comparison, whichever strategy runs. Honest queries are left
+    # bit-identical (and fingerprints unchanged); repaired fields are
+    # recorded as ``stats.clamp`` ledger events.
+    clamped = sanitize_query(query, ledger=ledger)
+    if clamped:
+        notes["stats_clamped"] = clamped
     started = time.perf_counter()
     with tracer.span(
         "optimize", strategy=strategy, query=query.name, bushy=bushy
@@ -226,3 +234,96 @@ def optimize(
         notes=notes,
         provenance=ledger if ledger.enabled else None,
     )
+
+
+#: The graceful-degradation ladder, best plan quality first. Each rung is
+#: strictly cheaper to run than the one before it, so falling down the
+#: ladder trades plan quality for planning reliability — never the other
+#: way around. PushDown is the floor: it is the classical System R
+#: behaviour and cannot fail on any query the binder accepts.
+DEGRADATION_LADDER = ("exhaustive", "migration", "pullrank", "pushdown")
+
+
+def optimize_degraded(
+    db,
+    query: Query,
+    strategy: str = "exhaustive",
+    ladder: tuple[str, ...] = DEGRADATION_LADDER,
+    planning_budget: float | None = None,
+    fault_plan=None,
+    **kwargs,
+) -> OptimizedPlan:
+    """Optimize with graceful degradation down the strategy ladder.
+
+    Tries ``strategy`` first, then every ladder rung below it (rungs at
+    or above the requested strategy are skipped — falling *up* to a more
+    expensive planner would defeat the point). Each rung runs under a
+    try/except: a :class:`~repro.errors.ReproError` (strategy crash,
+    rejected query shape) or a blown ``planning_budget`` (seconds,
+    checked per rung) degrades to the next rung instead of propagating.
+
+    The returned plan's ``notes["degraded"]`` lists what failed and why,
+    and each failure is recorded as a ``planner.degraded`` provenance
+    event when a live ledger is passed — so ``repro why`` can explain a
+    degraded run. Only when *every* rung fails does an
+    :class:`~repro.errors.OptimizerError` escape.
+
+    ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`) lets chaos
+    tests fail specific strategies deterministically via its
+    ``planner_faults`` map.
+    """
+    if strategy not in STRATEGIES:
+        raise OptimizerError(
+            f"unknown strategy {strategy!r}; "
+            f"choose one of {sorted(STRATEGIES)}"
+        )
+    rungs = [strategy]
+    tail = (
+        ladder[ladder.index(strategy) + 1:]
+        if strategy in ladder
+        else ladder
+    )
+    for rung in tail:
+        if rung not in rungs:
+            rungs.append(rung)
+    ledger = kwargs.get("ledger")
+    degraded: list[str] = []
+    for index, rung in enumerate(rungs):
+        last = index == len(rungs) - 1
+        try:
+            if fault_plan is not None:
+                reason = fault_plan.planner_fault(rung)
+                if reason is not None:
+                    raise OptimizerError(
+                        f"strategy {rung!r} failed: {reason}"
+                    )
+            optimized = optimize(db, query, strategy=rung, **kwargs)
+            if (
+                planning_budget is not None
+                and optimized.planning_seconds > planning_budget
+                and not last
+            ):
+                raise PlanningTimeout(
+                    rung, optimized.planning_seconds, planning_budget
+                )
+        except ReproError as error:
+            note = f"{rung}: {type(error).__name__}: {error}"
+            degraded.append(note)
+            if ledger is not None and ledger.enabled:
+                ledger.record(
+                    "planner.degraded",
+                    strategy=rung,
+                    error=type(error).__name__,
+                    detail=str(error),
+                    next_rung=None if last else rungs[index + 1],
+                )
+            if last:
+                raise OptimizerError(
+                    "every ladder rung failed: " + "; ".join(degraded)
+                ) from error
+            continue
+        if degraded:
+            optimized.notes["degraded"] = list(degraded)
+            optimized.notes["requested_strategy"] = strategy
+        return optimized
+    raise OptimizerError("empty strategy ladder")  # pragma: no cover

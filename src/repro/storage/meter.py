@@ -17,6 +17,7 @@ hanging the harness.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import BudgetExceededError
@@ -43,6 +44,10 @@ class CostMeter:
     function_calls: int = field(default=0, init=False)
     function_charged: float = field(default=0.0, init=False)
     cpu_charged: float = field(default=0.0, init=False)
+    #: Charges whose per-call cost was non-finite or negative (a UDF lying
+    #: about its catalog cost) and was clamped to 0 instead of poisoning
+    #: the ledger — one ``nan`` would otherwise disable budget checks.
+    clamped_charges: int = field(default=0, init=False)
 
     @property
     def io_charged(self) -> float:
@@ -68,6 +73,9 @@ class CostMeter:
         """Charge ``calls`` invocations of a function of the given cost."""
         if calls < 0:
             raise ValueError(f"calls must be non-negative, got {calls}")
+        if not math.isfinite(cost_per_call) or cost_per_call < 0:
+            cost_per_call = 0.0
+            self.clamped_charges += calls
         self.function_calls += calls
         self.function_charged += cost_per_call * calls
         self._check_budget()
@@ -89,6 +97,7 @@ class CostMeter:
         self.function_calls = 0
         self.function_charged = 0.0
         self.cpu_charged = 0.0
+        self.clamped_charges = 0
 
     def snapshot(self) -> dict[str, float]:
         """A plain-dict copy of the counters, for reports and tests."""

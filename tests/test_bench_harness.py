@@ -4,6 +4,8 @@ import math
 
 import pytest
 
+from repro.errors import OptimizerError
+
 from repro.bench import (
     build_workload,
     eagerness_score,
@@ -54,8 +56,9 @@ class TestRunStrategies:
         outcomes = run_strategies(
             db, workload.query, strategies=("migration",)
         )
-        with pytest.raises(KeyError):
+        with pytest.raises(OptimizerError) as exc_info:
             outcome_by_strategy(outcomes, "pushdown")
+        assert "migration" in str(exc_info.value)
 
 
 class TestReport:

@@ -95,7 +95,9 @@ class TestReplacementPolicies:
         assert cache.lookup(1, ("a",))[0] is False
 
     def test_invalid_policy_rejected(self):
-        with pytest.raises(ValueError):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
             PredicateCache(replacement="random")
 
     def test_executor_accepts_lru(self, tiny_db):

@@ -1,0 +1,199 @@
+"""The property-style chaos suite plus the ``repro chaos`` CLI.
+
+Each test runs seeded fault schedules through every ladder strategy and
+asserts the robustness invariants (no escapes, recoverable ⇒ oracle
+rows, unrecoverable ⇒ structured DNF or honest quarantine). The seeds
+are fixed so failures replay exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.errors import ReproError
+from repro.faults.chaos import (
+    DEFAULT_CHAOS_STRATEGIES,
+    format_chaos_report,
+    run_chaos,
+)
+
+#: Three distinct chaos seeds, per the acceptance criteria.
+SEEDS = (7, 11, 13)
+
+
+def assert_clean(report):
+    assert report.passed, "\n".join(report.violations)
+    assert len(report.outcomes) == len(report.seeds) * len(
+        report.strategies
+    )
+
+
+class TestChaosInvariants:
+    @pytest.mark.parametrize("policy", ["abort", "skip-row"])
+    def test_q1_mixed_faults_hold_invariants(self, policy):
+        report = run_chaos(
+            "q1", seeds=SEEDS, policy=policy, scale=5
+        )
+        assert_clean(report)
+
+    def test_transient_profile_always_recovers_oracle_rows(self):
+        # Transient-profile schedules draw failure windows of at most 3;
+        # retries=3 makes every schedule recoverable, so every strategy
+        # must reproduce the fault-free rows exactly.
+        report = run_chaos(
+            "q1",
+            seeds=SEEDS,
+            policy="abort",
+            retries=3,
+            profile="transient",
+            scale=5,
+        )
+        assert_clean(report)
+        for outcome in report.outcomes:
+            assert outcome.completed
+            assert outcome.rows_vs_oracle == "equal"
+            assert outcome.quarantined == 0
+
+    def test_permanent_profile_surfaces_structured_dnf(self):
+        report = run_chaos(
+            "q1",
+            seeds=SEEDS,
+            policy="abort",
+            profile="permanent",
+            scale=5,
+        )
+        assert_clean(report)
+        fired = [o for o in report.outcomes if o.errors_fired]
+        assert fired, "no permanent fault ever fired"
+        for outcome in fired:
+            assert not outcome.completed
+            assert outcome.error.startswith("udf:")
+
+    def test_permanent_profile_skip_row_quarantines_subset(self):
+        report = run_chaos(
+            "q1",
+            seeds=SEEDS,
+            policy="skip-row",
+            profile="permanent",
+            scale=5,
+        )
+        assert_clean(report)
+        for outcome in report.outcomes:
+            assert outcome.completed
+            if outcome.quarantined:
+                assert outcome.rows_vs_oracle in ("equal", "subset")
+
+    def test_stats_profile_never_changes_rows(self):
+        report = run_chaos(
+            "q1", seeds=SEEDS, policy="abort", profile="stats", scale=5
+        )
+        assert_clean(report)
+        for outcome in report.outcomes:
+            assert outcome.completed
+            assert outcome.rows_vs_oracle == "equal"
+
+    def test_multi_join_workload_with_planner_faults(self):
+        report = run_chaos(
+            "q4",
+            seeds=SEEDS,
+            policy="assume-fail",
+            scale=5,
+            planner_fault_rate=0.5,
+        )
+        assert_clean(report)
+
+    def test_report_round_trips_as_json(self):
+        report = run_chaos("q1", seeds=(7,), scale=5)
+        document = json.loads(json.dumps(report.as_dict()))
+        assert document["passed"] is True
+        assert document["workload"] == "q1"
+        assert set(document["fault_plans"]) == {"7"}
+        assert len(document["outcomes"]) == len(
+            DEFAULT_CHAOS_STRATEGIES
+        )
+
+    def test_format_report_is_readable(self):
+        report = run_chaos("q1", seeds=(7,), scale=5)
+        text = format_chaos_report(report)
+        assert "oracle:" in text
+        assert "result: PASS" in text
+        for strategy in DEFAULT_CHAOS_STRATEGIES:
+            assert strategy in text
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ReproError) as exc_info:
+            run_chaos("q99", seeds=(7,))
+        assert "q1" in str(exc_info.value)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ReproError) as exc_info:
+            run_chaos("q1", seeds=(7,), policy="explode")
+        assert "abort" in str(exc_info.value)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ReproError):
+            run_chaos("q1", seeds=(7,), profile="bogus")
+
+
+class TestChaosCli:
+    def run(self, capsys, *argv):
+        code = main(["chaos", *argv])
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_single_seed_run_passes(self, capsys):
+        code, out, _ = self.run(capsys, "q1", "--seed", "7")
+        assert code == 0
+        assert "result: PASS" in out
+        assert "oracle:" in out
+
+    def test_multiple_seeds_via_seeds_flag(self, capsys):
+        code, out, _ = self.run(
+            capsys, "q1", "--seeds", "7,11", "--policy", "skip-row"
+        )
+        assert code == 0
+        assert "seed 7:" in out
+        assert "seed 11:" in out
+
+    def test_report_artifact_written(self, capsys, tmp_path):
+        code, _, err = self.run(
+            capsys, "q1", "--seed", "7", "--report", str(tmp_path)
+        )
+        assert code == 0
+        target = tmp_path / "CHAOS_q1.json"
+        assert "chaos artifact" in err
+        document = json.loads(target.read_text())
+        assert document["passed"] is True
+
+    def test_unknown_workload_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            self.run(capsys, "q99", "--seed", "7")
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "q1" in err
+
+    def test_unknown_policy_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            self.run(capsys, "q1", "--policy", "explode")
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "abort" in err
+
+    def test_unknown_strategy_spec_exits_two(self, capsys):
+        code, _, err = self.run(
+            capsys, "q1", "--strategies", "bogus", "--seed", "7"
+        )
+        assert code == 2
+        assert "unknown strategies" in err
+        assert "pushdown" in err
+
+    def test_bad_seeds_exit_two(self, capsys):
+        code, _, err = self.run(capsys, "q1", "--seeds", "seven")
+        assert code == 2
+        assert "error:" in err
+
+    def test_empty_seeds_exit_two(self, capsys):
+        code, _, err = self.run(capsys, "q1", "--seeds", ",")
+        assert code == 2
+        assert "no chaos seeds" in err

@@ -175,13 +175,15 @@ class TestCli:
         assert "pushdown" in out
         assert "migration" not in out
 
-    def test_strategies_unknown_name_errors(self, capsys):
+    def test_strategies_unknown_name_exit_two(self, capsys):
         code, _, err = run_cli(
             capsys, "--sql", SQL, "--scale", "20",
             "--compare", "--strategies", "bogus",
         )
-        assert code == 1
+        assert code == 2
         assert "unknown strategies" in err
+        # One-line usage error listing the valid choices.
+        assert "pushdown" in err
 
 
 class TestRecordAndDiff:

@@ -61,3 +61,38 @@ class TestMessages:
             raise errors.UnknownFunctionError("f")
         except errors.ReproError as caught:
             assert caught.name == "f"
+
+
+class TestRobustnessErrors:
+    def test_udf_error_is_execution_error(self):
+        assert issubclass(errors.UdfError, errors.ExecutionError)
+
+    def test_statistics_error_is_repro_error(self):
+        assert issubclass(errors.StatisticsError, errors.ReproError)
+
+    def test_planning_timeout_is_optimizer_error(self):
+        assert issubclass(errors.PlanningTimeout, errors.OptimizerError)
+
+    def test_udf_error_carries_fault_context(self):
+        error = errors.UdfError(
+            "costly100", call_index=5, transient=True, reason="net blip"
+        )
+        assert error.function == "costly100"
+        assert error.call_index == 5
+        assert error.transient
+        message = str(error)
+        assert "costly100" in message
+        assert "#5" in message
+        assert "transient" in message
+        assert "net blip" in message
+
+    def test_udf_error_permanent_flavour(self):
+        error = errors.UdfError("f", call_index=1, transient=False)
+        assert "permanent" in str(error)
+
+    def test_planning_timeout_message(self):
+        error = errors.PlanningTimeout("exhaustive", 2.5, 1.0)
+        message = str(error)
+        assert "exhaustive" in message
+        assert error.elapsed == 2.5
+        assert error.budget == 1.0

@@ -1,0 +1,248 @@
+"""Tests for the fault-injection package: clock, schedules, injector."""
+
+import math
+
+import pytest
+
+from repro.catalog.datagen import build_database
+from repro.bench.workloads import ensure_workload_functions
+from repro.errors import ReproError, UdfError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    SimulatedClock,
+    backoff_schedule,
+)
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        clock = SimulatedClock()
+        assert clock.now == 0.0
+        assert clock.latency_units == 0.0
+        assert clock.backoff_units == 0.0
+
+    def test_charges_accumulate_into_now(self):
+        clock = SimulatedClock()
+        clock.charge_latency(3.0)
+        clock.charge_backoff(2.0)
+        clock.charge_latency(1.0)
+        assert clock.latency_units == 4.0
+        assert clock.backoff_units == 2.0
+        assert clock.now == 6.0
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.charge_latency(5.0)
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.snapshot()["latency_units"] == 0.0
+
+    def test_backoff_schedule_is_exponential(self):
+        assert backoff_schedule(1.0, 3) == [1.0, 2.0, 4.0]
+        assert backoff_schedule(0.5, 2, multiplier=3.0) == [0.5, 1.5]
+
+
+class TestFaultSpec:
+    def test_transient_error_window(self):
+        spec = FaultSpec(
+            "costly100", "error", first_call=3, failures=2, transient=True
+        )
+        assert [spec.fires_on(i) for i in range(1, 7)] == [
+            False, False, True, True, False, False,
+        ]
+
+    def test_permanent_error_fires_forever(self):
+        spec = FaultSpec(
+            "costly100", "error", first_call=4, transient=False
+        )
+        assert not spec.fires_on(3)
+        assert all(spec.fires_on(i) for i in (4, 5, 100))
+
+    def test_periodic_latency(self):
+        spec = FaultSpec(
+            "costly100", "latency", first_call=2, every=3,
+            latency_units=5.0,
+        )
+        assert [i for i in range(1, 10) if spec.fires_on(i)] == [2, 5, 8]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            FaultSpec("costly100", "gremlins")
+
+    def test_bad_first_call_rejected(self):
+        with pytest.raises(ReproError):
+            FaultSpec("costly100", "error", first_call=0)
+
+
+class TestFaultPlan:
+    def test_generate_is_deterministic(self):
+        functions = ["costly100", "costly100sel10"]
+        one = FaultPlan.generate(7, functions, profile="mixed")
+        two = FaultPlan.generate(7, functions, profile="mixed")
+        assert one.as_dict() == two.as_dict()
+
+    def test_different_seeds_differ(self):
+        functions = ["costly100", "costly100sel10"]
+        plans = {
+            str(FaultPlan.generate(seed, functions).as_dict())
+            for seed in range(20)
+        }
+        assert len(plans) > 1
+
+    def test_at_most_one_error_fault_per_function(self):
+        for seed in range(30):
+            plan = FaultPlan.generate(
+                seed, ["costly100"], profile="mixed", max_faults=6
+            )
+            errors = [s for s in plan.specs if s.kind == "error"]
+            assert len(errors) <= 1
+
+    def test_recoverable_logic(self):
+        transient = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec("f", "error", failures=2, transient=True),
+            ),
+        )
+        assert transient.recoverable(retries=2)
+        assert not transient.recoverable(retries=1)
+        permanent = FaultPlan(
+            seed=0, specs=(FaultSpec("f", "error", transient=False),)
+        )
+        assert not permanent.recoverable(retries=100)
+        benign = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec("f", "latency", latency_units=9.0),
+                FaultSpec("f", "corrupt-stats", selectivity=float("nan")),
+            ),
+        )
+        assert benign.recoverable(retries=0)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ReproError):
+            FaultPlan.generate(1, ["f"], profile="bogus")
+
+    def test_planner_faults_only_for_named_strategies(self):
+        plan = FaultPlan.generate(
+            3,
+            ["costly100"],
+            planner_fault_rate=1.0,
+            strategies=("exhaustive", "migration"),
+        )
+        assert set(plan.planner_faults) == {"exhaustive", "migration"}
+        assert plan.planner_fault("pushdown") is None
+
+
+class TestFaultInjector:
+    def _db(self):
+        db = build_database(scale=5, seed=42)
+        ensure_workload_functions(db)
+        return db
+
+    def test_error_fault_raises_on_scheduled_call(self):
+        db = self._db()
+        plan = FaultPlan(
+            seed=1,
+            specs=(
+                FaultSpec(
+                    "costly100", "error", first_call=2, failures=1
+                ),
+            ),
+        )
+        function = db.catalog.functions.get("costly100")
+        with FaultInjector(plan).install(db.catalog) as injector:
+            function(1)  # call #1: clean
+            with pytest.raises(UdfError) as exc_info:
+                function(2)  # call #2: scheduled failure
+            assert exc_info.value.call_index == 2
+            assert exc_info.value.transient
+            function(3)  # window passed
+            assert injector.stats.errors_injected == 1
+
+    def test_latency_fault_charges_clock_only(self):
+        db = self._db()
+        plan = FaultPlan(
+            seed=1,
+            specs=(
+                FaultSpec(
+                    "costly100", "latency", first_call=1,
+                    latency_units=7.5,
+                ),
+            ),
+        )
+        function = db.catalog.functions.get("costly100")
+        baseline = function(10)
+        db.catalog.functions.reset_counters()
+        with FaultInjector(plan).install(db.catalog) as injector:
+            assert function(10) == baseline
+            assert injector.clock.latency_units == 7.5
+
+    def test_corrupt_stats_rewrite_catalog_metadata(self):
+        db = self._db()
+        plan = FaultPlan(
+            seed=1,
+            specs=(
+                FaultSpec(
+                    "costly100",
+                    "corrupt-stats",
+                    selectivity=float("nan"),
+                    cost_per_call=-5.0,
+                ),
+            ),
+        )
+        function = db.catalog.functions.get("costly100")
+        with FaultInjector(plan).install(db.catalog):
+            assert math.isnan(function.selectivity)
+            assert function.cost_per_call == -5.0
+
+    def test_uninstall_restores_everything(self):
+        db = self._db()
+        function = db.catalog.functions.get("costly100")
+        original_fn = function.fn
+        original_sel = function.selectivity
+        original_cost = function.cost_per_call
+        plan = FaultPlan(
+            seed=1,
+            specs=(
+                FaultSpec("costly100", "error", first_call=1),
+                FaultSpec(
+                    "costly100",
+                    "corrupt-stats",
+                    selectivity=3.0,
+                    cost_per_call=float("inf"),
+                ),
+            ),
+        )
+        injector = FaultInjector(plan)
+        injector.install(db.catalog)
+        assert function.fn is not original_fn
+        injector.uninstall()
+        assert function.fn is original_fn
+        assert function.selectivity == original_sel
+        assert function.cost_per_call == original_cost
+
+    def test_double_install_rejected(self):
+        db = self._db()
+        plan = FaultPlan(
+            seed=1, specs=(FaultSpec("costly100", "error"),)
+        )
+        injector = FaultInjector(plan)
+        injector.install(db.catalog)
+        with pytest.raises(ReproError):
+            injector.install(db.catalog)
+        injector.uninstall()
+
+    def test_context_manager_uninstalls_on_error(self):
+        db = self._db()
+        function = db.catalog.functions.get("costly100")
+        original_fn = function.fn
+        plan = FaultPlan(
+            seed=1, specs=(FaultSpec("costly100", "error"),)
+        )
+        with pytest.raises(RuntimeError):
+            with FaultInjector(plan).install(db.catalog):
+                raise RuntimeError("boom")
+        assert function.fn is original_fn

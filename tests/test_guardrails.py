@@ -1,0 +1,233 @@
+"""Tests for optimizer statistics guardrails and the degradation ladder."""
+
+import math
+
+import pytest
+
+from repro.bench.workloads import build_workload
+from repro.catalog.datagen import build_database
+from repro.errors import OptimizerError, PlanningTimeout
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.obs import ProvenanceLedger
+from repro.obs.artifacts import plan_fingerprint
+from repro.optimizer import (
+    DEGRADATION_LADDER,
+    STRATEGIES,
+    optimize,
+    optimize_degraded,
+    sanitize_predicate,
+    sanitize_query,
+)
+
+
+def q1(db):
+    return build_workload(db, "q1")
+
+
+class TestSanitize:
+    def _costly(self, db):
+        workload = q1(db)
+        (predicate,) = [
+            p for p in workload.query.predicates if p.is_expensive
+        ]
+        return workload.query, predicate
+
+    def test_honest_stats_untouched(self, tiny_db):
+        query, predicate = self._costly(tiny_db)
+        before = (predicate.selectivity, predicate.cost_per_tuple)
+        assert sanitize_query(query) == 0
+        assert (predicate.selectivity, predicate.cost_per_tuple) == before
+
+    @pytest.mark.parametrize(
+        "selectivity, expected",
+        [
+            (float("nan"), 0.5),
+            (-0.25, 0.0),
+            (3.0, 1.0),
+            (float("inf"), 1.0),
+        ],
+    )
+    def test_selectivity_clamps(self, tiny_db, selectivity, expected):
+        _, predicate = self._costly(tiny_db)
+        predicate.selectivity = selectivity
+        assert sanitize_predicate(predicate) == 1
+        assert predicate.selectivity == expected
+
+    @pytest.mark.parametrize(
+        "cost, expected",
+        [
+            (float("nan"), 0.0),
+            (-50.0, 0.0),
+            (float("-inf"), 0.0),
+            (float("inf"), 1e12),
+        ],
+    )
+    def test_cost_clamps(self, tiny_db, cost, expected):
+        _, predicate = self._costly(tiny_db)
+        predicate.cost_per_tuple = cost
+        assert sanitize_predicate(predicate) == 1
+        assert predicate.cost_per_tuple == expected
+
+    def test_sanitize_is_idempotent(self, tiny_db):
+        query, predicate = self._costly(tiny_db)
+        predicate.selectivity = float("nan")
+        predicate.cost_per_tuple = float("inf")
+        assert sanitize_query(query) == 2
+        assert sanitize_query(query) == 0
+
+    def test_clamps_recorded_in_ledger(self, tiny_db):
+        _, predicate = self._costly(tiny_db)
+        predicate.selectivity = float("nan")
+        ledger = ProvenanceLedger()
+        sanitize_predicate(predicate, ledger=ledger)
+        events = [
+            e for e in ledger.events if e.kind == "stats.clamp"
+        ]
+        assert len(events) == 1
+        assert events[0].data["field"] == "selectivity"
+        assert events[0].data["old"] == "nan"
+        assert events[0].data["new"] == "0.5"
+
+
+class TestOptimizeWithHostileStats:
+    def test_every_strategy_plans_through_corrupted_stats(self):
+        db = build_database(scale=5, seed=42)
+        fault_plan = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec(
+                    "costly100",
+                    "corrupt-stats",
+                    selectivity=float("nan"),
+                    cost_per_call=float("-inf"),
+                ),
+            ),
+        )
+        with FaultInjector(fault_plan).install(db.catalog):
+            query = build_workload(db, "q1").query
+            for strategy in STRATEGIES:
+                optimized = optimize(db, query, strategy=strategy)
+                assert math.isfinite(optimized.estimated_cost)
+        # The first optimize() repaired the query in place; the clamp
+        # count lands in its notes.
+        assert all(
+            math.isfinite(p.selectivity)
+            and math.isfinite(p.cost_per_tuple)
+            for p in query.predicates
+        )
+
+    def test_fingerprint_neutral_on_honest_stats(self, tiny_db):
+        query = q1(tiny_db).query
+        first = optimize(tiny_db, query, strategy="migration")
+        second = optimize(tiny_db, query, strategy="migration")
+        assert "stats_clamped" not in first.notes
+        assert plan_fingerprint(first.plan) == plan_fingerprint(
+            second.plan
+        )
+
+    def test_clamp_count_reported_in_notes(self):
+        db = build_database(scale=5, seed=42)
+        query = build_workload(db, "q1").query
+        (predicate,) = [p for p in query.predicates if p.is_expensive]
+        predicate.selectivity = float("nan")
+        optimized = optimize(db, query, strategy="pushdown")
+        assert optimized.notes["stats_clamped"] == 1
+
+
+class TestDegradationLadder:
+    def setup_method(self):
+        self.db = build_database(scale=5, seed=42)
+        self.query = build_workload(self.db, "q1").query
+
+    def test_no_faults_returns_requested_strategy(self):
+        optimized = optimize_degraded(
+            self.db, self.query, strategy="exhaustive"
+        )
+        assert optimized.strategy == "exhaustive"
+        assert "degraded" not in optimized.notes
+
+    def test_faulted_rungs_degrade_in_ladder_order(self):
+        fault_plan = FaultPlan(
+            seed=0,
+            planner_faults={
+                "exhaustive": "boom",
+                "migration": "also boom",
+            },
+        )
+        ledger = ProvenanceLedger()
+        optimized = optimize_degraded(
+            self.db,
+            self.query,
+            strategy="exhaustive",
+            fault_plan=fault_plan,
+            ledger=ledger,
+        )
+        assert optimized.strategy == "pullrank"
+        assert optimized.notes["requested_strategy"] == "exhaustive"
+        assert len(optimized.notes["degraded"]) == 2
+        events = [
+            e for e in ledger.events if e.kind == "planner.degraded"
+        ]
+        assert [e.data["strategy"] for e in events] == [
+            "exhaustive", "migration",
+        ]
+        assert events[0].data["next_rung"] == "migration"
+
+    def test_never_climbs_the_ladder(self):
+        # Requesting pullrank must not fall back *up* to exhaustive.
+        fault_plan = FaultPlan(seed=0, planner_faults={"pullrank": "boom"})
+        optimized = optimize_degraded(
+            self.db, self.query, strategy="pullrank",
+            fault_plan=fault_plan,
+        )
+        assert optimized.strategy == "pushdown"
+
+    def test_off_ladder_strategy_gets_full_ladder(self):
+        fault_plan = FaultPlan(seed=0, planner_faults={"ldl": "boom"})
+        optimized = optimize_degraded(
+            self.db, self.query, strategy="ldl", fault_plan=fault_plan
+        )
+        assert optimized.strategy == "exhaustive"
+        assert optimized.notes["requested_strategy"] == "ldl"
+
+    def test_all_rungs_failing_raises_structured_error(self):
+        fault_plan = FaultPlan(
+            seed=0,
+            planner_faults={
+                rung: "boom" for rung in DEGRADATION_LADDER
+            },
+        )
+        with pytest.raises(OptimizerError) as exc_info:
+            optimize_degraded(
+                self.db,
+                self.query,
+                strategy="exhaustive",
+                fault_plan=fault_plan,
+            )
+        message = str(exc_info.value)
+        assert "every ladder rung failed" in message
+        for rung in DEGRADATION_LADDER:
+            assert rung in message
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(OptimizerError):
+            optimize_degraded(self.db, self.query, strategy="bogus")
+
+    def test_planning_budget_degrades(self):
+        # An impossible budget fails every rung but the last, which is
+        # exempt (a plan beats no plan).
+        optimized = optimize_degraded(
+            self.db,
+            self.query,
+            strategy="exhaustive",
+            planning_budget=0.0,
+        )
+        assert optimized.strategy == "pushdown"
+        degraded = optimized.notes["degraded"]
+        assert any("PlanningTimeout" in note for note in degraded)
+
+    def test_planning_timeout_carries_context(self):
+        error = PlanningTimeout("exhaustive", 1.5, 0.5)
+        assert error.strategy == "exhaustive"
+        assert error.elapsed == 1.5
+        assert error.budget == 0.5

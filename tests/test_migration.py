@@ -40,9 +40,11 @@ class TestGroupRank:
         assert left == pytest.approx(two_then_one.rank)
 
     def test_bad_input_rejected(self):
-        with pytest.raises(ValueError):
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
             group_rank([], [])
-        with pytest.raises(ValueError):
+        with pytest.raises(PlanError):
             group_rank([0.5], [1.0, 2.0])
 
 

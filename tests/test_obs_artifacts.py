@@ -362,3 +362,79 @@ class TestLedgerInArtifacts:
         )
         findings = diff_artifacts(artifact, copy.deepcopy(artifact))
         assert not any(f.kind == "ledger" for f in findings)
+
+
+class TestDiffGracefulDegradation:
+    """Artifacts from older builds lack newer optional sections; the
+    diff must keep comparing the shared fields instead of crashing."""
+
+    @pytest.fixture()
+    def with_ledger(self, tiny_db):
+        workload = build_workload(tiny_db, "q4")
+        outcomes = run_strategies(
+            tiny_db,
+            workload.query,
+            strategies=("pushdown",),
+            execute=False,
+            provenance=True,
+        )
+        return build_run_artifact("q4", outcomes, scale=20, seed=11)
+
+    def test_ledgerless_baseline_notes_but_never_gates(self, with_ledger):
+        # A pre-provenance baseline: same measurements, no ledger.
+        old = copy.deepcopy(with_ledger)
+        for record in old["strategies"].values():
+            record.pop("ledger", None)
+        findings = diff_artifacts(old, with_ledger)
+        assert not has_regressions(findings)
+        ledger_findings = [f for f in findings if f.kind == "ledger"]
+        assert len(ledger_findings) == 1
+        assert ledger_findings[0].severity == "note"
+        assert "candidate" in ledger_findings[0].message
+
+    def test_ledgerless_candidate_notes_the_other_side(self, with_ledger):
+        old = copy.deepcopy(with_ledger)
+        for record in old["strategies"].values():
+            record.pop("ledger", None)
+        findings = diff_artifacts(with_ledger, old)
+        ledger_findings = [f for f in findings if f.kind == "ledger"]
+        assert len(ledger_findings) == 1
+        assert "baseline" in ledger_findings[0].message
+
+    def test_both_sides_ledgerless_stays_silent(self, with_ledger):
+        old = copy.deepcopy(with_ledger)
+        for record in old["strategies"].values():
+            record.pop("ledger", None)
+        findings = diff_artifacts(old, copy.deepcopy(old))
+        assert not any(f.kind == "ledger" for f in findings)
+        assert not has_regressions(findings)
+
+    def test_malformed_ledger_treated_as_absent(self, with_ledger):
+        broken = copy.deepcopy(with_ledger)
+        broken["strategies"]["pushdown"]["ledger"] = "oops"
+        findings = diff_artifacts(broken, with_ledger)
+        assert not has_regressions(findings)
+
+    def test_malformed_strategy_record_noted_not_fatal(self, with_ledger):
+        broken = copy.deepcopy(with_ledger)
+        broken["strategies"]["pushdown"] = ["not", "a", "record"]
+        findings = diff_artifacts(broken, with_ledger)
+        assert not has_regressions(findings)
+        assert any(f.kind == "malformed" for f in findings)
+        # And swapped: a malformed candidate record.
+        findings = diff_artifacts(with_ledger, broken)
+        assert not has_regressions(findings)
+        assert any(f.kind == "malformed" for f in findings)
+
+    def test_missing_environment_section_tolerated(self, with_ledger):
+        bare = copy.deepcopy(with_ledger)
+        bare.pop("environment")
+        findings = diff_artifacts(bare, with_ledger)
+        assert isinstance(findings, list)
+
+    def test_missing_strategies_section_tolerated(self, with_ledger):
+        bare = copy.deepcopy(with_ledger)
+        bare.pop("strategies")
+        findings = diff_artifacts(bare, with_ledger)
+        # Every candidate strategy shows up as newly added, no crash.
+        assert all(f.severity == "note" for f in findings if f.kind == "added")

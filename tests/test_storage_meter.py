@@ -91,3 +91,46 @@ class TestBudget:
         meter = CostMeter()
         meter.charge_function(1e12)
         assert meter.charged == 1e12
+
+
+class TestChargeClamping:
+    """A UDF lying about its catalog cost must not poison the ledger:
+    one nan charge would make every later budget comparison false."""
+
+    def test_nan_cost_clamped_to_zero(self):
+        meter = CostMeter()
+        meter.charge_function(float("nan"), calls=3)
+        assert meter.function_charged == 0.0
+        assert meter.function_calls == 3
+        assert meter.clamped_charges == 3
+
+    def test_negative_and_negative_infinite_cost_clamped(self):
+        meter = CostMeter()
+        meter.charge_function(-100.0)
+        meter.charge_function(float("-inf"))
+        assert meter.function_charged == 0.0
+        assert meter.clamped_charges == 2
+
+    def test_positive_infinite_cost_clamped(self):
+        meter = CostMeter()
+        meter.charge_function(float("inf"))
+        assert meter.function_charged == 0.0
+        assert meter.clamped_charges == 1
+
+    def test_clamped_charge_cannot_disable_budget(self):
+        meter = CostMeter(budget=5.0)
+        meter.charge_function(float("nan"))  # would make charged nan
+        with pytest.raises(BudgetExceededError):
+            meter.charge_function(100.0)
+
+    def test_honest_charges_unaffected(self):
+        meter = CostMeter()
+        meter.charge_function(10.0, calls=2)
+        assert meter.function_charged == 20.0
+        assert meter.clamped_charges == 0
+
+    def test_reset_clears_clamp_counter(self):
+        meter = CostMeter()
+        meter.charge_function(float("nan"))
+        meter.reset()
+        assert meter.clamped_charges == 0
