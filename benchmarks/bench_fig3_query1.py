@@ -17,6 +17,7 @@ def test_fig3_query1(benchmark, db, workloads, recorder, profiler):
         lambda: run_strategies(
             db, workload.query, profiler=profiler,
             provenance=recorder.enabled,
+            feedback=recorder.enabled,
         ),
         rounds=1,
         iterations=1,

@@ -18,6 +18,7 @@ def test_fig4_query2(benchmark, db, workloads, recorder, profiler):
         lambda: run_strategies(
             db, workload.query, profiler=profiler,
             provenance=recorder.enabled,
+            feedback=recorder.enabled,
         ),
         rounds=1,
         iterations=1,

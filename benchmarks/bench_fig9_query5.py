@@ -19,6 +19,7 @@ def test_fig9_query5(benchmark, db, workloads, recorder, profiler):
         lambda: run_strategies(
             db, workload.query, budget=workload.budget, profiler=profiler,
             provenance=recorder.enabled,
+            feedback=recorder.enabled,
         ),
         rounds=1,
         iterations=1,

@@ -14,6 +14,8 @@ Examples::
     python -m repro plan-diff q4 pushdown migration
     python -m repro chaos q4 --seed 7
     python -m repro chaos q1 --seeds 7,11,13 --policy skip-row --report artifacts/
+    python -m repro stats q4 --strategy pushdown --dir artifacts/
+    python -m repro drift q4 1 2 --dir artifacts/
     python -m repro --workload q4 --trace-export trace.json
 """
 
@@ -38,6 +40,7 @@ from repro.errors import ArtifactError, OptimizerError, ReproError
 from repro.exec.containment import DEFAULT_RETRIES, EXHAUSTION_POLICIES
 from repro.faults.plan import PROFILES
 from repro.obs import (
+    DRIFT_QERROR_THRESHOLD,
     NULL_PROFILER,
     NULL_TRACER,
     ArtifactRecorder,
@@ -211,6 +214,7 @@ def _run(args, tracer, out, profiler=NULL_PROFILER) -> int:
             instrument=args.explain_analyze or bool(args.record),
             profiler=profiler,
             provenance=bool(args.record),
+            feedback=bool(args.record),
         )
         print(
             format_outcomes(
@@ -863,6 +867,255 @@ def chaos(argv: list[str], out=None) -> int:
     return 0 if report.passed else 1
 
 
+# -- stats / drift: the observed-statistics feedback store --------------------
+
+
+def build_stats_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description=(
+            "Execute one workload with feedback collection enabled, append "
+            "the harvested per-predicate observations (selectivity, "
+            "per-call UDF cost, row counts) as a new epoch in "
+            "STATS_<workload>.json, and print the observed-vs-declared "
+            "table with q-errors and drift flags. Collection never "
+            "changes plans; pass --apply-feedback to opt into re-deriving "
+            "ranks from the observed statistics."
+        ),
+    )
+    parser.add_argument(
+        "workload", choices=sorted(WORKLOADS), help="workload to observe"
+    )
+    parser.add_argument(
+        "--strategy",
+        default="pushdown",
+        choices=sorted(STRATEGIES),
+        help="placement strategy to execute (default: pushdown)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=100,
+        help="database scale factor (default 100)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="data generator seed"
+    )
+    parser.add_argument(
+        "--caching", action="store_true", help="enable predicate caching"
+    )
+    parser.add_argument(
+        "--dir", default="artifacts", metavar="DIR",
+        help="directory holding STATS_<workload>.json (default: artifacts)",
+    )
+    parser.add_argument(
+        "--epoch", type=int, default=None, metavar="N",
+        help="display a previously recorded epoch instead of running "
+        "anything",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DRIFT_QERROR_THRESHOLD,
+        metavar="Q",
+        help=f"q-error above which a statistic is flagged as drifted "
+        f"(default {DRIFT_QERROR_THRESHOLD:g})",
+    )
+    parser.add_argument(
+        "--apply-feedback",
+        action="store_true",
+        help="after recording, overwrite the catalog's declared UDF "
+        "statistics with the observed ones and re-plan — the explicit "
+        "opt-in injection path (plans never change without it)",
+    )
+    return parser
+
+
+def stats(argv: list[str], out=None) -> int:
+    """The ``stats`` subcommand body; returns the exit code."""
+    from repro.obs.artifacts import plan_fingerprint
+    from repro.obs.feedback import (
+        FeedbackCollector,
+        StatsFeedbackStore,
+        format_stats_epoch,
+        stats_path,
+    )
+
+    if out is None:
+        out = sys.stdout
+    args = build_stats_parser().parse_args(argv)
+    target = stats_path(args.dir, args.workload)
+
+    if args.epoch is not None:
+        # Display-only: no database, no execution — just the store.
+        try:
+            store = StatsFeedbackStore.load(target)
+            epoch = store.epoch(args.epoch)
+        except ArtifactError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(
+            format_stats_epoch(
+                args.workload, epoch, threshold=args.threshold
+            ),
+            file=out,
+        )
+        return 0
+
+    try:
+        db = build_database(scale=args.scale, seed=args.seed)
+        workload = build_workload(db, args.workload)
+        optimized = optimize(
+            db, workload.query, strategy=args.strategy,
+            caching=args.caching,
+        )
+        collector = FeedbackCollector()
+        executor = Executor(
+            db, caching=args.caching, collector=collector
+        )
+        result = executor.execute(optimized.plan, instrument=True)
+        observations = collector.observations()
+        store = StatsFeedbackStore.load_or_create(target, args.workload)
+        operators = (
+            [entry.as_dict() for entry in result.node_stats.values()]
+            if result.node_stats is not None
+            else None
+        )
+        number = store.record_epoch(
+            observations,
+            strategy=args.strategy,
+            scale=args.scale,
+            seed=args.seed,
+            caching=args.caching,
+            operators=operators,
+        )
+        saved = store.save(target)
+        # Render from the persisted file, not the in-memory store — the
+        # table the user sees is provably what the artifact contains.
+        reloaded = StatsFeedbackStore.load(saved)
+        print(
+            format_stats_epoch(
+                args.workload,
+                reloaded.epoch(number),
+                threshold=args.threshold,
+            ),
+            file=out,
+        )
+        print(f"-- stats artifact: {saved}", file=sys.stderr)
+
+        if args.apply_feedback:
+            before = plan_fingerprint(optimized.plan)
+            applied = db.catalog.apply_feedback(reloaded, number)
+            # Predicate statistics are baked in at compile time, so the
+            # workload must be rebuilt for ranks to re-derive from the
+            # injected numbers.
+            reworkload = build_workload(db, args.workload)
+            reoptimized = optimize(
+                db, reworkload.query, strategy=args.strategy,
+                caching=args.caching,
+            )
+            after = plan_fingerprint(reoptimized.plan)
+            print(
+                f"-- feedback applied: {applied} statistic(s) updated, "
+                f"plan fingerprint {before} -> {after}"
+                + (" (unchanged)" if before == after else " (plan changed)"),
+                file=out,
+            )
+            print(
+                f"-- estimated cost {optimized.estimated_cost:,.1f} -> "
+                f"{reoptimized.estimated_cost:,.1f}",
+                file=out,
+            )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_drift_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro drift",
+        description=(
+            "Compare observed predicate statistics between two recorded "
+            "epochs of STATS_<workload>.json (epoch-over-epoch drift: "
+            "'the data moved', vs `repro stats`, which reports "
+            "observed-vs-declared: 'the catalog lies'). With no epochs "
+            "given, compares the two most recent; with one, compares it "
+            "against the latest."
+        ),
+    )
+    parser.add_argument(
+        "workload", choices=sorted(WORKLOADS), help="workload to compare"
+    )
+    parser.add_argument(
+        "epochs", type=int, nargs="*", metavar="EPOCH",
+        help="zero, one, or two epoch numbers",
+    )
+    parser.add_argument(
+        "--dir", default="artifacts", metavar="DIR",
+        help="directory holding STATS_<workload>.json (default: artifacts)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DRIFT_QERROR_THRESHOLD,
+        metavar="Q",
+        help=f"q-error above which an observed statistic counts as "
+        f"drifted (default {DRIFT_QERROR_THRESHOLD:g})",
+    )
+    return parser
+
+
+def drift(argv: list[str], out=None) -> int:
+    """The ``drift`` subcommand body; returns the exit code."""
+    from repro.obs.feedback import (
+        StatsFeedbackStore,
+        format_drift_report,
+        stats_path,
+    )
+
+    if out is None:
+        out = sys.stdout
+    args = build_drift_parser().parse_args(argv)
+    if len(args.epochs) > 2:
+        print(
+            "error: at most two epoch numbers (got "
+            f"{len(args.epochs)}): compare one pair at a time",
+            file=sys.stderr,
+        )
+        return 2
+    target = stats_path(args.dir, args.workload)
+    try:
+        store = StatsFeedbackStore.load(target)
+    except ArtifactError as error:
+        print(
+            f"error: {error}\nrecord epochs first: "
+            f"repro stats {args.workload} --dir {args.dir}",
+            file=sys.stderr,
+        )
+        return 2
+    numbers = store.epoch_numbers()
+    try:
+        if len(args.epochs) == 2:
+            first, second = args.epochs
+        elif len(args.epochs) == 1:
+            first, second = args.epochs[0], numbers[-1] if numbers else 0
+        else:
+            if len(numbers) < 2:
+                raise ArtifactError(
+                    f"need two recorded epochs to compare, found "
+                    f"{numbers or 'none'}; run `repro stats "
+                    f"{args.workload} --dir {args.dir}` again"
+                )
+            first, second = numbers[-2], numbers[-1]
+        epoch_a = store.epoch(first)
+        epoch_b = store.epoch(second)
+    except ArtifactError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        format_drift_report(
+            args.workload, epoch_a, epoch_b, threshold=args.threshold
+        ),
+        file=out,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -880,6 +1133,10 @@ def main(argv: list[str] | None = None) -> int:
         return plan_diff(list(argv[1:]))
     if argv and argv[0] == "chaos":
         return chaos(list(argv[1:]))
+    if argv and argv[0] == "stats":
+        return stats(list(argv[1:]))
+    if argv and argv[0] == "drift":
+        return drift(list(argv[1:]))
     args = build_parser().parse_args(argv)
     tracer = Tracer() if args.trace or args.trace_export else NULL_TRACER
     profiler = PhaseProfiler() if args.trace_export else NULL_PROFILER

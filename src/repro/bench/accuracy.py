@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.cost.model import CostModel
 from repro.database import Database
 from repro.exec.operators import RuntimeContext, build_operator
+from repro.obs.quality import qerror
 from repro.plan.nodes import Join, Plan, PlanNode, Scan
 
 
@@ -29,9 +30,12 @@ class NodeAccuracy:
 
     @property
     def q_error(self) -> float:
-        estimated = max(self.estimated_rows, 0.5)
-        actual = max(float(self.actual_rows), 0.5)
-        return max(estimated / actual, actual / estimated)
+        """Standard q-error with both sides floored at half a row, so an
+        estimate of 0 against an empty actual scores 1.0 (perfect), not
+        0/0."""
+        return qerror(
+            max(self.estimated_rows, 0.5), max(float(self.actual_rows), 0.5)
+        )
 
 
 def _node_label(node: PlanNode) -> str:

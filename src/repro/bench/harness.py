@@ -7,8 +7,10 @@ from dataclasses import dataclass, field
 from repro.database import Database
 from repro.errors import OptimizerError
 from repro.exec import Executor
+from repro.obs.feedback import FeedbackCollector
 from repro.obs.profile import NULL_PROFILER
 from repro.obs.provenance import NULL_LEDGER, ProvenanceLedger
+from repro.obs.quality import quality_summary, signed_relative_error
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer import STRATEGIES, optimize
 from repro.plan.display import _node_label
@@ -83,15 +85,13 @@ class StrategyOutcome:
         (``charged == 0``) with a zero estimate is a *perfect* estimate —
         ``0.0``, not ``nan``. A zero charge against a nonzero estimate
         stays ``nan``: relative error against zero is undefined, and
-        reporting it as infinite would poison aggregates.
+        reporting it as infinite would poison aggregates. These semantics
+        live in :func:`repro.obs.quality.signed_relative_error`, shared
+        with the estimation-quality scorecards.
         """
         if not self.executed or not self.completed:
             return float("nan")
-        if self.charged == 0:
-            return 0.0 if self.estimated_cost == 0 else float("nan")
-        if self.charged < 0:
-            return float("nan")
-        return (self.estimated_cost - self.charged) / self.charged
+        return signed_relative_error(self.estimated_cost, self.charged)
 
 
 def _operator_summary(plan: Plan, node_stats: dict) -> list[dict]:
@@ -124,6 +124,7 @@ def run_strategies(
     instrument: bool = False,
     profiler=NULL_PROFILER,
     provenance: bool = False,
+    feedback: bool = False,
 ) -> list[StrategyOutcome]:
     """Optimize and (optionally) execute ``query`` under each strategy.
 
@@ -137,6 +138,12 @@ def run_strategies(
     artifacts. ``provenance=True`` records each strategy's placement
     decisions into a fresh :class:`repro.obs.ProvenanceLedger`, summarised
     into ``extras["ledger"]`` (and from there into run artifacts).
+    ``feedback=True`` runs each executed strategy with a fresh
+    :class:`repro.obs.FeedbackCollector` and summarises estimation
+    quality (cost q-error, per-predicate selectivity q-errors, drift
+    flags) into ``extras["quality"]`` — collection only; plans are
+    optimized before any observation exists, so fingerprints are
+    untouched.
     """
     outcomes: list[StrategyOutcome] = []
     for strategy in strategies:
@@ -173,9 +180,10 @@ def run_strategies(
         if provenance:
             outcome.extras["ledger"] = ledger.summary()
         if execute:
+            collector = FeedbackCollector() if feedback else None
             executor = Executor(
                 db, caching=caching, budget=budget, tracer=tracer,
-                profiler=profiler,
+                profiler=profiler, collector=collector,
             )
             result = executor.execute(optimized.plan, instrument=instrument)
             outcome.charged = result.charged
@@ -186,6 +194,12 @@ def run_strategies(
             if result.node_stats is not None:
                 outcome.extras["operators"] = _operator_summary(
                     optimized.plan, result.node_stats
+                )
+            if collector is not None:
+                outcome.extras["quality"] = quality_summary(
+                    outcome.estimated_cost,
+                    result.charged,
+                    collector.observations(),
                 )
         outcomes.append(outcome)
 

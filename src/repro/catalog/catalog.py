@@ -8,6 +8,7 @@ storage imports (the database assembly in :mod:`repro.database` wires them).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -101,6 +102,53 @@ class Catalog:
                 "|".join(tables_in_scope) or "<empty scope>", attribute
             )
         return owners[0]
+
+    def apply_feedback(self, store, epoch: int | None = None) -> int:
+        """Overwrite declared UDF statistics with observed ones (opt-in).
+
+        ``store`` is duck-typed — anything with
+        ``observations_for(epoch)`` yielding objects with ``functions``,
+        ``evaluated``/``observed_selectivity`` and
+        ``charged_calls``/``observed_cost_per_call`` works; in practice
+        it is a :class:`~repro.obs.feedback.StatsFeedbackStore`
+        (``epoch=None`` means its latest epoch). This is the explicit
+        jgmp-style injection path: nothing in planning or execution calls
+        it implicitly, so plan fingerprints are untouched until a caller
+        opts in, and callers must recompile workloads afterwards for
+        ranks to re-derive from the new numbers.
+
+        Only single-function predicate observations are applied — a
+        multi-UDF conjunct's pass rate and charge cannot be attributed to
+        either function — and only domain-valid values (selectivity
+        finite in ``[0, 1]`` with at least one evaluation; per-call cost
+        finite, non-negative, with at least one charged call). Returns
+        the number of statistic fields changed.
+        """
+        changed = 0
+        for observation in store.observations_for(epoch):
+            names = tuple(observation.functions)
+            if len(names) != 1 or names[0] not in self.functions:
+                continue
+            function = self.functions.get(names[0])
+            if observation.evaluated > 0:
+                selectivity = observation.observed_selectivity
+                if (
+                    math.isfinite(selectivity)
+                    and 0.0 <= selectivity <= 1.0
+                    and selectivity != function.selectivity
+                ):
+                    function.selectivity = selectivity
+                    changed += 1
+            if observation.charged_calls > 0:
+                cost = observation.observed_cost_per_call
+                if (
+                    math.isfinite(cost)
+                    and cost >= 0.0
+                    and cost != function.cost_per_call
+                ):
+                    function.cost_per_call = cost
+                    changed += 1
+        return changed
 
     def total_bytes(self, include_indexes: bool = True) -> int:
         """Approximate database size, mirroring the paper's ~110 MB figure."""

@@ -83,6 +83,13 @@ class RuntimeContext:
     #: containment: bounded retries with simulated-clock backoff, then the
     #: policy's on-exhaustion action, with quarantine bookkeeping.
     containment: ContainmentState | None = None
+    #: When not ``None``, every predicate evaluation reports its verdict
+    #: and the function cost it charged to this sink (duck-typed:
+    #: ``observe(predicate, passed, charged)`` — normally a
+    #: :class:`repro.obs.feedback.FeedbackCollector`). ``None`` keeps the
+    #: hot path free of any feedback branch, like the other optional
+    #: sinks above.
+    collector: object | None = None
 
     def __post_init__(self) -> None:
         if self.cache_mode not in ("predicate", "function"):
@@ -141,6 +148,25 @@ def evaluate_predicate(
     Returns ``False`` for SQL NULL results (a WHERE conjunct only passes
     rows for which it is true).
     """
+    collector = ctx.collector
+    if collector is None:
+        return _evaluate_contained(predicate, row, scope, ctx)
+    # The meter delta brackets the whole contained evaluation, so the
+    # observed per-call cost is what this row *actually* charged: zero on
+    # cache hits and on quarantined rows, partial under function-level
+    # caching.
+    before = ctx.meter.function_charged
+    value = _evaluate_contained(predicate, row, scope, ctx)
+    collector.observe(
+        predicate, value, ctx.meter.function_charged - before
+    )
+    return value
+
+
+def _evaluate_contained(
+    predicate: Predicate, row: tuple, scope: Scope, ctx: RuntimeContext
+) -> bool:
+    """Evaluation under the containment retry loop (no feedback hook)."""
     containment = ctx.containment
     if containment is None:
         return _evaluate_once(predicate, row, scope, ctx)

@@ -92,6 +92,7 @@ class Executor:
         profiler=None,
         failure_policy: FailurePolicy | None = None,
         clock: SimulatedClock | None = None,
+        collector=None,
     ) -> None:
         """``cache_mode`` selects predicate-level (Montage) or
         function-level ([Jhi88]) memoisation; ``cache_bypass`` enables the
@@ -105,7 +106,11 @@ class Executor:
         retries with simulated-clock backoff, then the policy's
         on-exhaustion action); ``clock`` is the
         :class:`~repro.faults.clock.SimulatedClock` backoff and injected
-        latency accrue on (a private one is created when omitted)."""
+        latency accrue on (a private one is created when omitted);
+        ``collector`` receives per-predicate evaluation feedback
+        (verdict plus charged function cost — normally a
+        :class:`~repro.obs.feedback.FeedbackCollector`; the default
+        ``None`` keeps predicate evaluation feedback-free)."""
         self.db = db
         self.caching = caching
         self.budget = budget
@@ -118,6 +123,7 @@ class Executor:
         self.profiler = NULL_PROFILER if profiler is None else profiler
         self.failure_policy = failure_policy
         self.clock = clock
+        self.collector = collector
 
     def _bypass_ids(self, node: PlanNode) -> frozenset[int]:
         """Predicates not worth caching: nearly every binding is distinct.
@@ -201,6 +207,7 @@ class Executor:
             bypass_ids=self._bypass_ids(node),
             node_stats=node_stats,
             containment=containment,
+            collector=self.collector,
         )
         started = time.perf_counter()
         rows: list[tuple] = []

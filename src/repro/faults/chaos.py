@@ -51,6 +51,7 @@ from repro.exec.containment import DEFAULT_RETRIES, EXHAUSTION_POLICIES
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import PROFILES, FaultPlan
 from repro.obs.provenance import ProvenanceLedger
+from repro.obs.quality import catalog_drift
 from repro.optimizer import optimize, optimize_degraded
 
 #: Default chaos seeds — three distinct schedules per suite run.
@@ -135,14 +136,28 @@ class ChaosReport:
     oracle_rows: int = 0
     fault_plans: dict[int, dict] = field(default_factory=dict)
     outcomes: list[ChaosOutcome] = field(default_factory=list)
+    #: Per-seed drift audit: what the drift detector flagged on the
+    #: corrupted catalog vs what the fault plan actually corrupted.
+    drift: dict[int, dict] = field(default_factory=dict)
 
     @property
     def violations(self) -> list[str]:
-        return [
+        found = [
             f"seed {o.seed} {o.strategy}: {violation}"
             for o in self.outcomes
             for violation in o.violations
         ]
+        # Observability invariant: every statistic a corrupt-stats fault
+        # poisoned must be flagged by the drift detector. Containment
+        # keeps corrupted stats from changing rows; this keeps them from
+        # staying *invisible*.
+        for seed in sorted(self.drift):
+            for miss in self.drift[seed].get("missed", []):
+                found.append(
+                    f"seed {seed} drift: corrupted statistic {miss} "
+                    "not flagged by the drift detector"
+                )
+        return found
 
     @property
     def passed(self) -> bool:
@@ -161,6 +176,9 @@ class ChaosReport:
             "oracle_rows": self.oracle_rows,
             "fault_plans": {
                 str(seed): plan for seed, plan in self.fault_plans.items()
+            },
+            "drift": {
+                str(seed): audit for seed, audit in self.drift.items()
             },
             "outcomes": [outcome.as_dict() for outcome in self.outcomes],
             "violations": self.violations,
@@ -328,6 +346,32 @@ def run_chaos(
             # Recompile so corrupted catalog statistics reach the
             # compiled predicates — the guardrails' actual input.
             chaos_query = build_workload(db, workload_key).query
+            # Drift audit: with the faults installed, every corrupted
+            # declaration must be visible to the drift detector (all
+            # generated corruptions are invalid-by-domain, so no
+            # observations are needed to catch them).
+            findings = catalog_drift(db.catalog, names=functions)
+            corrupted = {
+                (spec.function, fld)
+                for spec in fault_plan.specs
+                if spec.kind == "corrupt-stats"
+                for fld, value in (
+                    ("selectivity", spec.selectivity),
+                    ("cost_per_call", spec.cost_per_call),
+                )
+                if value is not None
+            }
+            flagged = {(f.subject, f.field) for f in findings}
+            report.drift[seed] = {
+                "findings": [f.as_dict() for f in findings],
+                "described": [f.describe() for f in findings],
+                "corrupted": sorted(
+                    f"{name}.{fld}" for name, fld in corrupted
+                ),
+                "missed": sorted(
+                    f"{name}.{fld}" for name, fld in corrupted - flagged
+                ),
+            }
             for strategy in strategies:
                 outcome = ChaosOutcome(seed=seed, strategy=strategy)
                 report.outcomes.append(outcome)
@@ -428,6 +472,19 @@ def format_chaos_report(report: ChaosReport) -> str:
             lines.append("  (no faults drawn)")
         for fault in described:
             lines.append(f"  fault: {fault}")
+        audit = report.drift.get(seed)
+        if audit and audit.get("corrupted"):
+            missed = audit.get("missed", [])
+            verdict = (
+                f"MISSED {missed}" if missed else "all flagged"
+            )
+            lines.append(
+                f"  drift: {len(audit.get('findings', []))} finding(s) "
+                f"for {len(audit['corrupted'])} corrupted statistic(s) "
+                f"— {verdict}"
+            )
+            for description in audit.get("described", []):
+                lines.append(f"  drift: {description}")
     header = (
         f"{'seed':>5}  {'strategy':<10} {'status':<9} {'rows':>5} "
         f"{'vs-oracle':<9} {'quar':>5} {'retry':>5} {'fired':>5}  verdict"

@@ -20,7 +20,14 @@ Four small pieces:
   moves, prunes, virtual joins) with a zero-overhead :class:`NullLedger`
   default, plus the ``repro why`` report and counterfactual re-costing;
 * :mod:`repro.obs.chrome` — Chrome ``trace_event`` export of tracer spans
-  and profiler phases, loadable in Perfetto.
+  and profiler phases, loadable in Perfetto;
+* :mod:`repro.obs.quality` — the shared :func:`qerror` metric, log-scale
+  q-error histograms, and the observed-vs-declared drift detector that
+  emits ``stats.drift`` ledger/trace events;
+* :mod:`repro.obs.feedback` — :class:`FeedbackCollector` execution sinks
+  and the epoch-versioned :class:`StatsFeedbackStore`
+  (``STATS_<workload>.json``) behind ``repro stats`` / ``repro drift``
+  and the opt-in ``Catalog.apply_feedback`` injection path.
 """
 
 from repro.obs.artifacts import (
@@ -41,6 +48,17 @@ from repro.obs.artifacts import (
 from repro.obs.chrome import (
     build_chrome_trace,
     export_chrome_trace,
+)
+from repro.obs.feedback import (
+    STATS_PREFIX,
+    STATS_SCHEMA_VERSION,
+    FeedbackCollector,
+    PredicateObservation,
+    StatsFeedbackStore,
+    format_drift_report,
+    format_stats_epoch,
+    predicate_fingerprint,
+    stats_path,
 )
 from repro.obs.metrics import (
     Counter,
@@ -69,6 +87,17 @@ from repro.obs.profile import (
     PhaseProfiler,
     PhaseStat,
 )
+from repro.obs.quality import (
+    DRIFT_QERROR_THRESHOLD,
+    DriftFinding,
+    catalog_drift,
+    detect_drift,
+    fmt_stat,
+    qerror,
+    qerror_histogram,
+    quality_summary,
+    signed_relative_error,
+)
 from repro.obs.tracer import (
     NULL_SPAN,
     NULL_TRACER,
@@ -85,7 +114,10 @@ __all__ = [
     "Counter",
     "Counterfactual",
     "CounterfactualReport",
+    "DRIFT_QERROR_THRESHOLD",
+    "DriftFinding",
     "EVENT_KINDS",
+    "FeedbackCollector",
     "Finding",
     "Histogram",
     "LedgerEvent",
@@ -102,9 +134,13 @@ __all__ = [
     "NullTracer",
     "PhaseProfiler",
     "PhaseStat",
+    "PredicateObservation",
     "ProvenanceLedger",
     "SCHEMA_VERSION",
+    "STATS_PREFIX",
+    "STATS_SCHEMA_VERSION",
     "Span",
+    "StatsFeedbackStore",
     "Timer",
     "Tracer",
     "artifact_path",
@@ -112,15 +148,26 @@ __all__ = [
     "build_run_artifact",
     "canonical_plan_form",
     "canonical_value",
+    "catalog_drift",
     "collect_artifacts",
     "counterfactual_report",
+    "detect_drift",
     "diff_artifacts",
     "export_chrome_trace",
+    "fmt_stat",
+    "format_drift_report",
+    "format_stats_epoch",
     "has_regressions",
     "load_run_artifact",
     "plan_fingerprint",
+    "predicate_fingerprint",
+    "qerror",
+    "qerror_histogram",
+    "quality_summary",
     "record_run",
     "record_run_artifact",
+    "signed_relative_error",
     "skeleton_signature",
+    "stats_path",
     "why_report",
 ]

@@ -153,6 +153,9 @@ def strategy_record(outcome) -> dict:
     ledger = outcome.extras.get("ledger")
     if ledger is not None:
         record["ledger"] = ledger
+    quality = outcome.extras.get("quality")
+    if quality is not None:
+        record["quality"] = quality
     return record
 
 
@@ -346,6 +349,25 @@ def _ledger_counts(record: dict) -> dict | None:
     if isinstance(counts, dict):
         return counts
     return None
+
+
+def _quality(record: dict) -> dict | None:
+    """A strategy record's estimation-quality section, or ``None`` when
+    the artifact predates feedback collection (or the section is
+    malformed — same treatment: nothing to compare)."""
+    quality = record.get("quality")
+    if isinstance(quality, dict):
+        return quality
+    return None
+
+
+def _quality_stat(quality: dict, key: str) -> float:
+    """One quality stat as a float (``fmt_stat`` strings parse back)."""
+    value = quality.get(key)
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return float("nan")
 
 
 def _ratio_delta(baseline: float, candidate: float) -> float | None:
@@ -571,6 +593,51 @@ def diff_artifacts(
                             "decision-level drift)",
                         )
                     )
+
+        # Estimation-quality drift: like ledger counts, these sections are
+        # informational only. They answer "did our estimates get better or
+        # worse?", which is orthogonal to "did the plan change?" — the
+        # gated questions above.
+        base_quality = _quality(base)
+        cand_quality = _quality(cand)
+        if (base_quality is None) != (cand_quality is None):
+            side = "candidate" if base_quality is None else "baseline"
+            findings.append(
+                Finding(
+                    "note", workload, strategy, "quality",
+                    f"estimation-quality section recorded only in the "
+                    f"{side} run (the other artifact predates feedback "
+                    "collection); quality drift not compared",
+                )
+            )
+        if base_quality is not None and cand_quality is not None:
+            base_q = _quality_stat(base_quality, "cost_qerror")
+            cand_q = _quality_stat(cand_quality, "cost_qerror")
+            if (
+                math.isfinite(base_q)
+                and math.isfinite(cand_q)
+                and abs(cand_q - base_q) > 0.05
+            ):
+                direction = "worsened" if cand_q > base_q else "improved"
+                findings.append(
+                    Finding(
+                        "note", workload, strategy, "quality",
+                        f"plan cost q-error {direction} "
+                        f"{base_q:.2f} -> {cand_q:.2f} (informational; "
+                        "estimation quality)",
+                    )
+                )
+            base_flags = int(base_quality.get("drift_flags", 0) or 0)
+            cand_flags = int(cand_quality.get("drift_flags", 0) or 0)
+            if base_flags != cand_flags:
+                findings.append(
+                    Finding(
+                        "note", workload, strategy, "quality",
+                        f"statistics drift flags changed "
+                        f"{base_flags} -> {cand_flags} (informational; "
+                        "observed-vs-declared statistics)",
+                    )
+                )
 
     return findings
 

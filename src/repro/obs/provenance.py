@@ -85,6 +85,10 @@ EVENT_KINDS = {
         "a non-finite or out-of-range predicate statistic was clamped by "
         "the cost-model guardrails before any rank was computed"
     ),
+    "stats.drift": (
+        "an observed or declared statistic disagrees with the catalog "
+        "declaration beyond the drift q-error threshold"
+    ),
     "planner.degraded": (
         "a placement strategy failed or timed out and the ladder fell "
         "back to a cheaper strategy"

@@ -1,0 +1,208 @@
+"""The ``repro stats`` and ``repro drift`` subcommands.
+
+Covers the happy paths (record, display, epoch-over-epoch compare, the
+opt-in --apply-feedback injection), the PR 5 CLI-hardening convention
+(unknown workload/strategy/epoch exits 2 listing valid choices, never a
+traceback), and the chaos-integration assertion that corrupted-stats
+fault profiles are flagged by the drift detector.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.feedback import STATS_SCHEMA_VERSION
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.fixture()
+def store_dir(tmp_path):
+    return str(tmp_path / "artifacts")
+
+
+def record(capsys, store_dir, *extra):
+    return run_cli(
+        capsys,
+        "stats", "q4", "--scale", "20", "--dir", store_dir, *extra,
+    )
+
+
+class TestStats:
+    def test_records_and_prints_table(self, capsys, store_dir, tmp_path):
+        code, out, err = record(capsys, store_dir)
+        assert code == 0
+        assert "stats: q4 epoch 1" in out
+        assert "decl.sel" in out and "obs.sel" in out
+        assert "q-err" in out and "drift" in out
+        assert "costly" in out  # the expensive predicate row
+        assert "STATS_q4.json" in err
+        document = json.loads(
+            (tmp_path / "artifacts" / "STATS_q4.json").read_text()
+        )
+        assert document["schema_version"] == STATS_SCHEMA_VERSION
+        assert document["kind"] == "stats-feedback"
+        assert len(document["epochs"]) == 1
+        epoch = document["epochs"][0]
+        assert epoch["strategy"] == "pushdown"
+        assert epoch["observations"]
+        assert "operators" in epoch
+
+    def test_epochs_accumulate(self, capsys, store_dir):
+        assert record(capsys, store_dir)[0] == 0
+        code, out, _ = record(
+            capsys, store_dir, "--strategy", "migration"
+        )
+        assert code == 0
+        assert "epoch 2" in out
+        assert "strategy migration" in out
+
+    def test_display_only_epoch(self, capsys, store_dir):
+        record(capsys, store_dir)
+        code, out, _ = record(capsys, store_dir, "--epoch", "1")
+        assert code == 0
+        assert "stats: q4 epoch 1" in out
+
+    def test_unknown_workload_exits_2_with_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stats", "nope"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "q4" in err and "invalid choice" in err
+
+    def test_unknown_strategy_exits_2_with_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stats", "q4", "--strategy", "nope"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "pushdown" in err and "invalid choice" in err
+
+    def test_unknown_epoch_exits_2_listing_valid(self, capsys, store_dir):
+        record(capsys, store_dir)
+        code, _, err = record(capsys, store_dir, "--epoch", "9")
+        assert code == 2
+        assert "no epoch 9" in err
+        assert "[1]" in err
+
+    def test_missing_store_exits_2(self, capsys, store_dir):
+        code, _, err = record(capsys, store_dir, "--epoch", "1")
+        assert code == 2
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_apply_feedback_reports_injection(self, capsys, store_dir):
+        code, out, _ = record(capsys, store_dir, "--apply-feedback")
+        assert code == 0
+        assert "feedback applied" in out
+        assert "plan fingerprint" in out
+        assert "estimated cost" in out
+
+
+class TestDrift:
+    def test_compares_two_latest_by_default(self, capsys, store_dir):
+        record(capsys, store_dir)
+        record(capsys, store_dir, "--strategy", "migration")
+        code, out, _ = run_cli(
+            capsys, "drift", "q4", "--dir", store_dir
+        )
+        assert code == 0
+        assert "drift: q4 epoch 1" in out
+        assert "epoch 2" in out
+        assert "sel.A" in out and "sel.B" in out
+
+    def test_explicit_epoch_pair(self, capsys, store_dir):
+        for _ in range(3):
+            record(capsys, store_dir)
+        code, out, _ = run_cli(
+            capsys, "drift", "q4", "1", "3", "--dir", store_dir
+        )
+        assert code == 0
+        assert "epoch 1" in out and "epoch 3" in out
+
+    def test_one_epoch_compares_against_latest(self, capsys, store_dir):
+        record(capsys, store_dir)
+        record(capsys, store_dir)
+        code, out, _ = run_cli(
+            capsys, "drift", "q4", "1", "--dir", store_dir
+        )
+        assert code == 0
+        assert "epoch 1" in out and "epoch 2" in out
+
+    def test_missing_store_exits_2_with_hint(self, capsys, store_dir):
+        code, _, err = run_cli(capsys, "drift", "q4", "--dir", store_dir)
+        assert code == 2
+        assert "record epochs first" in err
+        assert "repro stats q4" in err
+
+    def test_single_epoch_exits_2(self, capsys, store_dir):
+        record(capsys, store_dir)
+        code, _, err = run_cli(capsys, "drift", "q4", "--dir", store_dir)
+        assert code == 2
+        assert "need two recorded epochs" in err
+
+    def test_unknown_epoch_exits_2_listing_valid(self, capsys, store_dir):
+        record(capsys, store_dir)
+        record(capsys, store_dir)
+        code, _, err = run_cli(
+            capsys, "drift", "q4", "1", "9", "--dir", store_dir
+        )
+        assert code == 2
+        assert "no epoch 9" in err and "[1, 2]" in err
+
+    def test_unknown_workload_exits_2_with_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["drift", "nope"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+
+    def test_three_epochs_is_usage_error(self, capsys, store_dir):
+        code, _, err = run_cli(
+            capsys, "drift", "q4", "1", "2", "3", "--dir", store_dir
+        )
+        assert code == 2
+        assert "at most two" in err
+
+
+class TestChaosDriftIntegration:
+    def test_corrupt_stats_profile_is_flagged(self, capsys):
+        # Chaos with the stats-only profile: every generated fault
+        # corrupts declared statistics, and the drift audit must flag
+        # each corrupted field — otherwise the run itself fails.
+        code, out, _ = run_cli(
+            capsys,
+            "chaos", "q4", "--profile", "stats", "--seeds", "7,11",
+            "--scale", "5",
+        )
+        assert code == 0
+        assert "corrupted stats" in out
+        assert "all flagged" in out
+        assert "outside its domain" in out
+        assert "MISSED" not in out
+
+    def test_drift_audit_lands_in_report_artifact(
+        self, capsys, tmp_path
+    ):
+        report_dir = str(tmp_path)
+        code, _, _ = run_cli(
+            capsys,
+            "chaos", "q4", "--profile", "stats", "--seeds", "7",
+            "--scale", "5", "--report", report_dir,
+        )
+        assert code == 0
+        document = json.loads(
+            (tmp_path / "CHAOS_q4.json").read_text()
+        )
+        audit = document["drift"]["7"]
+        assert audit["corrupted"]
+        assert audit["missed"] == []
+        assert audit["findings"]
+        assert all(
+            finding["reason"] == "invalid-declared"
+            for finding in audit["findings"]
+        )
