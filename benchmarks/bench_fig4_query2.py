@@ -19,6 +19,7 @@ def test_fig4_query2(benchmark, db, workloads, recorder, profiler):
             db, workload.query, profiler=profiler,
             provenance=recorder.enabled,
             feedback=recorder.enabled,
+            telemetry=recorder.enabled,
         ),
         rounds=1,
         iterations=1,

@@ -18,6 +18,7 @@ def test_fig5_query3(benchmark, db, workloads, recorder, profiler):
             db, workload.query, profiler=profiler,
             provenance=recorder.enabled,
             feedback=recorder.enabled,
+            telemetry=recorder.enabled,
         ),
         rounds=1,
         iterations=1,

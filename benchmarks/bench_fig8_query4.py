@@ -53,6 +53,7 @@ def test_fig8_query4_free_order(db, workloads, recorder, profiler):
         db, workload.query, profiler=profiler,
         provenance=recorder.enabled,
         feedback=recorder.enabled,
+        telemetry=recorder.enabled,
     )
     emit(format_outcomes(
         f"{workload.title} ({workload.figure}) — full System R enumeration",

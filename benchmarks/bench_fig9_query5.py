@@ -20,6 +20,7 @@ def test_fig9_query5(benchmark, db, workloads, recorder, profiler):
             db, workload.query, budget=workload.budget, profiler=profiler,
             provenance=recorder.enabled,
             feedback=recorder.enabled,
+            telemetry=recorder.enabled,
         ),
         rounds=1,
         iterations=1,

@@ -17,6 +17,10 @@ Examples::
     python -m repro stats q4 --strategy pushdown --dir artifacts/
     python -m repro drift q4 1 2 --dir artifacts/
     python -m repro --workload q4 --trace-export trace.json
+    python -m repro top q4 --once
+    python -m repro top q1 --strategy pushdown --metrics-export top.prom
+    python -m repro --workload q1 --compare --metrics-export metrics.json
+    python -m repro bench-history benchmarks/baselines artifacts/
 """
 
 from __future__ import annotations
@@ -47,10 +51,14 @@ from repro.obs import (
     MetricsRegistry,
     PhaseProfiler,
     ProvenanceLedger,
+    RuntimeMonitor,
     Tracer,
+    build_export,
     collect_artifacts,
     diff_artifacts,
     export_chrome_trace,
+    export_metrics,
+    format_top,
     has_regressions,
     load_run_artifact,
     record_run,
@@ -156,6 +164,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(single-strategy runs)",
     )
     parser.add_argument(
+        "--metrics-export",
+        metavar="FILE",
+        help="attach live telemetry and write the final metrics snapshot "
+        "to FILE — Prometheus text format, or a JSON document when FILE "
+        "ends in .json (works for single-strategy and --compare runs)",
+    )
+    parser.add_argument(
         "--rows",
         type=int,
         default=0,
@@ -163,6 +178,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the first N result rows",
     )
     return parser
+
+
+def _write_metrics(path: str, export) -> int:
+    """Write a metrics snapshot; returns 0, or 1 on an unwritable path
+    (structured error, mirroring ``--trace``'s handling)."""
+    try:
+        target = export_metrics(path, export)
+    except OSError as error:
+        print(
+            f"error: cannot write metrics file: {error}", file=sys.stderr
+        )
+        return 1
+    print(f"-- metrics: {target}", file=sys.stderr)
+    return 0
 
 
 def _print_stats(registry: MetricsRegistry, out) -> None:
@@ -215,6 +244,7 @@ def _run(args, tracer, out, profiler=NULL_PROFILER) -> int:
             profiler=profiler,
             provenance=bool(args.record),
             feedback=bool(args.record),
+            telemetry=bool(args.record) or bool(args.metrics_export),
         )
         print(
             format_outcomes(
@@ -222,6 +252,18 @@ def _run(args, tracer, out, profiler=NULL_PROFILER) -> int:
             ),
             file=out,
         )
+        if args.metrics_export:
+            monitors = {
+                outcome.strategy: outcome.extras.get("monitor")
+                for outcome in outcomes
+                if outcome.extras.get("monitor") is not None
+            }
+            code = _write_metrics(
+                args.metrics_export,
+                build_export(registry=registry, monitors=monitors),
+            )
+            if code:
+                return code
         if args.record:
             recorder = ArtifactRecorder(
                 args.record, scale=args.scale, seed=args.seed
@@ -260,15 +302,23 @@ def _run(args, tracer, out, profiler=NULL_PROFILER) -> int:
             _print_stats(registry, out)
         return 0
 
+    monitor = RuntimeMonitor() if args.metrics_export else None
     executor = Executor(
         db, caching=args.caching, budget=budget, tracer=tracer,
-        profiler=profiler,
+        profiler=profiler, monitor=monitor,
     )
     result = executor.execute(
         optimized.plan,
         project=query.select,
         instrument=args.explain_analyze,
     )
+    if monitor is not None:
+        code = _write_metrics(
+            args.metrics_export,
+            build_export(registry=registry, monitors={"": monitor}),
+        )
+        if code:
+            return code
     if args.explain_analyze:
         model = CostModel(db.catalog, db.params, caching=args.caching)
         print(
@@ -804,6 +854,12 @@ def build_chaos_parser() -> argparse.ArgumentParser:
         help="write the full report (fault plans, outcomes, quarantines) "
         "as CHAOS_<workload>.json into DIR",
     )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="attach a runtime monitor to every execution and audit the "
+        "telemetry invariants too (aborts freeze progress with a "
+        "structured reason; completions reach 100%%)",
+    )
     return parser
 
 
@@ -850,6 +906,7 @@ def chaos(argv: list[str], out=None) -> int:
             db_seed=args.db_seed,
             profile=args.profile,
             planner_fault_rate=args.planner_fault_rate,
+            telemetry=args.telemetry,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -865,6 +922,239 @@ def chaos(argv: list[str], out=None) -> int:
             handle.write("\n")
         print(f"-- chaos artifact: {target}", file=sys.stderr)
     return 0 if report.passed else 1
+
+
+# -- top: the live query monitor ----------------------------------------------
+
+
+def build_top_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description=(
+            "Execute one workload with live telemetry attached and show "
+            "the monitor: per-operator progress (work units derived from "
+            "the optimizer's cost estimates, refined online from observed "
+            "selectivities), per-predicate observed selectivity and cost "
+            "quantiles, and the resource roll-up. By default redraws "
+            "while the query runs; --once prints a single deterministic "
+            "final snapshot. Exits 1 when the query did not finish "
+            "(budget DNF)."
+        ),
+    )
+    parser.add_argument(
+        "workload", choices=sorted(WORKLOADS), help="workload to watch"
+    )
+    parser.add_argument(
+        "--strategy", default="migration", choices=sorted(STRATEGIES),
+        help="placement strategy to execute (default migration)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=100,
+        help="database scale factor (default 100)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="data generator seed"
+    )
+    parser.add_argument(
+        "--caching", action="store_true", help="enable predicate caching"
+    )
+    parser.add_argument(
+        "--budget", type=float, default=None,
+        help="charged-cost budget; the workload's own budget by default",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="print one final snapshot instead of live refreshes — "
+        "deterministic output (wall-clock latency columns excepted)",
+    )
+    parser.add_argument(
+        "--refresh-every", type=int, default=None, metavar="N",
+        help="redraw after every N operator events in live mode "
+        "(default: scale-dependent)",
+    )
+    parser.add_argument(
+        "--metrics-export", metavar="FILE",
+        help="also write the final metrics snapshot to FILE (Prometheus "
+        "text, or JSON when FILE ends in .json)",
+    )
+    return parser
+
+
+def top(argv: list[str], out=None) -> int:
+    """The ``top`` subcommand body; returns the exit code."""
+    if out is None:
+        out = sys.stdout
+    args = build_top_parser().parse_args(argv)
+    try:
+        db = build_database(scale=args.scale, seed=args.seed)
+        workload = build_workload(db, args.workload)
+        budget = (
+            args.budget if args.budget is not None else workload.budget
+        )
+        optimized = optimize(
+            db, workload.query, strategy=args.strategy,
+            caching=args.caching,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    title = f"{args.workload} / {args.strategy}"
+    refresh = None
+    if not args.once:
+        def refresh(snapshot: RuntimeMonitor) -> None:
+            print(format_top(snapshot, title=title), file=out)
+            print("", file=out)
+
+    refresh_every = args.refresh_every
+    if refresh_every is None:
+        # Roughly a handful of redraws per run at any scale.
+        refresh_every = max(256, args.scale * 64)
+    monitor = RuntimeMonitor(
+        refresh_callback=refresh, refresh_every=refresh_every
+    )
+    try:
+        executor = Executor(
+            db, caching=args.caching, budget=budget, monitor=monitor
+        )
+        result = executor.execute(
+            optimized.plan, project=workload.query.select
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(
+        format_top(monitor, title=title, resources=result.resources),
+        file=out,
+    )
+    if args.metrics_export:
+        code = _write_metrics(
+            args.metrics_export, build_export(monitors={"": monitor})
+        )
+        if code:
+            return code
+    return 0 if result.completed else 1
+
+
+# -- bench-history: the cross-run trend table ---------------------------------
+
+
+def build_bench_history_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench-history",
+        description=(
+            "Trend table over a sequence of recorded bench runs "
+            "(BENCH_*.json files or directories, oldest first): charged "
+            "cost and planning time per strategy per run, with '*' "
+            "marking a plan-fingerprint change against the previous run. "
+            "Informational only — it never gates; 'bench-diff' is the "
+            "regression gate."
+        ),
+    )
+    parser.add_argument(
+        "dirs", nargs="+", metavar="DIR",
+        help="artifact files or directories, oldest first",
+    )
+    parser.add_argument(
+        "--workload", action="append", metavar="NAME",
+        help="restrict the table to one workload (repeatable)",
+    )
+    return parser
+
+
+def _history_cell(record: dict | None, changed: bool) -> str:
+    if not isinstance(record, dict):
+        return "—"
+    mark = "*" if changed else ""
+    ms = _artifact_number(record, "planning_seconds") * 1000
+    ms_text = "—" if math.isnan(ms) else f"{ms:.1f}ms"
+    if record.get("error"):
+        return f"{mark}ERROR"
+    charged = _artifact_number(record, "charged")
+    if record.get("dnf") or math.isnan(charged):
+        return f"{mark}DNF ({ms_text})"
+    return f"{mark}{charged:,.0f} ({ms_text})"
+
+
+def bench_history(argv: list[str], out=None) -> int:
+    """The ``bench-history`` subcommand body; returns the exit code."""
+    from repro.obs import auto_table
+
+    if out is None:
+        out = sys.stdout
+    args = build_bench_history_parser().parse_args(argv)
+    try:
+        runs: list[tuple[str, dict]] = []
+        for directory in args.dirs:
+            found = collect_artifacts(directory)
+            if not found:
+                raise ArtifactError(
+                    f"no BENCH_*.json artifacts found under {directory}"
+                )
+            runs.append((directory, found))
+        workloads = sorted(set().union(*(set(f) for _, f in runs)))
+        if args.workload:
+            missing = sorted(set(args.workload) - set(workloads))
+            if missing:
+                raise ArtifactError(
+                    f"workload(s) {missing} not recorded in any run; "
+                    f"found {workloads}"
+                )
+            wanted = set(args.workload)
+            workloads = [w for w in workloads if w in wanted]
+        documents: dict[str, list[dict | None]] = {}
+        for workload in workloads:
+            documents[workload] = [
+                load_run_artifact(found[workload])
+                if workload in found
+                else None
+                for _, found in runs
+            ]
+    except ArtifactError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    any_changed = False
+    for index, workload in enumerate(workloads):
+        strategies: set[str] = set()
+        per_run: list[dict] = []
+        for document in documents[workload]:
+            recorded = (
+                document.get("strategies") if document else None
+            )
+            recorded = recorded if isinstance(recorded, dict) else {}
+            per_run.append(recorded)
+            strategies |= set(recorded)
+        rows = []
+        for strategy in sorted(strategies):
+            cells = [strategy]
+            previous_fp = None
+            for recorded in per_run:
+                record = recorded.get(strategy)
+                fingerprint = (
+                    record.get("fingerprint")
+                    if isinstance(record, dict)
+                    else None
+                )
+                changed = (
+                    previous_fp is not None
+                    and fingerprint is not None
+                    and fingerprint != previous_fp
+                )
+                any_changed = any_changed or changed
+                cells.append(_history_cell(record, changed))
+                if fingerprint is not None:
+                    previous_fp = fingerprint
+            rows.append(cells)
+        if index:
+            print("", file=out)
+        print(f"== {workload} ({len(runs)} runs)", file=out)
+        headers = ["strategy"] + [label for label, _ in runs]
+        aligns = ["left"] + ["right"] * len(runs)
+        print(auto_table(headers, rows, aligns=aligns), file=out)
+    if any_changed:
+        print(
+            "\n(* plan fingerprint changed vs the previous run)", file=out
+        )
+    return 0
 
 
 # -- stats / drift: the observed-statistics feedback store --------------------
@@ -1133,6 +1423,10 @@ def main(argv: list[str] | None = None) -> int:
         return plan_diff(list(argv[1:]))
     if argv and argv[0] == "chaos":
         return chaos(list(argv[1:]))
+    if argv and argv[0] == "top":
+        return top(list(argv[1:]))
+    if argv and argv[0] == "bench-history":
+        return bench_history(list(argv[1:]))
     if argv and argv[0] == "stats":
         return stats(list(argv[1:]))
     if argv and argv[0] == "drift":

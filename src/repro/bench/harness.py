@@ -11,6 +11,7 @@ from repro.obs.feedback import FeedbackCollector
 from repro.obs.profile import NULL_PROFILER
 from repro.obs.provenance import NULL_LEDGER, ProvenanceLedger
 from repro.obs.quality import quality_summary, signed_relative_error
+from repro.obs.runtime_telemetry import RuntimeMonitor
 from repro.obs.tracer import NULL_TRACER
 from repro.optimizer import STRATEGIES, optimize
 from repro.plan.display import _node_label
@@ -125,6 +126,7 @@ def run_strategies(
     profiler=NULL_PROFILER,
     provenance: bool = False,
     feedback: bool = False,
+    telemetry: bool = False,
 ) -> list[StrategyOutcome]:
     """Optimize and (optionally) execute ``query`` under each strategy.
 
@@ -143,7 +145,11 @@ def run_strategies(
     quality (cost q-error, per-predicate selectivity q-errors, drift
     flags) into ``extras["quality"]`` — collection only; plans are
     optimized before any observation exists, so fingerprints are
-    untouched.
+    untouched. ``telemetry=True`` attaches a fresh
+    :class:`repro.obs.RuntimeMonitor` to each execution: the resource
+    roll-up lands in ``extras["resources"]`` (artifact-bound) and the
+    monitor itself in ``extras["monitor"]`` for the export surface —
+    like feedback, pure observation that never changes a plan.
     """
     outcomes: list[StrategyOutcome] = []
     for strategy in strategies:
@@ -181,9 +187,10 @@ def run_strategies(
             outcome.extras["ledger"] = ledger.summary()
         if execute:
             collector = FeedbackCollector() if feedback else None
+            monitor = RuntimeMonitor() if telemetry else None
             executor = Executor(
                 db, caching=caching, budget=budget, tracer=tracer,
-                profiler=profiler, collector=collector,
+                profiler=profiler, collector=collector, monitor=monitor,
             )
             result = executor.execute(optimized.plan, instrument=instrument)
             outcome.charged = result.charged
@@ -201,6 +208,12 @@ def run_strategies(
                     result.charged,
                     collector.observations(),
                 )
+            if monitor is not None:
+                if result.resources is not None:
+                    outcome.extras["resources"] = (
+                        result.resources.as_dict()
+                    )
+                outcome.extras["monitor"] = monitor
         outcomes.append(outcome)
 
     completed = [

@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 
 from repro.bench.harness import StrategyOutcome
+from repro.obs.tables import Column, Table
 
 _BAR_WIDTH = 40
 
@@ -38,39 +39,44 @@ def format_outcomes(
         if o.executed and o.completed and not math.isnan(o.relative)
     ]
     max_relative = max(completed) if completed else 1.0
-    header = (
-        f"{'strategy':<12} {'est.cost':>12} {'charged':>12} "
-        f"{'est.err':>8} {'plan.ms':>8} {'rel':>8}  "
-        f"{'(relative charged cost)'}"
+    table = Table(
+        [
+            Column("strategy", 12, align="left"),
+            Column("est.cost", 12),
+            Column("charged", 12),
+            Column("est.err", 8),
+            Column("plan.ms", 8),
+            Column("rel", 8),
+            Column("(relative charged cost)", gap=2),
+        ]
     )
-    lines.append(header)
-    lines.append("-" * len(header))
     for outcome in outcomes:
         if outcome.error:
-            lines.append(f"{outcome.strategy:<12} ERROR: {outcome.error}")
+            table.raw(f"{outcome.strategy:<12} ERROR: {outcome.error}")
             continue
-        est = f"{outcome.estimated_cost:>12.0f}"
+        est = f"{outcome.estimated_cost:.0f}"
         plan_ms = _plan_ms(outcome)
         if not outcome.executed:
-            lines.append(
-                f"{outcome.strategy:<12} {est} {'(not run)':>12} "
-                f"{'—':>8} {plan_ms:>8}"
-            )
+            table.row(outcome.strategy, est, "(not run)", "—", plan_ms)
             continue
         if not outcome.completed:
-            lines.append(
-                f"{outcome.strategy:<12} {est} {'DNF':>12} {'—':>8} "
-                f"{plan_ms:>8} {'—':>8}  "
-                "(exceeded cost budget; paper: 'never completed')"
+            table.row(
+                outcome.strategy, est, "DNF", "—", plan_ms, "—",
+                "(exceeded cost budget; paper: 'never completed')",
             )
             continue
         error = outcome.estimation_error
         err = "—" if math.isnan(error) else f"{error * 100:+.0f}%"
-        lines.append(
-            f"{outcome.strategy:<12} {est} {outcome.charged:>12.0f} "
-            f"{err:>8} {plan_ms:>8} {outcome.relative:>7.2f}x  "
-            f"{_bar(outcome.relative, max_relative)}"
+        table.row(
+            outcome.strategy,
+            est,
+            f"{outcome.charged:.0f}",
+            err,
+            plan_ms,
+            f"{outcome.relative:.2f}x",
+            _bar(outcome.relative, max_relative),
         )
+    lines.append(table.render())
     return "\n".join(lines)
 
 

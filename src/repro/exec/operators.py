@@ -90,6 +90,13 @@ class RuntimeContext:
     #: hot path free of any feedback branch, like the other optional
     #: sinks above.
     collector: object | None = None
+    #: When not ``None``, live telemetry: :func:`build_operator` wraps
+    #: every node in a :class:`MonitoredOperator` reporting per-pull
+    #: progress, and ``evaluate_predicate`` reports each verdict via
+    #: ``monitor.observe_predicate`` (duck-typed: normally a
+    #: :class:`repro.obs.runtime_telemetry.RuntimeMonitor`). Same
+    #: zero-overhead-when-off contract as ``collector``.
+    monitor: object | None = None
 
     def __post_init__(self) -> None:
         if self.cache_mode not in ("predicate", "function"):
@@ -149,17 +156,20 @@ def evaluate_predicate(
     rows for which it is true).
     """
     collector = ctx.collector
-    if collector is None:
+    monitor = ctx.monitor
+    if collector is None and monitor is None:
         return _evaluate_contained(predicate, row, scope, ctx)
     # The meter delta brackets the whole contained evaluation, so the
     # observed per-call cost is what this row *actually* charged: zero on
     # cache hits and on quarantined rows, partial under function-level
-    # caching.
+    # caching. Both sinks share one bracket.
     before = ctx.meter.function_charged
     value = _evaluate_contained(predicate, row, scope, ctx)
-    collector.observe(
-        predicate, value, ctx.meter.function_charged - before
-    )
+    charged = ctx.meter.function_charged - before
+    if collector is not None:
+        collector.observe(predicate, value, charged)
+    if monitor is not None:
+        monitor.observe_predicate(predicate, value, charged)
     return value
 
 
@@ -556,12 +566,52 @@ class InstrumentedOperator(Operator):
             yield row
 
 
+class MonitoredOperator(Operator):
+    """Transparent wrapper reporting one plan node's pulls to the live
+    telemetry monitor.
+
+    Construction marks the node *active* (a plan node with no operator —
+    an index-nested-loop join's inner scan — never activates and is
+    excluded from whole-plan progress). Each pull reports one row and
+    its wall-clock latency; exhaustion reports completion. Only
+    constructed when the context carries a ``monitor``; the default
+    path never sees this class.
+    """
+
+    def __init__(
+        self, node: PlanNode, child: Operator, ctx: RuntimeContext
+    ) -> None:
+        assert ctx.monitor is not None
+        self.child = child
+        self.monitor = ctx.monitor
+        self.key = id(node)
+        self.scope = child.scope
+        self.monitor.activate(self.key)
+
+    def __iter__(self) -> Iterator[tuple]:
+        monitor = self.monitor
+        key = self.key
+        iterator = iter(self.child)
+        while True:
+            started = time.perf_counter()
+            try:
+                row = next(iterator)
+            except StopIteration:
+                monitor.on_done(key, time.perf_counter() - started)
+                return
+            monitor.on_row(key, time.perf_counter() - started)
+            yield row
+
+
 def build_operator(node: PlanNode, ctx: RuntimeContext) -> Operator:
     """Compile a plan tree into an operator tree (instrumented when the
-    context carries a ``node_stats`` sink)."""
+    context carries a ``node_stats`` sink, monitored when it carries a
+    ``monitor``)."""
     operator = _build_operator(node, ctx)
     if ctx.node_stats is not None:
-        return InstrumentedOperator(node, operator, ctx)
+        operator = InstrumentedOperator(node, operator, ctx)
+    if ctx.monitor is not None:
+        operator = MonitoredOperator(node, operator, ctx)
     return operator
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.cost.model import CostModel
 from repro.errors import BudgetExceededError, UdfError
 from repro.exec.cache import CacheStats, PredicateCache
 from repro.exec.containment import (
@@ -54,6 +55,10 @@ class QueryResult:
     #: failure policy rather than evaluation. ``None`` unless the executor
     #: ran with a :class:`FailurePolicy`.
     quarantine: QuarantineReport | None = None
+    #: Per-query resource roll-up
+    #: (:class:`~repro.obs.runtime_telemetry.QueryResourceReport`).
+    #: ``None`` unless the executor ran with a live telemetry monitor.
+    resources: object | None = None
 
     @property
     def degraded(self) -> bool:
@@ -93,6 +98,7 @@ class Executor:
         failure_policy: FailurePolicy | None = None,
         clock: SimulatedClock | None = None,
         collector=None,
+        monitor=None,
     ) -> None:
         """``cache_mode`` selects predicate-level (Montage) or
         function-level ([Jhi88]) memoisation; ``cache_bypass`` enables the
@@ -110,7 +116,11 @@ class Executor:
         ``collector`` receives per-predicate evaluation feedback
         (verdict plus charged function cost — normally a
         :class:`~repro.obs.feedback.FeedbackCollector`; the default
-        ``None`` keeps predicate evaluation feedback-free)."""
+        ``None`` keeps predicate evaluation feedback-free); ``monitor``
+        receives live telemetry — per-operator progress, predicate
+        cost histograms, resource accounting (normally a
+        :class:`~repro.obs.runtime_telemetry.RuntimeMonitor`; the
+        default ``None`` keeps the hot path telemetry-free)."""
         self.db = db
         self.caching = caching
         self.budget = budget
@@ -124,6 +134,7 @@ class Executor:
         self.failure_policy = failure_policy
         self.clock = clock
         self.collector = collector
+        self.monitor = monitor
 
     def _bypass_ids(self, node: PlanNode) -> frozenset[int]:
         """Predicates not worth caching: nearly every binding is distinct.
@@ -197,6 +208,16 @@ class Executor:
             if self.failure_policy is not None
             else None
         )
+        monitor = self.monitor
+        if monitor is not None:
+            # Register every node's estimated work budget before any
+            # operator is built (MonitoredOperator activates at
+            # construction). The monitor's model mirrors this executor's
+            # charging configuration.
+            monitor.attach(
+                node,
+                CostModel(db.catalog, db.params, caching=self.caching),
+            )
         ctx = RuntimeContext(
             catalog=db.catalog,
             meter=db.meter,
@@ -208,6 +229,7 @@ class Executor:
             node_stats=node_stats,
             containment=containment,
             collector=self.collector,
+            monitor=monitor,
         )
         started = time.perf_counter()
         rows: list[tuple] = []
@@ -227,19 +249,23 @@ class Executor:
                     for row in operator:
                         rows.append(row)
             except BudgetExceededError as exc:
-                if raise_on_budget:
-                    raise
-                completed = False
                 error = (
                     f"budget: charged {exc.charged:.1f} > "
                     f"budget {exc.budget:.1f}"
                 )
+                if monitor is not None:
+                    monitor.freeze(error)
+                if raise_on_budget:
+                    raise
+                completed = False
             except UdfError as exc:
                 # Only the ``abort`` exhaustion policy lets a UdfError
                 # escape the operators; surface it as a structured DNF
                 # rather than a traceback.
                 completed = False
                 error = f"udf: {exc}"
+                if monitor is not None:
+                    monitor.freeze(error)
             finally:
                 # Restore whatever budget the shared Database carried
                 # before this execution, not unconditionally None.
@@ -274,7 +300,7 @@ class Executor:
         if containment is not None:
             metrics.update(containment.metrics())
 
-        return QueryResult(
+        result = QueryResult(
             rows=rows,
             scope=scope,
             completed=completed,
@@ -289,3 +315,11 @@ class Executor:
                 containment.report if containment is not None else None
             ),
         )
+        if monitor is not None:
+            if completed:
+                monitor.complete()
+            clock = self.clock
+            if clock is None and containment is not None:
+                clock = containment.clock
+            result.resources = monitor.resource_report(result, clock=clock)
+        return result

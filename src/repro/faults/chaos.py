@@ -52,6 +52,8 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import PROFILES, FaultPlan
 from repro.obs.provenance import ProvenanceLedger
 from repro.obs.quality import catalog_drift
+from repro.obs.runtime_telemetry import RuntimeMonitor
+from repro.obs.tables import Column, Table
 from repro.optimizer import optimize, optimize_degraded
 
 #: Default chaos seeds — three distinct schedules per suite run.
@@ -92,6 +94,13 @@ class ChaosOutcome:
     backoff_units: float = 0.0
     latency_units: float = 0.0
     stats_clamped: int = 0
+    #: Whole-plan progress at the end of the run (``None`` unless the
+    #: suite ran with live telemetry): 1.0 on success, frozen at its
+    #: abort-time value on DNF.
+    progress: float | None = None
+    #: The telemetry monitor's terminal state (``completed``/``aborted``;
+    #: empty unless the suite ran with live telemetry).
+    monitor_state: str = ""
     #: Ladder rungs that failed before a plan was produced.
     degraded: list[str] = field(default_factory=list)
     violations: list[str] = field(default_factory=list)
@@ -116,6 +125,8 @@ class ChaosOutcome:
             "backoff_units": self.backoff_units,
             "latency_units": self.latency_units,
             "stats_clamped": self.stats_clamped,
+            "progress": self.progress,
+            "monitor_state": self.monitor_state,
             "degraded": list(self.degraded),
             "violations": list(self.violations),
         }
@@ -268,6 +279,47 @@ def _audit(
         )
 
 
+def _audit_telemetry(outcome: ChaosOutcome, result, monitor) -> None:
+    """The live-telemetry invariants under faults.
+
+    Success ⇒ progress is exactly 1.0; abort ⇒ progress is frozen in
+    [0, 1) with the monitor in ``aborted`` state carrying the run's
+    structured reason. Either way the resource report must exist — a
+    monitor that loses a run is as bad as a traceback.
+    """
+    progress = monitor.progress()
+    if result.completed:
+        if monitor.state != "completed":
+            outcome.violations.append(
+                f"telemetry: completed run left monitor in "
+                f"state {monitor.state!r}"
+            )
+        elif progress != 1.0:
+            outcome.violations.append(
+                f"telemetry: completed run reports progress "
+                f"{progress:.4f}, not 1.0"
+            )
+    else:
+        if monitor.state != "aborted":
+            outcome.violations.append(
+                f"telemetry: DNF run left monitor in "
+                f"state {monitor.state!r}, not 'aborted'"
+            )
+        elif not monitor.reason:
+            outcome.violations.append(
+                "telemetry: aborted monitor carries no structured reason"
+            )
+        elif not 0.0 <= progress < 1.0:
+            outcome.violations.append(
+                f"telemetry: aborted run reports progress "
+                f"{progress:.4f}, not frozen below 1.0"
+            )
+    if result.resources is None:
+        outcome.violations.append(
+            "telemetry: execution produced no resource report"
+        )
+
+
 def run_chaos(
     workload_key: str,
     seeds: tuple[int, ...] = DEFAULT_SEEDS,
@@ -278,6 +330,7 @@ def run_chaos(
     db_seed: int = 42,
     profile: str = "mixed",
     planner_fault_rate: float = 0.25,
+    telemetry: bool = False,
 ) -> ChaosReport:
     """Run the chaos suite for one workload; returns the full report.
 
@@ -289,6 +342,13 @@ def run_chaos(
     :class:`~repro.exec.Executor`. Execution is unbudgeted: the only
     DNFs a chaos run may produce are UDF aborts, which keeps the
     invariants exact.
+
+    ``telemetry=True`` attaches a fresh
+    :class:`~repro.obs.runtime_telemetry.RuntimeMonitor` to every
+    execution and audits its invariants under faults: a completed run's
+    progress must end at exactly 1.0, an aborted one must be frozen
+    with a structured reason — violations land in the report like any
+    other invariant breach.
     """
     if workload_key not in WORKLOADS:
         raise ReproError(
@@ -405,10 +465,12 @@ def run_chaos(
                 outcome.stats_clamped = optimized.notes.get(
                     "stats_clamped", 0
                 )
+                monitor = RuntimeMonitor() if telemetry else None
                 executor = Executor(
                     db,
                     failure_policy=failure_policy,
                     clock=injector.clock,
+                    monitor=monitor,
                 )
                 fired_before = injector.stats.errors_injected
                 clock_before = injector.clock.latency_units
@@ -453,6 +515,10 @@ def run_chaos(
                 )
                 outcome.rows_vs_oracle = relation
                 _audit(outcome, relation, recoverable, policy)
+                if monitor is not None:
+                    outcome.progress = round(monitor.progress(), 6)
+                    outcome.monitor_state = monitor.state
+                    _audit_telemetry(outcome, result, monitor)
     return report
 
 
@@ -485,12 +551,19 @@ def format_chaos_report(report: ChaosReport) -> str:
             )
             for description in audit.get("described", []):
                 lines.append(f"  drift: {description}")
-    header = (
-        f"{'seed':>5}  {'strategy':<10} {'status':<9} {'rows':>5} "
-        f"{'vs-oracle':<9} {'quar':>5} {'retry':>5} {'fired':>5}  verdict"
+    table = Table(
+        [
+            Column("seed", 5),
+            Column("strategy", 10, align="left", gap=2),
+            Column("status", 9, align="left"),
+            Column("rows", 5),
+            Column("vs-oracle", 9, align="left"),
+            Column("quar", 5),
+            Column("retry", 5),
+            Column("fired", 5),
+            Column("verdict", gap=2),
+        ]
     )
-    lines.append(header)
-    lines.append("-" * len(header))
     for o in report.outcomes:
         status = "ok" if o.completed else "DNF"
         if o.violations:
@@ -499,11 +572,20 @@ def format_chaos_report(report: ChaosReport) -> str:
             verdict = f"pass (degraded x{len(o.degraded)})"
         else:
             verdict = "pass"
-        lines.append(
-            f"{o.seed:>5}  {o.strategy:<10} {status:<9} {o.row_count:>5} "
-            f"{o.rows_vs_oracle:<9} {o.quarantined:>5} {o.retries:>5} "
-            f"{o.errors_fired:>5}  {verdict}"
+        if o.progress is not None:
+            verdict += f" [{o.progress * 100.0:.0f}%]"
+        table.row(
+            o.seed,
+            o.strategy,
+            status,
+            o.row_count,
+            o.rows_vs_oracle,
+            o.quarantined,
+            o.retries,
+            o.errors_fired,
+            verdict,
         )
+    lines.append(table.render())
     lines.append(
         f"result: {'PASS' if report.passed else 'FAIL'} "
         f"({len(report.outcomes)} runs, "

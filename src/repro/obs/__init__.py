@@ -27,7 +27,18 @@ Four small pieces:
 * :mod:`repro.obs.feedback` — :class:`FeedbackCollector` execution sinks
   and the epoch-versioned :class:`StatsFeedbackStore`
   (``STATS_<workload>.json``) behind ``repro stats`` / ``repro drift``
-  and the opt-in ``Catalog.apply_feedback`` injection path.
+  and the opt-in ``Catalog.apply_feedback`` injection path;
+* :mod:`repro.obs.tables` — the shared fixed-width ASCII table renderer
+  behind the bench, stats/drift, chaos, and ``repro top`` reports;
+* :mod:`repro.obs.histograms` — :class:`StreamingHistogram`, the
+  log-bucketed single-pass histogram with nearest-rank quantiles shared
+  by telemetry and the metrics export;
+* :mod:`repro.obs.runtime_telemetry` — :class:`RuntimeMonitor`, the live
+  per-operator progress estimator, per-predicate cost telemetry, and
+  :class:`QueryResourceReport` roll-up behind ``repro top``;
+* :mod:`repro.obs.export` — the Prometheus-text / JSON metrics snapshot
+  (:func:`build_export` / :func:`export_metrics`) behind
+  ``--metrics-export``.
 """
 
 from repro.obs.artifacts import (
@@ -49,6 +60,11 @@ from repro.obs.chrome import (
     build_chrome_trace,
     export_chrome_trace,
 )
+from repro.obs.export import (
+    PrometheusExport,
+    build_export,
+    export_metrics,
+)
 from repro.obs.feedback import (
     STATS_PREFIX,
     STATS_SCHEMA_VERSION,
@@ -59,6 +75,10 @@ from repro.obs.feedback import (
     format_stats_epoch,
     predicate_fingerprint,
     stats_path,
+)
+from repro.obs.histograms import (
+    DEFAULT_QUANTILES,
+    StreamingHistogram,
 )
 from repro.obs.metrics import (
     Counter,
@@ -98,6 +118,19 @@ from repro.obs.quality import (
     quality_summary,
     signed_relative_error,
 )
+from repro.obs.runtime_telemetry import (
+    OperatorProgress,
+    PredicateTelemetry,
+    QueryResourceReport,
+    RuntimeMonitor,
+    format_top,
+)
+from repro.obs.tables import (
+    Column,
+    Table,
+    auto_table,
+    fmt_cell,
+)
 from repro.obs.tracer import (
     NULL_SPAN,
     NULL_TRACER,
@@ -111,9 +144,11 @@ from repro.obs.tracer import (
 __all__ = [
     "ARTIFACT_PREFIX",
     "ArtifactRecorder",
+    "Column",
     "Counter",
     "Counterfactual",
     "CounterfactualReport",
+    "DEFAULT_QUANTILES",
     "DRIFT_QERROR_THRESHOLD",
     "DriftFinding",
     "EVENT_KINDS",
@@ -132,19 +167,28 @@ __all__ = [
     "NullProfiler",
     "NullSpan",
     "NullTracer",
+    "OperatorProgress",
     "PhaseProfiler",
     "PhaseStat",
     "PredicateObservation",
+    "PredicateTelemetry",
+    "PrometheusExport",
     "ProvenanceLedger",
+    "QueryResourceReport",
+    "RuntimeMonitor",
     "SCHEMA_VERSION",
     "STATS_PREFIX",
     "STATS_SCHEMA_VERSION",
     "Span",
     "StatsFeedbackStore",
+    "StreamingHistogram",
+    "Table",
     "Timer",
     "Tracer",
     "artifact_path",
+    "auto_table",
     "build_chrome_trace",
+    "build_export",
     "build_run_artifact",
     "canonical_plan_form",
     "canonical_value",
@@ -154,9 +198,12 @@ __all__ = [
     "detect_drift",
     "diff_artifacts",
     "export_chrome_trace",
+    "export_metrics",
+    "fmt_cell",
     "fmt_stat",
     "format_drift_report",
     "format_stats_epoch",
+    "format_top",
     "has_regressions",
     "load_run_artifact",
     "plan_fingerprint",

@@ -156,6 +156,12 @@ def strategy_record(outcome) -> dict:
     quality = outcome.extras.get("quality")
     if quality is not None:
         record["quality"] = quality
+    resources = outcome.extras.get("resources")
+    if resources is not None:
+        # The live monitor's QueryResourceReport roll-up — deterministic
+        # (simulated clock, no wall-time) and never gated by bench-diff,
+        # like the other optional observability sections.
+        record["resources"] = resources
     return record
 
 

@@ -1,0 +1,313 @@
+"""Metrics export: Prometheus text and JSON snapshots.
+
+The scrape surface over :class:`~repro.obs.metrics.MetricsRegistry` and
+the live :class:`~repro.obs.runtime_telemetry.RuntimeMonitor` state —
+``repro ... --metrics-export FILE`` writes one of these after a run, so
+the counters the CLI prints are also machine-readable (ROADMAP item 2's
+concurrent-serving work needs exactly this scrape format).
+
+Exposition rules follow the Prometheus text format 0.0.4:
+
+* metric names are sanitised to ``[a-zA-Z0-9_:]`` (dots become
+  underscores) and prefixed ``repro_``;
+* label values escape backslash, double-quote, and newline;
+* histograms expose cumulative ``le`` buckets (upper bounds are this
+  repo's power-of-two bucket edges) plus ``+Inf``, ``_sum`` and
+  ``_count`` series;
+* non-finite values render as ``NaN`` / ``+Inf`` / ``-Inf``.
+
+Output is deterministic: families sort by name, series by label set —
+no dict-iteration-order dependence, byte-stable across
+``PYTHONHASHSEED`` (tested by subprocess like the feedback store).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+
+from repro.errors import ArtifactError
+from repro.obs.histograms import StreamingHistogram
+from repro.obs.metrics import MetricsRegistry
+
+NAMESPACE = "repro"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize_name(name: str) -> str:
+    cleaned = _NAME_OK.sub("_", name.replace(".", "_"))
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = f"_{cleaned}"
+    return f"{NAMESPACE}_{cleaned}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:.10g}"
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(str(labels[key]))}"'
+        for key in sorted(labels)
+    )
+    return f"{{{inner}}}"
+
+
+class PrometheusExport:
+    """An accumulating set of metric families, rendered deterministically.
+
+    ``gauge`` records one sample; ``histogram`` records one
+    :class:`~repro.obs.histograms.StreamingHistogram` as a full
+    cumulative-bucket family. Series within a family are sorted by
+    label set at render time, families by name — insertion order never
+    shows through.
+    """
+
+    def __init__(self) -> None:
+        #: family name -> ("gauge"|"histogram", help text)
+        self._families: dict[str, tuple[str, str]] = {}
+        #: family name -> list of (sorted-label-items, payload)
+        self._samples: dict[str, list[tuple[tuple, object]]] = {}
+
+    def _family(self, name: str, kind: str, help_text: str) -> str:
+        full = _sanitize_name(name)
+        known = self._families.get(full)
+        if known is not None and known[0] != kind:
+            raise ArtifactError(
+                f"metric {full!r} registered as both "
+                f"{known[0]} and {kind}"
+            )
+        if known is None:
+            self._families[full] = (kind, help_text)
+            self._samples[full] = []
+        return full
+
+    def gauge(
+        self, name: str, value: float, help_text: str = "", **labels: str
+    ) -> None:
+        full = self._family(name, "gauge", help_text)
+        self._samples[full].append(
+            (tuple(sorted(labels.items())), float(value))
+        )
+
+    def histogram(
+        self,
+        name: str,
+        histogram: StreamingHistogram,
+        help_text: str = "",
+        **labels: str,
+    ) -> None:
+        full = self._family(name, "histogram", help_text)
+        self._samples[full].append(
+            (tuple(sorted(labels.items())), histogram)
+        )
+
+    def render(self) -> str:
+        """The Prometheus exposition text, trailing newline included."""
+        lines: list[str] = []
+        for family in sorted(self._families):
+            kind, help_text = self._families[family]
+            if help_text:
+                lines.append(f"# HELP {family} {help_text}")
+            lines.append(f"# TYPE {family} {kind}")
+            for label_items, payload in sorted(
+                self._samples[family], key=lambda sample: sample[0]
+            ):
+                labels = dict(label_items)
+                if kind == "gauge":
+                    lines.append(
+                        f"{family}{_format_labels(labels)} "
+                        f"{_format_value(payload)}"
+                    )
+                    continue
+                assert isinstance(payload, StreamingHistogram)
+                for bound, cumulative in payload.cumulative_buckets():
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(bound)
+                    lines.append(
+                        f"{family}_bucket"
+                        f"{_format_labels(bucket_labels)} {cumulative}"
+                    )
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = "+Inf"
+                lines.append(
+                    f"{family}_bucket"
+                    f"{_format_labels(bucket_labels)} {payload.count}"
+                )
+                lines.append(
+                    f"{family}_sum{_format_labels(labels)} "
+                    f"{_format_value(payload.finite_sum)}"
+                )
+                lines.append(
+                    f"{family}_count{_format_labels(labels)} "
+                    f"{payload.count}"
+                )
+        return "\n".join(lines) + "\n"
+
+    def as_json(self) -> dict:
+        """The same snapshot as a JSON document (``--metrics-export
+        x.json``): families sorted, histograms via ``as_dict``."""
+        families: dict[str, dict] = {}
+        for family in sorted(self._families):
+            kind, help_text = self._families[family]
+            series = []
+            for label_items, payload in sorted(
+                self._samples[family], key=lambda sample: sample[0]
+            ):
+                value = (
+                    payload.as_dict()
+                    if isinstance(payload, StreamingHistogram)
+                    else _json_value(payload)
+                )
+                series.append(
+                    {"labels": dict(label_items), "value": value}
+                )
+            families[family] = {
+                "type": kind,
+                "help": help_text,
+                "series": series,
+            }
+        return {"namespace": NAMESPACE, "families": families}
+
+
+def _json_value(value: float) -> float | str | None:
+    """Strict-JSON-safe sample value (allow_nan=False downstream)."""
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def build_export(
+    registry: MetricsRegistry | None = None,
+    monitors: dict[str, object] | None = None,
+) -> PrometheusExport:
+    """Assemble the full scrape snapshot.
+
+    ``registry`` contributes every flat metric as a gauge.  ``monitors``
+    maps a strategy label to its
+    :class:`~repro.obs.runtime_telemetry.RuntimeMonitor`; the empty
+    label exports unlabelled (single-run verbs), any other label lands
+    on every series as ``strategy="<label>"``.
+    """
+    export = PrometheusExport()
+    if registry is not None:
+        snapshot = registry.snapshot()
+        for name in sorted(snapshot):
+            export.gauge(name, snapshot[name])
+    for label in sorted(monitors or {}):
+        monitor = (monitors or {})[label]
+        if monitor is None:
+            continue
+        labels = {"strategy": label} if label else {}
+        export.gauge(
+            "query.progress",
+            monitor.progress(),
+            help_text="whole-plan fraction done",
+            **labels,
+        )
+        for operator in sorted(
+            monitor.operators.values(), key=lambda item: item.index
+        ):
+            op_labels = dict(labels)
+            op_labels["op"] = operator.label
+            op_labels["index"] = str(operator.index)
+            export.gauge(
+                "operator.rows_out",
+                float(operator.rows_out),
+                help_text="rows produced by the operator",
+                **op_labels,
+            )
+            export.gauge(
+                "operator.estimated_rows",
+                operator.estimated_rows,
+                help_text="live-refined cardinality estimate",
+                **op_labels,
+            )
+            export.gauge(
+                "operator.fraction_done",
+                operator.fraction,
+                help_text="per-operator fraction done",
+                **op_labels,
+            )
+        for pred_id in sorted(
+            monitor.predicates,
+            key=lambda key: monitor.predicates[key].fingerprint,
+        ):
+            telemetry = monitor.predicates[pred_id]
+            pred_labels = dict(labels)
+            pred_labels["predicate"] = telemetry.predicate
+            export.gauge(
+                "predicate.evaluated",
+                float(telemetry.evaluated),
+                help_text="predicate evaluations",
+                **pred_labels,
+            )
+            export.gauge(
+                "predicate.observed_selectivity",
+                telemetry.observed_selectivity,
+                help_text="passed / evaluated so far",
+                **pred_labels,
+            )
+            export.histogram(
+                "predicate.cost",
+                telemetry.cost,
+                help_text="charged cost per evaluation",
+                **pred_labels,
+            )
+        for key in sorted(
+            monitor.latency,
+            key=lambda item: (
+                monitor.operators[item].index
+                if item in monitor.operators
+                else -1
+            ),
+        ):
+            histogram = monitor.latency[key]
+            operator = monitor.operators.get(key)
+            if operator is None:
+                continue
+            op_labels = dict(labels)
+            op_labels["op"] = operator.label
+            op_labels["index"] = str(operator.index)
+            export.histogram(
+                "operator.pull_seconds",
+                histogram,
+                help_text="wall-clock seconds per GetNext pull",
+                **op_labels,
+            )
+    return export
+
+
+def export_metrics(path: str | Path, export: PrometheusExport) -> Path:
+    """Write the snapshot to ``path``: ``.json`` suffix selects the JSON
+    document, anything else the Prometheus text format."""
+    target = Path(path)
+    if target.parent and not target.parent.exists():
+        target.parent.mkdir(parents=True, exist_ok=True)
+    if target.suffix == ".json":
+        target.write_text(
+            json.dumps(export.as_json(), indent=2, sort_keys=False)
+            + "\n"
+        )
+    else:
+        target.write_text(export.render())
+    return target

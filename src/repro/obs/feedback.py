@@ -49,6 +49,7 @@ from repro.obs.quality import (
     qerror,
     qerror_histogram,
 )
+from repro.obs.tables import Column, Table, fmt_cell
 
 #: Bump when the store document shape changes incompatibly. Independent
 #: of the ``BENCH_*`` schema version — the two artifact families evolve
@@ -417,14 +418,30 @@ class StatsFeedbackStore:
 # -- CLI renderers ------------------------------------------------------------
 
 
-def _cell(value: float, width: int, decimals: int = 4) -> str:
-    """One numeric table cell; non-finite values render as their names,
-    missing observations (``nan``) as a dash."""
-    if math.isnan(value):
-        return f"{'—':>{width}}"
-    if math.isinf(value):
-        return f"{'inf' if value > 0 else '-inf':>{width}}"
-    return f"{value:>{width}.{decimals}f}"
+def _stats_table() -> Table:
+    """The shared stats/drift column layout (both views align)."""
+    return Table(
+        [
+            Column("predicate", 30, align="left"),
+            Column("", 9),  # set per view below
+            Column("", 9),
+            Column("q-err", 7),
+            Column("", 10),
+            Column("", 10),
+            Column("q-err", 7),
+            Column("drift", gap=2),
+        ]
+    )
+
+
+def _build_stats_table(titles: tuple[str, str, str, str]) -> Table:
+    table = _stats_table()
+    sel_a, sel_b, cost_a, cost_b = titles
+    table.columns[1] = Column(sel_a, 9)
+    table.columns[2] = Column(sel_b, 9)
+    table.columns[4] = Column(cost_a, 10)
+    table.columns[5] = Column(cost_b, 10)
+    return table
 
 
 def format_stats_epoch(
@@ -449,33 +466,32 @@ def format_stats_epoch(
         + (", caching" if epoch.get("caching") else "")
         + ")"
     ]
-    header = (
-        f"{'predicate':<30} {'decl.sel':>9} {'obs.sel':>9} {'q-err':>7} "
-        f"{'decl.cost':>10} {'obs.cost':>10} {'q-err':>7}  drift"
+    table = _build_stats_table(
+        ("decl.sel", "obs.sel", "decl.cost", "obs.cost")
     )
-    lines.append(header)
-    lines.append("-" * len(header))
     expensive = [obs for obs in observations if obs.is_expensive]
     for obs in expensive:
         fields = flagged.get(obs.predicate)
         drift = f"DRIFT({','.join(sorted(fields))})" if fields else "-"
-        lines.append(
-            f"{obs.predicate[:30]:<30} "
-            f"{_cell(obs.declared_selectivity, 9)} "
-            f"{_cell(obs.observed_selectivity, 9)} "
-            f"{_cell(obs.selectivity_qerror, 7, 2)} "
-            f"{_cell(obs.declared_cost_per_call, 10, 1)} "
-            f"{_cell(obs.observed_cost_per_call, 10, 1)} "
-            f"{_cell(obs.cost_qerror, 7, 2)}  {drift}"
+        table.row(
+            obs.predicate[:30],
+            fmt_cell(obs.declared_selectivity),
+            fmt_cell(obs.observed_selectivity),
+            fmt_cell(obs.selectivity_qerror, 2),
+            fmt_cell(obs.declared_cost_per_call, 1),
+            fmt_cell(obs.observed_cost_per_call, 1),
+            fmt_cell(obs.cost_qerror, 2),
+            drift,
         )
     if not expensive:
-        lines.append("(no expensive predicates observed)")
+        table.raw("(no expensive predicates observed)")
     cheap = len(observations) - len(expensive)
     if cheap:
-        lines.append(
+        table.raw(
             f"({cheap} cheap predicate(s) tracked but not shown — "
             "zero-cost conjuncts have no per-call cost to drift)"
         )
+    lines.append(table.render())
     lines.append(
         f"drift: {len(findings)} flag(s) at q-error threshold "
         f"{threshold:g}"
@@ -514,12 +530,7 @@ def format_drift_report(
         f"(strategy {epoch_a.get('strategy')}) -> epoch {b_number} "
         f"(strategy {epoch_b.get('strategy')})"
     ]
-    header = (
-        f"{'predicate':<30} {'sel.A':>9} {'sel.B':>9} {'q-err':>7} "
-        f"{'cost.A':>10} {'cost.B':>10} {'q-err':>7}  drift"
-    )
-    lines.append(header)
-    lines.append("-" * len(header))
+    table = _build_stats_table(("sel.A", "sel.B", "cost.A", "cost.B"))
     drifted = 0
     for key in sorted(set(obs_a) | set(obs_b)):
         a, b = obs_a.get(key), obs_b.get(key)
@@ -528,12 +539,19 @@ def format_drift_report(
             assert present is not None
             side = "B" if a is None else "A"
             drifted += 1
-            lines.append(
-                f"{present.predicate[:30]:<30} "
-                f"{_cell(a.observed_selectivity if a else float('nan'), 9)} "
-                f"{_cell(b.observed_selectivity if b else float('nan'), 9)} "
-                f"{'—':>7} {'—':>10} {'—':>10} {'—':>7}  "
-                f"DRIFT(only in epoch {side})"
+            table.row(
+                present.predicate[:30],
+                fmt_cell(
+                    a.observed_selectivity if a else float("nan")
+                ),
+                fmt_cell(
+                    b.observed_selectivity if b else float("nan")
+                ),
+                "—",
+                "—",
+                "—",
+                "—",
+                f"DRIFT(only in epoch {side})",
             )
             continue
         sel_q = qerror(a.observed_selectivity, b.observed_selectivity)
@@ -548,15 +566,17 @@ def format_drift_report(
         if fields:
             drifted += 1
         drift = f"DRIFT({','.join(fields)})" if fields else "-"
-        lines.append(
-            f"{b.predicate[:30]:<30} "
-            f"{_cell(a.observed_selectivity, 9)} "
-            f"{_cell(b.observed_selectivity, 9)} "
-            f"{_cell(sel_q, 7, 2)} "
-            f"{_cell(a.observed_cost_per_call, 10, 1)} "
-            f"{_cell(b.observed_cost_per_call, 10, 1)} "
-            f"{_cell(cost_q, 7, 2)}  {drift}"
+        table.row(
+            b.predicate[:30],
+            fmt_cell(a.observed_selectivity),
+            fmt_cell(b.observed_selectivity),
+            fmt_cell(sel_q, 2),
+            fmt_cell(a.observed_cost_per_call, 1),
+            fmt_cell(b.observed_cost_per_call, 1),
+            fmt_cell(cost_q, 2),
+            drift,
         )
+    lines.append(table.render())
     lines.append(
         f"drift: {drifted} predicate(s) moved beyond q-error "
         f"{threshold:g} between epochs {a_number} and {b_number}"

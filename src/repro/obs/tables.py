@@ -1,0 +1,138 @@
+"""One ASCII table renderer for every CLI view.
+
+Three near-identical renderers grew up independently — the feedback
+store's stats/drift tables, the bench report's comparison table, and
+the chaos report's per-run table — each hand-rolling the same
+fixed-width f-string layout. This module is their common core, and the
+``repro top`` live-telemetry view builds on it directly.
+
+Two shapes:
+
+* :class:`Table` — fixed- or auto-width columns with per-column
+  alignment and inter-column gaps, faithful to the historical layouts
+  (single-space gaps, a two-space gap before a trailing free-form
+  column, ``-`` rule sized to the header);
+* :func:`fmt_cell` — the shared numeric cell formatter: non-finite
+  values render as their names, missing observations (``nan``) as a
+  dash, exactly like the feedback renderers always did.
+
+Rendering is purely positional — no hashing, no ids — so table bytes
+are deterministic for deterministic inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def fmt_cell(value: float, decimals: int = 4) -> str:
+    """One numeric cell: ``nan`` as a dash, infinities by name."""
+    if math.isnan(value):
+        return "—"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return f"{value:.{decimals}f}"
+
+
+@dataclass(frozen=True)
+class Column:
+    """One table column.
+
+    ``width=None`` means free-form: the cell (and title) render as-is
+    with no padding — the historical trailing "drift"/"verdict"/bar
+    columns. ``gap`` is the number of spaces before the column (ignored
+    for the first column).
+    """
+
+    title: str
+    width: int | None = None
+    align: str = "right"  # "left" | "right"
+    gap: int = 1
+
+
+class Table:
+    """Fixed-layout ASCII table: header, ``-`` rule, rows, raw lines.
+
+    Rows may supply fewer cells than there are columns (the bench
+    report's "not run" and DNF rows); trailing whitespace is stripped
+    so short rows render exactly as the hand-rolled originals did.
+    """
+
+    def __init__(self, columns: list[Column]) -> None:
+        self.columns = list(columns)
+        self._lines: list[tuple[str, tuple]] = []
+
+    def row(self, *cells: object) -> None:
+        if len(cells) > len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells for "
+                f"{len(self.columns)} columns"
+            )
+        self._lines.append(("row", tuple(str(cell) for cell in cells)))
+
+    def raw(self, text: str) -> None:
+        """A pre-formatted line (error rows, footnotes) passed through."""
+        self._lines.append(("raw", (text,)))
+
+    def _format(self, column: Column, text: str) -> str:
+        if column.width is None:
+            return text
+        if column.align == "left":
+            return f"{text:<{column.width}}"
+        return f"{text:>{column.width}}"
+
+    def _join(self, cells: tuple) -> str:
+        parts: list[str] = []
+        for position, column in enumerate(self.columns):
+            if position >= len(cells):
+                break
+            if position:
+                parts.append(" " * column.gap)
+            parts.append(self._format(column, cells[position]))
+        return "".join(parts).rstrip()
+
+    @property
+    def header(self) -> str:
+        return self._join(
+            tuple(column.title for column in self.columns)
+        )
+
+    def render(self, rule: str = "-") -> str:
+        header = self.header
+        lines = [header, rule * len(header)]
+        for kind, payload in self._lines:
+            if kind == "raw":
+                lines.append(payload[0])
+            else:
+                lines.append(self._join(payload))
+        return "\n".join(lines)
+
+
+def auto_table(
+    headers: list[str],
+    rows: list[list[object]],
+    aligns: list[str] | None = None,
+    gap: int = 2,
+) -> str:
+    """A table whose column widths fit the widest cell (new views only —
+    the historical renderers keep their fixed widths byte-for-byte)."""
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max([len(header)] + [len(row[i]) for row in cells if i < len(row)])
+        for i, header in enumerate(headers)
+    ]
+    table = Table(
+        [
+            Column(
+                header,
+                width=widths[i],
+                align=(aligns[i] if aligns else "right"),
+                gap=gap,
+            )
+            for i, header in enumerate(headers)
+        ]
+    )
+    for row in cells:
+        table.row(*row)
+    return table.render()

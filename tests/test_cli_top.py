@@ -1,0 +1,183 @@
+"""The ``repro top`` monitor, ``bench-history``, and ``--metrics-export``."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+# -- repro top ---------------------------------------------------------------
+
+
+def test_top_once_completed(capsys):
+    code, out, _ = run_cli(
+        capsys, "top", "q1", "--once", "--scale", "5"
+    )
+    assert code == 0
+    assert "top: q1 / migration" in out
+    assert "state=completed" in out
+    assert "progress 100.0%" in out
+    assert "resources:" in out
+    assert "cache:" in out
+    # One deterministic snapshot: no intermediate redraws.
+    assert out.count("state=") == 1
+
+
+def test_top_strategy_flag(capsys):
+    code, out, _ = run_cli(
+        capsys, "top", "q4", "--once", "--strategy", "pushdown",
+        "--scale", "5",
+    )
+    assert code == 0
+    assert "top: q4 / pushdown" in out
+
+
+def test_top_live_mode_redraws(capsys):
+    code, out, _ = run_cli(
+        capsys, "top", "q1", "--scale", "5", "--refresh-every", "50"
+    )
+    assert code == 0
+    # Live mode prints intermediate snapshots before the final one.
+    assert out.count("top: q1 / migration") > 1
+    assert "progress 100.0%" in out
+
+
+def test_top_dnf_exits_one_with_frozen_progress(capsys):
+    code, out, _ = run_cli(
+        capsys, "top", "q1", "--once", "--scale", "5",
+        "--budget", "50",
+    )
+    assert code == 1
+    assert "state=aborted" in out
+    assert "reason: budget:" in out
+    assert "progress 100.0%" not in out
+
+
+def test_top_metrics_export(capsys, tmp_path):
+    target = tmp_path / "top.prom"
+    code, _, err = run_cli(
+        capsys, "top", "q1", "--once", "--scale", "5",
+        "--metrics-export", str(target),
+    )
+    assert code == 0
+    assert str(target) in err
+    text = target.read_text()
+    assert "repro_query_progress 1" in text
+    assert "repro_operator_rows_out" in text
+
+
+def test_top_usage_error_exits_two(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["top", "nonesuch", "--once"])
+    assert excinfo.value.code == 2
+
+
+# -- --metrics-export on the main verbs --------------------------------------
+
+
+def test_compare_metrics_export_labels_strategies(capsys, tmp_path):
+    target = tmp_path / "compare.json"
+    code, _, err = run_cli(
+        capsys, "--workload", "q1", "--compare", "--scale", "5",
+        "--metrics-export", str(target),
+    )
+    assert code == 0
+    assert str(target) in err
+    document = json.loads(target.read_text())
+    progress = document["families"]["repro_query_progress"]["series"]
+    strategies = {series["labels"]["strategy"] for series in progress}
+    assert "pushdown" in strategies
+    assert "migration" in strategies
+
+
+def test_single_strategy_metrics_export(capsys, tmp_path):
+    target = tmp_path / "single.prom"
+    code, _, _ = run_cli(
+        capsys, "--workload", "q1", "--scale", "5",
+        "--metrics-export", str(target),
+    )
+    assert code == 0
+    assert "repro_query_progress 1" in target.read_text()
+
+
+# -- bench-history -----------------------------------------------------------
+
+
+def _record(capsys, directory, scale):
+    code, _, _ = run_cli(
+        capsys, "--workload", "q1", "--compare",
+        "--scale", str(scale), "--record", str(directory),
+    )
+    assert code == 0
+
+
+def test_bench_history_trend_table(capsys, tmp_path):
+    first = tmp_path / "run1"
+    second = tmp_path / "run2"
+    _record(capsys, first, scale=5)
+    _record(capsys, second, scale=5)
+    code, out, _ = run_cli(
+        capsys, "bench-history", str(first), str(second)
+    )
+    assert code == 0
+    assert "== q1 (2 runs)" in out
+    assert "pushdown" in out
+    assert "migration" in out
+    # Identical runs: no fingerprint-change markers anywhere.
+    assert "*" not in out
+
+
+def test_bench_history_marks_fingerprint_changes(capsys, tmp_path):
+    first = tmp_path / "run1"
+    second = tmp_path / "run2"
+    _record(capsys, first, scale=5)
+    _record(capsys, second, scale=5)
+    # Forge a fingerprint change in the second run.
+    artifact = second / "BENCH_q1.json"
+    document = json.loads(artifact.read_text())
+    document["strategies"]["migration"]["fingerprint"] = "0" * 16
+    artifact.write_text(json.dumps(document))
+    code, out, _ = run_cli(
+        capsys, "bench-history", str(first), str(second)
+    )
+    assert code == 0
+    assert "*" in out
+    assert "fingerprint changed" in out
+
+
+def test_bench_history_empty_dir_exits_two(capsys, tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    code, _, err = run_cli(capsys, "bench-history", str(empty))
+    assert code == 2
+    assert "no BENCH_" in err
+
+
+def test_bench_history_unknown_workload_exits_two(capsys, tmp_path):
+    run = tmp_path / "run"
+    _record(capsys, run, scale=5)
+    code, _, err = run_cli(
+        capsys, "bench-history", str(run), "--workload", "q9"
+    )
+    assert code == 2
+    assert "q9" in err
+
+
+# -- chaos --telemetry -------------------------------------------------------
+
+
+def test_chaos_telemetry_flag(capsys):
+    code, out, _ = run_cli(
+        capsys, "chaos", "q1", "--seed", "7", "--telemetry",
+        "--scale", "5",
+    )
+    assert code == 0
+    assert "[100%]" in out
+    assert "result: PASS" in out

@@ -1,0 +1,152 @@
+"""StreamingHistogram: log-bucket placement and quantile edge semantics.
+
+The edges mirror :func:`repro.obs.quality.qerror`'s pinned treatment of
+zero/nan/inf — every case here is a contract the metrics export and the
+``repro top`` tables rely on.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.histograms import StreamingHistogram, _bucket_label
+
+
+def _filled(values):
+    histogram = StreamingHistogram()
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+# -- empty and single-sample edges -------------------------------------------
+
+
+def test_empty_histogram_all_nan():
+    histogram = StreamingHistogram()
+    assert histogram.count == 0
+    assert math.isnan(histogram.mean)
+    for fraction in (0.0, 0.5, 0.99, 1.0):
+        assert math.isnan(histogram.quantile(fraction))
+    document = histogram.as_dict()
+    assert document["count"] == 0
+    assert document["p50"] == "nan"
+    assert document["min"] == "nan"
+    assert document["buckets"] == {}
+
+
+def test_single_sample_quantiles_exact():
+    histogram = _filled([3.7])
+    for fraction in (0.01, 0.5, 0.9, 0.99, 1.0):
+        assert histogram.quantile(fraction) == 3.7
+    assert histogram.mean == 3.7
+    assert histogram.as_dict()["p99"] == 3.7
+
+
+def test_quantile_fraction_domain_enforced():
+    histogram = _filled([1.0])
+    with pytest.raises(ValueError):
+        histogram.quantile(-0.1)
+    with pytest.raises(ValueError):
+        histogram.quantile(1.1)
+
+
+# -- non-finite and degenerate observations ----------------------------------
+
+
+def test_nan_and_negative_dropped_not_bucketed():
+    histogram = _filled([math.nan, -1.0, 2.0])
+    assert histogram.dropped == 2
+    assert histogram.count == 1
+    assert histogram.quantile(0.5) == 2.0
+
+
+def test_zero_gets_its_own_bucket():
+    histogram = _filled([0.0, 0.0, 0.0, 8.0])
+    assert histogram.zeros == 3
+    # Ranks 1-3 of 4 are zeros; p50 and p must answer 0 exactly.
+    assert histogram.quantile(0.5) == 0.0
+    assert histogram.quantile(0.75) == 0.0
+    assert histogram.quantile(1.0) == 8.0
+    assert histogram.as_dict()["buckets"]["0"] == 3
+
+
+def test_infinite_surfaces_only_at_its_rank():
+    histogram = _filled([1.0] * 9 + [math.inf])
+    assert histogram.infinite == 1
+    assert histogram.quantile(0.5) == 1.0
+    assert histogram.quantile(0.9) == 1.0
+    assert math.isinf(histogram.quantile(1.0))
+
+
+def test_all_zeros_cumulative_bucket():
+    histogram = _filled([0.0, 0.0])
+    assert histogram.cumulative_buckets() == [(1.0, 2)]
+    assert histogram.quantile(1.0) == 0.0
+
+
+# -- bucketing and quantile estimation ---------------------------------------
+
+
+def test_bucket_placement_powers_of_two():
+    histogram = _filled([1.0, 1.5, 2.0, 4.0, 1000.0])
+    assert histogram.counts == {0: 2, 1: 1, 2: 1, 9: 1}
+    labels = list(histogram.as_dict()["buckets"])
+    assert labels == ["[1,2)", "[2,4)", "[4,8)", "[512,1024)"]
+
+
+def test_bucket_label_negative_powers():
+    assert _bucket_label(-2) == "[0.25,0.5)"
+
+
+def test_quantiles_monotone_in_fraction():
+    histogram = _filled([0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 100.0])
+    previous = -math.inf
+    for tenth in range(0, 11):
+        value = histogram.quantile(tenth / 10)
+        assert value >= previous
+        previous = value
+
+
+def test_quantile_within_sqrt2_of_true_value():
+    values = [float(v) for v in range(1, 101)]
+    histogram = _filled(values)
+    estimate = histogram.quantile(0.5)
+    assert 50.0 / math.sqrt(2.0) <= estimate <= 50.0 * math.sqrt(2.0)
+
+
+def test_quantile_clamped_into_observed_range():
+    # Both land in [4, 8); the geometric midpoint 5.66 would undershoot
+    # max and overshoot min without clamping.
+    histogram = _filled([7.9, 7.95])
+    assert histogram.quantile(0.5) <= 7.95
+    assert histogram.quantile(0.5) >= 7.9
+
+
+# -- merge and serialisation -------------------------------------------------
+
+
+def test_merge_equals_union():
+    left = _filled([0.0, 1.0, math.inf])
+    right = _filled([2.0, math.nan, 64.0])
+    union = _filled([0.0, 1.0, math.inf, 2.0, math.nan, 64.0])
+    left.merge(right)
+    assert left.as_dict() == union.as_dict()
+
+
+def test_cumulative_buckets_prometheus_shape():
+    histogram = _filled([0.0, 1.0, 1.5, 4.0])
+    pairs = histogram.cumulative_buckets()
+    assert pairs == [(2.0, 3), (8.0, 4)]
+    # Cumulative counts never decrease and end at finite_count.
+    assert pairs[-1][1] == histogram.finite_count
+
+
+def test_as_dict_deterministic_and_json_safe():
+    import json
+
+    histogram = _filled([0.0, 3.0, math.inf, math.nan])
+    document = histogram.as_dict()
+    assert document["count"] == 3
+    assert document["dropped"] == 1
+    assert json.dumps(document, sort_keys=True)  # no unserialisable values

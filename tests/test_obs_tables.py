@@ -1,0 +1,92 @@
+"""The shared ASCII table renderer behind every CLI view."""
+
+import math
+
+import pytest
+
+from repro.obs.tables import Column, Table, auto_table, fmt_cell
+
+
+# -- fmt_cell ----------------------------------------------------------------
+
+
+def test_fmt_cell_finite():
+    assert fmt_cell(0.123456) == "0.1235"
+    assert fmt_cell(2.0, decimals=2) == "2.00"
+    assert fmt_cell(0.0, decimals=1) == "0.0"
+
+
+def test_fmt_cell_non_finite_pinned():
+    assert fmt_cell(math.nan) == "—"
+    assert fmt_cell(math.inf) == "inf"
+    assert fmt_cell(-math.inf) == "-inf"
+
+
+# -- Table -------------------------------------------------------------------
+
+
+def _table():
+    return Table(
+        [
+            Column("name", 6, align="left"),
+            Column("value", 7),
+            Column("(note)", gap=2),
+        ]
+    )
+
+
+def test_table_alignment_and_gaps():
+    table = _table()
+    table.row("a", "1.0", "first")
+    rendered = table.render().splitlines()
+    assert rendered[0] == "name     value  (note)"
+    assert rendered[1] == "-" * len(rendered[0])
+    assert rendered[2] == "a          1.0  first"
+
+
+def test_table_short_rows_allowed_and_rstripped():
+    table = _table()
+    table.row("a", "1.0")
+    line = table.render().splitlines()[-1]
+    assert line == "a          1.0"
+    assert not line.endswith(" ")
+
+
+def test_table_too_many_cells_raises():
+    table = _table()
+    with pytest.raises(ValueError):
+        table.row("a", "b", "c", "d")
+
+
+def test_table_raw_passthrough():
+    table = _table()
+    table.raw("anything    goes here")
+    assert table.render().splitlines()[-1] == "anything    goes here"
+
+
+def test_free_form_column_unpadded():
+    table = Table([Column("x", 3), Column("tail")])
+    table.row("1", "no padding")
+    assert table.render().splitlines()[-1] == "  1 no padding"
+
+
+# -- auto_table --------------------------------------------------------------
+
+
+def test_auto_table_fits_widest_cell():
+    rendered = auto_table(
+        ["strategy", "charged"],
+        [["pushdown", "10,001"], ["ldl", "3,001"]],
+        aligns=["left", "right"],
+    )
+    lines = rendered.splitlines()
+    assert lines[0] == "strategy  charged"
+    assert lines[2] == "pushdown   10,001"
+    assert lines[3] == "ldl         3,001"
+
+
+def test_auto_table_header_wider_than_cells():
+    rendered = auto_table(["long header", "x"], [["a", "b"]])
+    lines = rendered.splitlines()
+    assert lines[0] == "long header  x"
+    assert lines[2] == "          a  b"
