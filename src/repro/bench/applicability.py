@@ -43,6 +43,12 @@ EXPECTED = {
         pushdown=True, pullrank=True, migration=True,
         ldl=True, pullup=False, exhaustive=True,
     ),
+    "qor": dict(
+        # Same join shape as q1; the compound OR behaves like one
+        # expensive predicate, so only PushDown errs.
+        pushdown=False, pullrank=True, migration=True,
+        ldl=True, pullup=True, exhaustive=True,
+    ),
     "ldl_example": dict(
         pushdown=True, pullrank=True, migration=True,
         ldl=False, pullup=False, exhaustive=True,

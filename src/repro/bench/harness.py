@@ -127,6 +127,7 @@ def run_strategies(
     provenance: bool = False,
     feedback: bool = False,
     telemetry: bool = False,
+    executor: str = "row",
 ) -> list[StrategyOutcome]:
     """Optimize and (optionally) execute ``query`` under each strategy.
 
@@ -150,6 +151,8 @@ def run_strategies(
     roll-up lands in ``extras["resources"]`` (artifact-bound) and the
     monitor itself in ``extras["monitor"]`` for the export surface —
     like feedback, pure observation that never changes a plan.
+    ``executor`` selects the row-at-a-time (``"row"``, the default) or
+    batch-at-a-time (``"vector"``) execution path for every strategy.
     """
     outcomes: list[StrategyOutcome] = []
     for strategy in strategies:
@@ -188,11 +191,12 @@ def run_strategies(
         if execute:
             collector = FeedbackCollector() if feedback else None
             monitor = RuntimeMonitor() if telemetry else None
-            executor = Executor(
+            runner = Executor(
                 db, caching=caching, budget=budget, tracer=tracer,
                 profiler=profiler, collector=collector, monitor=monitor,
+                executor=executor,
             )
-            result = executor.execute(optimized.plan, instrument=instrument)
+            result = runner.execute(optimized.plan, instrument=instrument)
             outcome.charged = result.charged
             outcome.completed = result.completed
             outcome.rows = result.row_count

@@ -202,6 +202,39 @@ def _query5(db: Database) -> Workload:
     )
 
 
+def _qor(db: Database) -> Workload:
+    """Disjunctive extension (not in the paper): an OR of two expensive
+    predicates over the q1 join shape. The optimizer treats the whole
+    disjunction as one compound predicate — combined selectivity
+    1 - (1-0.1)(1-0.9) = 0.91 — and places it *above* the selective join,
+    exactly as q1 places costly100; PushDown pays the disjunction on every
+    t10 tuple and loses by ~|t10| / |t3 join t10|.
+
+    Within the disjunction the evaluator is cost-ordered: OR children run
+    in ascending rank over their *pass* probability (equivalently, rank of
+    1 - s), so costly100sel90 — nine times likelier to short-circuit the
+    OR to true — is evaluated first even though the SQL lists it second
+    (the Kim/Ileri/Madden ordering for disjunctive predicates on columnar
+    engines). See EXPERIMENTS.md, "Disjunctions and the boolean tree".
+    """
+    sql = (
+        "SELECT * FROM t3, t10\n"
+        "WHERE t3.a1 = t10.ua1\n"
+        "  AND (costly100sel10(t10.u20) OR costly100sel90(t10.ua20))"
+    )
+    return Workload(
+        key="qor",
+        title="Disjunctive query (OR of expensive predicates)",
+        figure="Extension (disjunctive predicates)",
+        sql=sql,
+        diagnostic=(
+            "compound OR placed above the selective join as one unit; "
+            "children evaluated cheapest-to-accept first (rank over 1-s)"
+        ),
+        query=compile_query(db, sql, name="Disjunctive query"),
+    )
+
+
 def _ldl_example(db: Database) -> Workload:
     """The Section 3.1 example (Figures 1–2): R ⋈ S with expensive
     selections p(R), q(S) on *both* inputs, where the optimal plan (the
@@ -256,6 +289,7 @@ WORKLOADS: dict[str, Callable[[Database], Workload]] = {
     "q3": _query3,
     "q4": _query4,
     "q5": _query5,
+    "qor": _qor,
     "ldl_example": _ldl_example,
     "fiveway": _fiveway,
 }

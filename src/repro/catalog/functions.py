@@ -43,6 +43,30 @@ def synthetic_boolean(selectivity: float, seed: int = 0) -> Callable[..., bool]:
         bucket = zlib.crc32(payload) % _HASH_BUCKETS
         return bucket < threshold
 
+    def batch(bindings) -> list[bool]:
+        """Vectorized form: one bool verdict per argument tuple, equal
+        to calling ``predicate(*args)`` per element — the batch executor
+        uses this to amortise per-call dispatch. ``%r`` formatting
+        reproduces the tuple ``repr`` byte-for-byte (``%r`` is
+        ``repr``) at roughly half the cost of building and repr-ing the
+        prefixed tuple per element."""
+        if not bindings:
+            return []
+        crc32 = zlib.crc32
+        buckets = _HASH_BUCKETS
+        arity = len(bindings[0])
+        if arity == 0:
+            verdict = (
+                crc32(repr((seed,)).encode("utf-8")) % buckets < threshold
+            )
+            return [verdict] * len(bindings)
+        fmt = "(" + repr(seed) + ", %r" * arity + ")"
+        return [
+            crc32((fmt % args).encode()) % buckets < threshold
+            for args in bindings
+        ]
+
+    predicate.batch = batch
     return predicate
 
 
@@ -66,6 +90,21 @@ class UserFunction:
     def __call__(self, *args: object) -> object:
         self.calls += 1
         return self.fn(*args)
+
+    def call_batch(self, bindings: list[tuple]) -> list[object]:
+        """Invoke the function once per argument tuple, amortising
+        dispatch when the implementation provides a vectorized ``batch``
+        form (as :func:`synthetic_boolean` does; a ``batch`` form must
+        return one ``bool`` per binding). Counts every element as one
+        invocation either way. Falls back to per-call dispatch whenever
+        ``fn`` lacks a ``batch`` attribute — in particular, a
+        fault-injector wrapper replaces ``fn`` and relies on the
+        per-call ``calls`` index, and the fallback preserves it."""
+        batch = getattr(self.fn, "batch", None)
+        if batch is None:
+            return [self(*args) for args in bindings]
+        self.calls += len(bindings)
+        return batch(bindings)
 
     def reset(self) -> None:
         self.calls = 0

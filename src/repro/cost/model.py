@@ -150,7 +150,15 @@ class CostModel:
     def filter_chain(
         self, rows_in: float, filters: list[Predicate]
     ) -> tuple[float, float]:
-        """Apply an ordered filter list; return (rows out, charged cost)."""
+        """Apply an ordered filter list; return (rows out, charged cost).
+
+        A disjunctive predicate's ``cost_per_tuple`` is already its
+        *expected short-circuit cost* over the cost-ordered boolean tree
+        (see :func:`repro.expr.predicates.build_bool_tree`), so the chain
+        formula prices boolean trees exactly as the executors evaluate
+        them: leaf-by-leaf in rank order, stopping at the first decisive
+        child.
+        """
         rows = rows_in
         cost = 0.0
         for predicate in filters:

@@ -1,4 +1,5 @@
-"""Iterator-style plan executor with charged-cost accounting.
+"""Plan executors (row-at-a-time and batch-at-a-time) with charged-cost
+accounting.
 
 Execution follows the paper's measurement methodology exactly: expensive
 functions do no real work, but every invocation is counted and charged at
@@ -17,10 +18,12 @@ from repro.exec.containment import (
     QuarantineReport,
 )
 from repro.exec.operators import OperatorStats
-from repro.exec.runtime import Executor, QueryResult
+from repro.exec.runtime import EXECUTORS, Executor, QueryResult
+from repro.exec.vector import VectorPlanRunner
 
 __all__ = [
     "CacheStats",
+    "EXECUTORS",
     "EXHAUSTION_POLICIES",
     "Executor",
     "FailurePolicy",
@@ -29,4 +32,5 @@ __all__ = [
     "QuarantineEntry",
     "QuarantineReport",
     "QueryResult",
+    "VectorPlanRunner",
 ]

@@ -56,16 +56,30 @@ class PredicateCache:
 
     max_entries_per_predicate: int | None = None
     replacement: str = "fifo"
+    #: Global capacity across *all* owners ("caches can be limited in
+    #: size"): when set, the least-recently-used binding anywhere in the
+    #: cache is evicted once the total entry count would exceed it.
+    #: Composes with the per-owner bound; under ``replacement="fifo"``
+    #: the global order is insertion order (hits do not refresh).
+    max_total_entries: int | None = None
     stats: CacheStats = field(default_factory=CacheStats)
     _tables: dict[Hashable, OrderedDict[tuple, object]] = field(
         default_factory=dict
     )
+    #: Global recency order over ``(owner, key)`` pairs; maintained only
+    #: when ``max_total_entries`` is set (unbounded caches pay nothing).
+    _order: OrderedDict[tuple, None] = field(default_factory=OrderedDict)
 
     def __post_init__(self) -> None:
         if self.replacement not in REPLACEMENT_POLICIES:
             raise ExecutionError(
                 f"replacement must be one of {REPLACEMENT_POLICIES}, "
                 f"got {self.replacement!r}"
+            )
+        if self.max_total_entries is not None and self.max_total_entries < 1:
+            raise ExecutionError(
+                "max_total_entries must be positive, "
+                f"got {self.max_total_entries}"
             )
 
     def lookup(self, owner: Hashable, key: tuple) -> tuple[bool, object]:
@@ -75,16 +89,30 @@ class PredicateCache:
             self.stats.hits += 1
             if self.replacement == "lru":
                 table.move_to_end(key)
+                if self.max_total_entries is not None:
+                    self._order.move_to_end((owner, key))
             return (True, table[key])
         self.stats.misses += 1
         return (False, None)
 
     def store(self, owner: Hashable, key: tuple, value: object) -> None:
         table = self._tables.setdefault(owner, OrderedDict())
+        bounded = self.max_total_entries is not None
+        if bounded:
+            if key in table:
+                self._order.move_to_end((owner, key))
+            else:
+                self._order[(owner, key)] = None
         table[key] = value
         limit = self.max_entries_per_predicate
         if limit is not None and len(table) > limit:
-            table.popitem(last=False)
+            evicted_key, _ = table.popitem(last=False)
+            if bounded:
+                del self._order[(owner, evicted_key)]
+            self.stats.evictions += 1
+        if bounded and len(self._order) > self.max_total_entries:
+            (evict_owner, evict_key), _ = self._order.popitem(last=False)
+            del self._tables[evict_owner][evict_key]
             self.stats.evictions += 1
 
     def entries(self, owner: Hashable) -> int:

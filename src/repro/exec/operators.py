@@ -26,7 +26,7 @@ from repro.errors import ExecutionError, PlanError, UdfError
 from repro.exec.cache import PredicateCache
 from repro.exec.containment import ContainmentState
 from repro.expr.expressions import Scope
-from repro.expr.predicates import Predicate
+from repro.expr.predicates import BoolBranch, BoolLeaf, Predicate
 from repro.plan.nodes import Join, JoinMethod, PlanNode, Scan
 from repro.storage.meter import CostMeter, IOKind
 
@@ -211,10 +211,14 @@ def _evaluate_once(
         and predicate.is_expensive
         and predicate.pred_id not in ctx.bypass_ids
     )
+    compound = predicate.is_compound
     if caching and ctx.cache_mode == "function":
-        value = predicate.expr.evaluate(
-            row, scope, ctx.caching_functions()
-        )
+        registry = ctx.caching_functions()
+        if compound:
+            # Short-circuit walk; the memoising wrappers charge per
+            # actual (uncached) UDF call, so no leaf-level charges here.
+            return _evaluate_tree(predicate.tree, row, scope, registry, None)
+        value = predicate.expr.evaluate(row, scope, registry)
         return value is True
     if caching:
         assert ctx.cache is not None
@@ -224,14 +228,49 @@ def _evaluate_once(
         )
         found, value = ctx.cache.lookup(predicate.pred_id, key)
         if not found:
-            value = predicate.expr.evaluate(row, scope, functions)
-            ctx.meter.charge_function(predicate.cost_per_tuple)
+            if compound:
+                value = _evaluate_tree(
+                    predicate.tree, row, scope, functions, ctx.meter
+                )
+            else:
+                value = predicate.expr.evaluate(row, scope, functions)
+                ctx.meter.charge_function(predicate.cost_per_tuple)
             ctx.cache.store(predicate.pred_id, key, value)
         return value is True
+    if compound:
+        return _evaluate_tree(predicate.tree, row, scope, functions, ctx.meter)
     value = predicate.expr.evaluate(row, scope, functions)
     if predicate.is_expensive:
         ctx.meter.charge_function(predicate.cost_per_tuple)
     return value is True
+
+
+def _evaluate_tree(
+    tree: BoolBranch, row: tuple, scope: Scope, functions, meter
+) -> bool:
+    """Short-circuit a cost-ordered boolean tree on one row.
+
+    Children run in the tree's (rank-ordered) sequence; AND stops at the
+    first non-true child, OR at the first true one. Each expensive leaf
+    that actually runs charges its own per-call cost — evaluate first,
+    then charge, so a UDF failure leaves the leaf uncharged, exactly
+    like the whole-predicate path. SQL NULL collapses to ``False``,
+    which is sound for filtering (a WHERE conjunct only passes rows it
+    is *true* for). When ``meter`` is ``None`` the caller's function
+    registry does its own charging (function-level cache mode).
+    """
+    conjunctive = tree.op == "AND"
+    for child in tree.children:
+        if isinstance(child, BoolLeaf):
+            value = child.expr.evaluate(row, scope, functions)
+            if meter is not None and child.is_expensive:
+                meter.charge_function(child.cost)
+            passed = value is True
+        else:
+            passed = _evaluate_tree(child, row, scope, functions, meter)
+        if passed is not conjunctive:
+            return passed
+    return conjunctive
 
 
 class Operator:

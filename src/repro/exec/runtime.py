@@ -6,7 +6,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.cost.model import CostModel
-from repro.errors import BudgetExceededError, UdfError
+from repro.errors import BudgetExceededError, ExecutionError, UdfError
 from repro.exec.cache import CacheStats, PredicateCache
 from repro.exec.containment import (
     ContainmentState,
@@ -18,12 +18,19 @@ from repro.exec.operators import (
     RuntimeContext,
     build_operator,
 )
+from repro.exec.vector import VectorPlanRunner
+from repro.storage.columnar import DEFAULT_BATCH_ROWS
 from repro.faults.clock import SimulatedClock
 from repro.expr.expressions import QualifiedColumn, Scope
 from repro.obs.profile import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 from repro.plan.display import _node_label
 from repro.plan.nodes import Plan, PlanNode
+
+#: Execution engines the facade can dispatch to: the tuple-at-a-time
+#: iterator tree, or the batch-at-a-time columnar tree (identical row
+#: multisets and charge totals; the vector path is the fast one).
+EXECUTORS = ("row", "vector")
 
 
 @dataclass
@@ -99,6 +106,9 @@ class Executor:
         clock: SimulatedClock | None = None,
         collector=None,
         monitor=None,
+        executor: str = "row",
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        cache_capacity: int | None = None,
     ) -> None:
         """``cache_mode`` selects predicate-level (Montage) or
         function-level ([Jhi88]) memoisation; ``cache_bypass`` enables the
@@ -120,8 +130,23 @@ class Executor:
         receives live telemetry — per-operator progress, predicate
         cost histograms, resource accounting (normally a
         :class:`~repro.obs.runtime_telemetry.RuntimeMonitor`; the
-        default ``None`` keeps the hot path telemetry-free)."""
+        default ``None`` keeps the hot path telemetry-free).
+        ``executor`` selects the engine: ``"row"`` (tuple-at-a-time,
+        the baseline whose charge stream all baselines are pinned to)
+        or ``"vector"`` (batch-at-a-time columnar, same rows and charge
+        totals, faster); ``batch_rows`` sizes the vector engine's
+        column batches. ``cache_capacity`` bounds the predicate cache's
+        *total* entry count across all predicates (global LRU/FIFO per
+        ``cache_replacement``), composing with the per-predicate
+        ``cache_limit``."""
+        if executor not in EXECUTORS:
+            raise ExecutionError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
         self.db = db
+        self.executor = executor
+        self.batch_rows = batch_rows
+        self.cache_capacity = cache_capacity
         self.caching = caching
         self.budget = budget
         self.cache_limit = cache_limit
@@ -194,6 +219,7 @@ class Executor:
             PredicateCache(
                 max_entries_per_predicate=self.cache_limit,
                 replacement=self.cache_replacement,
+                max_total_entries=self.cache_capacity,
             )
             if self.caching
             else None
@@ -240,14 +266,21 @@ class Executor:
             "execute", caching=self.caching, instrumented=instrument
         ) as span:
             try:
+                vectorized = self.executor == "vector"
                 with tracer.span("executor.build"), \
                         profiler.phase("exec.build"):
-                    operator = build_operator(node, ctx)
-                scope = operator.scope
+                    if vectorized:
+                        runner = VectorPlanRunner(node, ctx, self.batch_rows)
+                    else:
+                        runner = build_operator(node, ctx)
+                scope = runner.scope
                 with tracer.span("executor.run"), \
                         profiler.phase("exec.run"):
-                    for row in operator:
-                        rows.append(row)
+                    if vectorized:
+                        runner.run_into(rows)
+                    else:
+                        for row in runner:
+                            rows.append(row)
             except BudgetExceededError as exc:
                 error = (
                     f"budget: charged {exc.charged:.1f} > "

@@ -1,0 +1,1194 @@
+"""Batch-at-a-time (vectorized) execution: the row executor's fast twin.
+
+Operators here consume and produce :class:`~repro.storage.columnar.
+ColumnBatch` objects instead of single rows, with three speed levers:
+
+* **compiled kernels** — each predicate's expression tree is compiled
+  once into nested closures over binding-slot indices, replacing the
+  per-row recursive AST walk (and its per-column ``scope.slot`` dict
+  lookups) with direct indexing;
+* **selection vectors** — filters fill a byte mask and gather survivors
+  column-at-a-time, so each expensive-UDF call is made (and charged)
+  only for selection-vector survivors;
+* **bulk metering** — per-tuple CPU and rescan-I/O charges accrue once
+  per batch (``cost × n``) instead of once per row, and equijoin
+  nested-loop primaries are matched by hash partitioning instead of
+  evaluating the equality on every pair.
+
+Charging parity is the contract: a completed vector run charges exactly
+what the row executor charges (same ``charged``, ``io_charged``,
+``function_charged``, ``function_calls``, and — with unbounded caches —
+the same hit/miss counts), and produces the identical row multiset. Runs
+that exceed the cost budget DNF in both executors (charges accrue
+monotonically to the same total), though the partial ``charged`` at
+abort time may differ because batches charge in groups.
+
+Failure containment (`ctx.containment`) switches predicate evaluation to
+the row path's per-tuple contained loop, so retry/quarantine semantics —
+and the chaos suite's subset/superset audits — are preserved under
+batching. FeedbackCollector / RuntimeMonitor sinks are observed
+per batch via their ``observe_batch`` / ``observe_predicate_batch`` /
+``on_rows`` bulk hooks (with per-call fallbacks), and cost nothing when
+detached.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import compress
+from typing import Callable, Iterator
+
+from repro.errors import ExecutionError, PlanError
+from repro.exec.operators import (
+    OperatorStats,
+    RuntimeContext,
+    _scope_width,
+    evaluate_predicate,
+)
+from repro.expr.expressions import (
+    _ARITHMETIC,
+    _COMPARATORS,
+    BinaryOp,
+    Column,
+    Comparison,
+    Const,
+    Expr,
+    FuncCall,
+    Logical,
+    Not,
+    Scope,
+)
+from repro.expr.predicates import BoolBranch, BoolLeaf, Predicate
+from repro.plan.nodes import Join, JoinMethod, PlanNode, Scan
+from repro.storage.columnar import (
+    DEFAULT_BATCH_ROWS,
+    ColumnBatch,
+    batches_from_heap,
+    batches_from_rows,
+)
+from repro.storage.meter import IOKind
+
+
+# -- kernel compilation ------------------------------------------------------
+
+
+def compile_kernel(
+    expr: Expr, scope: Scope, functions
+) -> Callable[[tuple], object]:
+    """Compile an expression into a closure over binding tuples.
+
+    Semantics mirror ``Expr.evaluate`` exactly (including three-valued
+    NULL propagation); the only difference is that column slots and
+    function objects are resolved once, at compile time.
+    """
+    if isinstance(expr, Const):
+        value = expr.value
+        return lambda binding: value
+    if isinstance(expr, Column):
+        slot = scope.slot(expr.table, expr.attribute)
+        return lambda binding: binding[slot]
+    if isinstance(expr, FuncCall):
+        fn = functions.get(expr.name)
+        kernels = tuple(
+            compile_kernel(arg, scope, functions) for arg in expr.args
+        )
+        if len(kernels) == 1:
+            arg0 = kernels[0]
+            return lambda binding: fn(arg0(binding))
+        if len(kernels) == 2:
+            arg0, arg1 = kernels
+            return lambda binding: fn(arg0(binding), arg1(binding))
+        return lambda binding: fn(*(k(binding) for k in kernels))
+    if isinstance(expr, (Comparison, BinaryOp)):
+        table = _COMPARATORS if isinstance(expr, Comparison) else _ARITHMETIC
+        op = table[expr.op]
+        left = compile_kernel(expr.left, scope, functions)
+        right = compile_kernel(expr.right, scope, functions)
+
+        def binary(binding):
+            a = left(binding)
+            b = right(binding)
+            if a is None or b is None:
+                return None
+            return op(a, b)
+
+        return binary
+    if isinstance(expr, Logical):
+        kernels = tuple(
+            compile_kernel(operand, scope, functions)
+            for operand in expr.operands
+        )
+        conjunctive = expr.op == "AND"
+
+        def logical(binding):
+            # All operands evaluate (three-valued), like Logical.evaluate.
+            values = [k(binding) for k in kernels]
+            if conjunctive:
+                if any(value is False for value in values):
+                    return False
+                if any(value is None for value in values):
+                    return None
+                return True
+            if any(value is True for value in values):
+                return True
+            if any(value is None for value in values):
+                return None
+            return False
+
+        return logical
+    if isinstance(expr, Not):
+        inner = compile_kernel(expr.operand, scope, functions)
+
+        def negate(binding):
+            value = inner(binding)
+            if value is None:
+                return None
+            return not value
+
+        return negate
+    raise ExecutionError(
+        f"cannot compile expression type: {type(expr).__name__}"
+    )
+
+
+def _compile_tree_walk(
+    tree: BoolBranch, scope: Scope, functions, meter
+) -> Callable[[tuple], bool]:
+    """Compile a cost-ordered boolean tree into a short-circuit closure.
+
+    Each expensive leaf charges its per-call cost right after it
+    evaluates (evaluate-then-charge, like the row path's
+    ``_evaluate_tree``); pass ``meter=None`` under function-level
+    caching, where the memoising wrappers do their own charging.
+    """
+
+    def build(node) -> Callable[[tuple], bool]:
+        if isinstance(node, BoolLeaf):
+            kernel = compile_kernel(node.expr, scope, functions)
+            if meter is not None and node.is_expensive:
+                cost = node.cost
+
+                def leaf(binding):
+                    value = kernel(binding)
+                    meter.charge_function(cost)
+                    return value is True
+
+                return leaf
+            return lambda binding: kernel(binding) is True
+        children = tuple(build(child) for child in node.children)
+        conjunctive = node.op == "AND"
+
+        def branch(binding):
+            for child in children:
+                passed = child(binding)
+                if passed is not conjunctive:
+                    return passed
+            return conjunctive
+
+        return branch
+
+    return build(tree)
+
+
+# -- batch predicate evaluation ----------------------------------------------
+
+
+class PredicateRunner:
+    """Evaluates one predicate over binding batches with charging,
+    caching, and observation totals identical to the row path's
+    ``_evaluate_once``.
+
+    Bindings are tuples of the predicate's ``input_columns()`` values in
+    declaration order — exactly the row path's cache key — so predicate-
+    cache contents and hit/miss totals match the row executor whenever
+    the cache is unbounded (bounded caches are order-sensitive).
+
+    Function costs charge in bulk per batch (``cost × evaluations``,
+    via ``charge_function(cost, calls=n)``): total charge, call count,
+    and the completed/DNF verdict all match the row executor; only the
+    intermediate meter reading inside a batch differs. With feedback or
+    telemetry sinks attached, evaluation drops to a per-binding bracket
+    so observations carry exact per-call costs.
+    """
+
+    def __init__(self, predicate: Predicate, ctx: RuntimeContext) -> None:
+        self.predicate = predicate
+        self.ctx = ctx
+        self.scope = Scope(list(predicate.input_columns()))
+        self.caching = (
+            ctx.caching
+            and predicate.is_expensive
+            and predicate.pred_id not in ctx.bypass_ids
+        )
+        self.function_mode = self.caching and ctx.cache_mode == "function"
+        functions = (
+            ctx.caching_functions()
+            if self.function_mode
+            else ctx.catalog.functions
+        )
+        tree = predicate.tree
+        self.compound = isinstance(tree, BoolBranch)
+        if self.compound:
+            meter = None if self.function_mode else ctx.meter
+            self._walk = _compile_tree_walk(tree, self.scope, functions, meter)
+            self._kernel = None
+        else:
+            self._walk = None
+            self._kernel = compile_kernel(predicate.expr, self.scope, functions)
+        # Batchable-UDF shape: a lone function call whose arguments are
+        # exactly the binding columns, in order — then bindings *are*
+        # the call's argument tuples and the registry's vectorized
+        # entry point applies. Gated on the implementation actually
+        # carrying a ``batch`` form (bool-per-binding contract); a
+        # fault-injector wrapper strips it, restoring per-call
+        # dispatch. (Not under function-level caching, where the
+        # memoising wrappers must see each call.)
+        expr = predicate.expr
+        self._direct_function = None
+        if (
+            not self.compound
+            and not self.function_mode
+            and isinstance(expr, FuncCall)
+            and all(isinstance(arg, Column) for arg in expr.args)
+            and [(arg.table, arg.attribute) for arg in expr.args]
+            == list(predicate.input_columns())
+        ):
+            function = ctx.catalog.functions.get(expr.name)
+            if getattr(function.fn, "batch", None) is not None:
+                self._direct_function = function
+        # Free column-vs-constant comparisons (`t10.a20 < 5`) evaluate
+        # column-at-a-time: one packed-column scan into the mask, no
+        # binding tuples, no charges (the predicate is free).
+        self._column_compare = None
+        if (
+            not self.compound
+            and not predicate.is_expensive
+            and isinstance(expr, Comparison)
+        ):
+            left, right = expr.left, expr.right
+            op = _COMPARATORS[expr.op]
+            if isinstance(left, Column) and isinstance(right, Const):
+                self._column_compare = (op, right.value, False)
+            elif isinstance(left, Const) and isinstance(right, Column):
+                self._column_compare = (op, left.value, True)
+
+    # One binding, mirroring `_evaluate_once`'s three paths. Used by the
+    # observed (per-binding bracketed) regime only.
+    def _evaluate_one(self, binding: tuple) -> bool:
+        if self.function_mode:
+            if self.compound:
+                return self._walk(binding)
+            return self._kernel(binding) is True
+        if self.caching:
+            cache = self.ctx.cache
+            found, value = cache.lookup(self.predicate.pred_id, binding)
+            if not found:
+                if self.compound:
+                    value = self._walk(binding)
+                else:
+                    value = self._kernel(binding)
+                    self.ctx.meter.charge_function(
+                        self.predicate.cost_per_tuple
+                    )
+                cache.store(self.predicate.pred_id, binding, value)
+            return value is True
+        if self.compound:
+            return self._walk(binding)
+        value = self._kernel(binding)
+        if self.predicate.is_expensive:
+            self.ctx.meter.charge_function(self.predicate.cost_per_tuple)
+        return value is True
+
+    def evaluate_batch(self, batch: ColumnBatch, slots: list[int]) -> bytearray:
+        """Fill a selection mask over a whole batch, reading columns
+        directly when the predicate shape allows it."""
+        ctx = self.ctx
+        if (
+            self._column_compare is not None
+            and ctx.collector is None
+            and ctx.monitor is None
+        ):
+            op, const, reversed_ = self._column_compare
+            if const is None:  # comparisons against NULL never pass
+                return bytearray(batch.length)
+            column = batch.column(slots[0])
+            if reversed_:
+                return bytearray(
+                    (v is not None and op(const, v)) is True for v in column
+                )
+            return bytearray(
+                (v is not None and op(v, const)) is True for v in column
+            )
+        return self.evaluate_bindings(_bindings_from_batch(batch, slots))
+
+    def evaluate_bindings(self, bindings: list[tuple]) -> bytearray:
+        """Fill a selection mask over one batch of bindings."""
+        ctx = self.ctx
+        if ctx.collector is not None or ctx.monitor is not None:
+            return self._evaluate_observed(bindings)
+        n = len(bindings)
+        mask = bytearray(n)
+        if not n:
+            return mask
+        predicate = self.predicate
+        if self.caching and not self.function_mode:
+            # Predicate-level cache: per-binding lookups (hit/miss
+            # parity with the row path), misses charged in bulk.
+            cache = ctx.cache
+            lookup = cache.lookup
+            store = cache.store
+            pred_id = predicate.pred_id
+            walk = self._walk
+            kernel = self._kernel
+            misses = 0
+            for i, binding in enumerate(bindings):
+                found, value = lookup(pred_id, binding)
+                if not found:
+                    if walk is not None:
+                        value = walk(binding)  # charges its own leaves
+                    else:
+                        value = kernel(binding)
+                        misses += 1
+                    store(pred_id, binding, value)
+                if value is True:
+                    mask[i] = 1
+            if misses:
+                ctx.meter.charge_function(predicate.cost_per_tuple, misses)
+            return mask
+        if self._direct_function is not None:
+            verdicts = self._direct_function.call_batch(bindings)
+            if predicate.is_expensive:
+                ctx.meter.charge_function(predicate.cost_per_tuple, n)
+            # batch-form verdicts are bools, which pack straight into
+            # the selection mask at C speed.
+            return bytearray(verdicts)
+        evaluate = self._walk if self._walk is not None else self._kernel
+        for i, binding in enumerate(bindings):
+            if evaluate(binding) is True:
+                mask[i] = 1
+        if (
+            self._walk is None
+            and not self.function_mode
+            and predicate.is_expensive
+        ):
+            ctx.meter.charge_function(predicate.cost_per_tuple, n)
+        return mask
+
+    def _evaluate_observed(self, bindings: list[tuple]) -> bytearray:
+        """Attached regime: bracket each evaluation with the meter's
+        function-charge delta so batch observations carry the exact
+        per-call costs the row path would have reported."""
+        mask = bytearray(len(bindings))
+        if not bindings:
+            return mask
+        meter = self.ctx.meter
+        evaluate_one = self._evaluate_one
+        passed_count = 0
+        charges: list[float] = []
+        for i, binding in enumerate(bindings):
+            before = meter.function_charged
+            if evaluate_one(binding):
+                mask[i] = 1
+                passed_count += 1
+            charges.append(meter.function_charged - before)
+        observe_predicate_batch(
+            self.ctx.collector,
+            self.ctx.monitor,
+            self.predicate,
+            mask,
+            passed_count,
+            charges,
+        )
+        return mask
+
+
+def observe_predicate_batch(
+    collector,
+    monitor,
+    predicate: Predicate,
+    mask: bytearray,
+    passed_count: int,
+    charges: list[float],
+) -> None:
+    """Report one batch of predicate verdicts to the attached sinks,
+    preferring their bulk hooks and falling back to per-call observes
+    for duck-typed sinks that lack them."""
+    evaluated = len(charges)
+    if collector is not None:
+        bulk = getattr(collector, "observe_batch", None)
+        if bulk is not None:
+            charged_calls = 0
+            charged_cost = 0.0
+            for charge in charges:
+                if charge > 0:
+                    charged_calls += 1
+                    charged_cost += charge
+            bulk(
+                predicate, evaluated, passed_count, charged_calls, charged_cost
+            )
+        else:
+            for i in range(evaluated):
+                collector.observe(predicate, mask[i] == 1, charges[i])
+    if monitor is not None:
+        bulk = getattr(monitor, "observe_predicate_batch", None)
+        if bulk is not None:
+            bulk(predicate, evaluated, passed_count, charges)
+        else:
+            for i in range(evaluated):
+                monitor.observe_predicate(predicate, mask[i] == 1, charges[i])
+
+
+def _bindings_from_batch(
+    batch: ColumnBatch, slots: list[int]
+) -> list[tuple]:
+    if not slots:
+        return [()] * batch.length
+    return list(zip(*(batch.column(slot) for slot in slots)))
+
+
+def _input_slots(predicate: Predicate, scope: Scope) -> list[int]:
+    return [
+        scope.slot(table, attribute)
+        for table, attribute in predicate.input_columns()
+    ]
+
+
+# -- batch operators ---------------------------------------------------------
+
+
+class BatchOperator:
+    """Base: an iterable of :class:`ColumnBatch` with a fixed scope."""
+
+    scope: Scope
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        raise NotImplementedError
+
+
+class BatchSeqScan(BatchOperator):
+    def __init__(
+        self, table: str, ctx: RuntimeContext, batch_rows: int
+    ) -> None:
+        entry = ctx.catalog.table(table)
+        if entry.heap is None:
+            raise ExecutionError(f"relation {table!r} has no heap file")
+        self.entry = entry
+        self.batch_rows = batch_rows
+        self.scope = Scope(
+            [(table, name) for name in entry.schema.attribute_names]
+        )
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        return batches_from_heap(self.entry.heap, self.scope, self.batch_rows)
+
+
+class BatchIndexScan(BatchOperator):
+    def __init__(
+        self,
+        table: str,
+        attribute: str,
+        low: object,
+        high: object,
+        ctx: RuntimeContext,
+        batch_rows: int,
+    ) -> None:
+        entry = ctx.catalog.table(table)
+        if not entry.has_index(attribute):
+            raise ExecutionError(f"no index on {table}.{attribute}")
+        self.entry = entry
+        self.index = entry.index(attribute)
+        self.low = low
+        self.high = high
+        self.batch_rows = batch_rows
+        self.scope = Scope(
+            [(table, name) for name in entry.schema.attribute_names]
+        )
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        heap = self.entry.heap
+
+        def rows() -> Iterator[tuple]:
+            for rid in self.index.range_search(self.low, self.high):
+                yield heap.fetch_rid(rid)
+
+        return batches_from_rows(self.scope, rows(), self.batch_rows)
+
+
+class BatchFilter(BatchOperator):
+    """Applies an ordered predicate list batch-at-a-time.
+
+    Each predicate fills a selection mask over the current survivors and
+    the batch is compacted before the next predicate runs — so, exactly
+    like the row path's short-circuiting ``all()``, predicate *k* only
+    ever evaluates (and charges for) rows that passed predicates
+    ``< k``.
+    """
+
+    def __init__(
+        self,
+        child: BatchOperator,
+        filters: list[Predicate],
+        ctx: RuntimeContext,
+    ) -> None:
+        self.child = child
+        self.filters = filters
+        self.ctx = ctx
+        self.scope = child.scope
+        if ctx.containment is None:
+            self._runners = [
+                (PredicateRunner(p, ctx), _input_slots(p, self.scope))
+                for p in filters
+            ]
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        ctx = self.ctx
+        if ctx.containment is not None:
+            # Containment slow path: per-tuple contained evaluation keeps
+            # retry, backoff, and quarantine semantics row-identical.
+            scope = self.scope
+            filters = self.filters
+            for batch in self.child.batches():
+                mask = bytearray(batch.length)
+                for i, row in enumerate(batch.iter_rows()):
+                    if all(
+                        evaluate_predicate(predicate, row, scope, ctx)
+                        for predicate in filters
+                    ):
+                        mask[i] = 1
+                batch = batch.take(mask)
+                if batch.length:
+                    yield batch
+            return
+        runners = self._runners
+        for batch in self.child.batches():
+            for runner, slots in runners:
+                if batch.length == 0:
+                    break
+                mask = runner.evaluate_batch(batch, slots)
+                batch = batch.take(mask)
+            if batch.length:
+                yield batch
+
+
+class _BatchBuilder:
+    """Accumulates joined rows and flushes fixed-size column batches."""
+
+    def __init__(self, scope: Scope, batch_rows: int) -> None:
+        self.scope = scope
+        self.batch_rows = batch_rows
+        self.rows: list[tuple] = []
+
+    def drain(self) -> Iterator[ColumnBatch]:
+        # Mutate in place: callers hold aliases to ``self.rows``.
+        while len(self.rows) >= self.batch_rows:
+            chunk = self.rows[: self.batch_rows]
+            del self.rows[: self.batch_rows]
+            yield ColumnBatch.from_rows(self.scope, chunk)
+
+    def flush(self) -> Iterator[ColumnBatch]:
+        if self.rows:
+            # Copy before clearing: batches no longer copy on
+            # construction, and callers alias ``self.rows``.
+            rows = list(self.rows)
+            self.rows.clear()
+            yield ColumnBatch.from_rows(self.scope, rows)
+
+
+class BatchNestedLoopJoin(BatchOperator):
+    """Nested loop over batches.
+
+    Equijoin primaries with free equality predicates are matched by hash
+    partitioning on the join key (None keys never match, like SQL ``=``)
+    — an O(|R|+|S|) evaluation of the same pair set the row executor
+    walks in O(|R|·|S|). Expensive, compound, or non-equality primaries
+    evaluate per pair through a compiled :class:`PredicateRunner`. All
+    metering (inner materialisation CPU, per-outer-tuple CPU and rescan
+    I/O, primary-predicate function charges) totals exactly what the row
+    operator charges.
+    """
+
+    def __init__(
+        self,
+        join: Join,
+        outer: BatchOperator,
+        inner: BatchOperator,
+        ctx: RuntimeContext,
+        batch_rows: int,
+    ) -> None:
+        self.join = join
+        self.outer = outer
+        self.inner = inner
+        self.ctx = ctx
+        self.batch_rows = batch_rows
+        self.scope = outer.scope.concat(inner.scope)
+        inner_node = join.inner
+        if isinstance(inner_node, Scan):
+            self.inner_base_pages: int | None = ctx.catalog.table(
+                inner_node.table
+            ).pages
+        else:
+            self.inner_base_pages = None
+        primary = join.primary
+        self._hash_eligible = (
+            ctx.containment is None
+            and primary.equijoin is not None
+            and not primary.is_expensive
+        )
+        if self._hash_eligible:
+            left, right = primary.equijoin
+            if (left.table, left.attribute) in outer.scope:
+                outer_col, inner_col = left, right
+            else:
+                outer_col, inner_col = right, left
+            self.outer_slot = outer.scope.slot(
+                outer_col.table, outer_col.attribute
+            )
+            self.inner_slot = inner.scope.slot(
+                inner_col.table, inner_col.attribute
+            )
+        elif ctx.containment is None:
+            self._runner = PredicateRunner(primary, ctx)
+            outer_scope, inner_scope = outer.scope, inner.scope
+            self._getters = [
+                (True, outer_scope.slot(table, attribute))
+                if (table, attribute) in outer_scope
+                else (False, inner_scope.slot(table, attribute))
+                for table, attribute in primary.input_columns()
+            ]
+
+    def _rescan_pages(self, inner_rows: list[tuple]) -> int:
+        if self.inner_base_pages is not None:
+            return self.inner_base_pages
+        width = _scope_width(self.inner.scope, self.ctx.catalog)
+        return int(self.ctx.params.pages_for(len(inner_rows), width))
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        ctx = self.ctx
+        meter = ctx.meter
+        cpu = ctx.params.cpu_per_tuple
+        inner_rows: list[tuple] = []
+        for batch in self.inner.batches():  # filters evaluated once, here
+            inner_rows.extend(batch.iter_rows())
+        meter.charge_cpu(cpu * len(inner_rows))
+        rescan_pages = self._rescan_pages(inner_rows)
+        out = _BatchBuilder(self.scope, self.batch_rows)
+        if self._hash_eligible:
+            yield from self._hash_matched(inner_rows, rescan_pages, out)
+        else:
+            yield from self._pairwise(inner_rows, rescan_pages, out)
+        yield from out.flush()
+
+    def _hash_matched(
+        self,
+        inner_rows: list[tuple],
+        rescan_pages: int,
+        out: _BatchBuilder,
+    ) -> Iterator[ColumnBatch]:
+        ctx = self.ctx
+        meter = ctx.meter
+        cpu = ctx.params.cpu_per_tuple
+        inner_slot = self.inner_slot
+        buckets: dict[object, list[tuple]] = {}
+        for inner_row in inner_rows:
+            key = inner_row[inner_slot]
+            if key is not None:  # `=` on NULL is never true
+                buckets.setdefault(key, []).append(inner_row)
+        attached = ctx.collector is not None or ctx.monitor is not None
+        pairs = 0
+        matches = 0
+        pending = out.rows
+        for obatch in self.outer.batches():
+            n = obatch.length
+            meter.charge_cpu(cpu * n)
+            meter.charge_io(IOKind.SEQUENTIAL, rescan_pages * n)
+            if attached:
+                pairs += n * len(inner_rows)
+            outer_slot = self.outer_slot
+            for outer_row in obatch.rows:
+                matched = buckets.get(outer_row[outer_slot])
+                if matched:
+                    for inner_row in matched:
+                        pending.append(outer_row + inner_row)
+                    if attached:
+                        matches += len(matched)
+            yield from out.drain()
+        if attached and pairs:
+            # The row path observes the (free) equality once per pair;
+            # report the same verdict totals with zero charged cost.
+            self._observe_pairs(pairs, matches)
+
+    def _observe_pairs(self, pairs: int, matches: int) -> None:
+        ctx = self.ctx
+        predicate = self.join.primary
+        collector = ctx.collector
+        if collector is not None:
+            bulk = getattr(collector, "observe_batch", None)
+            if bulk is not None:
+                bulk(predicate, pairs, matches, 0, 0.0)
+        monitor = ctx.monitor
+        if monitor is not None:
+            bulk = getattr(monitor, "observe_predicate_batch", None)
+            if bulk is not None:
+                bulk(predicate, pairs, matches, ())
+
+    def _pairwise(
+        self,
+        inner_rows: list[tuple],
+        rescan_pages: int,
+        out: _BatchBuilder,
+    ) -> Iterator[ColumnBatch]:
+        ctx = self.ctx
+        meter = ctx.meter
+        cpu = ctx.params.cpu_per_tuple
+        primary = self.join.primary
+        contained = ctx.containment is not None
+        pending = out.rows
+        scope = self.scope
+        if contained:
+            for obatch in self.outer.batches():
+                n = obatch.length
+                meter.charge_cpu(cpu * n)
+                meter.charge_io(IOKind.SEQUENTIAL, rescan_pages * n)
+                for outer_row in obatch.rows:
+                    for inner_row in inner_rows:
+                        row = outer_row + inner_row
+                        if evaluate_predicate(primary, row, scope, ctx):
+                            pending.append(row)
+                yield from out.drain()
+            return
+        runner = self._runner
+        getters = self._getters
+        # Two-column one-per-side primaries (the common UDF join shape,
+        # e.g. ``expjoin10(t7.a, t3.a)``) get a specialised binding
+        # build: the inner side's values materialise once, and each
+        # outer row pairs its single value against them in one listcomp.
+        two_col = (
+            len(getters) == 2 and getters[0][0] is not getters[1][0]
+        )
+        if two_col and inner_rows:
+            outer_first = getters[0][0]
+            outer_slot = (getters[0] if outer_first else getters[1])[1]
+            inner_slot = (getters[1] if outer_first else getters[0])[1]
+            inner_vals = [row[inner_slot] for row in inner_rows]
+            for obatch in self.outer.batches():
+                n = obatch.length
+                meter.charge_cpu(cpu * n)
+                meter.charge_io(IOKind.SEQUENTIAL, rescan_pages * n)
+                for outer_row in obatch.rows:
+                    ov = outer_row[outer_slot]
+                    if outer_first:
+                        bindings = [(ov, iv) for iv in inner_vals]
+                    else:
+                        bindings = [(iv, ov) for iv in inner_vals]
+                    mask = runner.evaluate_bindings(bindings)
+                    for inner_row in compress(inner_rows, mask):
+                        pending.append(outer_row + inner_row)
+                yield from out.drain()
+            return
+        for obatch in self.outer.batches():
+            n = obatch.length
+            meter.charge_cpu(cpu * n)
+            meter.charge_io(IOKind.SEQUENTIAL, rescan_pages * n)
+            if inner_rows:
+                for outer_row in obatch.rows:
+                    bindings = [
+                        tuple(
+                            (outer_row if from_outer else inner_row)[slot]
+                            for from_outer, slot in getters
+                        )
+                        for inner_row in inner_rows
+                    ]
+                    mask = runner.evaluate_bindings(bindings)
+                    for inner_row in compress(inner_rows, mask):
+                        pending.append(outer_row + inner_row)
+            yield from out.drain()
+
+
+class BatchIndexNestedLoopJoin(BatchOperator):
+    """Index nested loop: probes stay in row order so buffer-pool hits
+    (and therefore random-I/O charges) match the row executor's."""
+
+    def __init__(
+        self,
+        join: Join,
+        outer: BatchOperator,
+        ctx: RuntimeContext,
+        batch_rows: int,
+    ) -> None:
+        inner_scan = join.inner
+        if not isinstance(inner_scan, Scan):
+            raise PlanError("left-deep plans require a scan inner input")
+        columns = join.join_columns()
+        if columns is None:
+            raise PlanError("index nested loop requires an equijoin primary")
+        outer_column, inner_column = columns
+        entry = ctx.catalog.table(inner_scan.table)
+        if not entry.has_index(inner_column.attribute):
+            raise ExecutionError(
+                f"no index on {inner_column.table}.{inner_column.attribute}"
+            )
+        self.join = join
+        self.outer = outer
+        self.ctx = ctx
+        self.batch_rows = batch_rows
+        self.entry = entry
+        self.index = entry.index(inner_column.attribute)
+        self.inner_filters = inner_scan.filters
+        self.inner_scope = Scope(
+            [(inner_scan.table, name) for name in entry.schema.attribute_names]
+        )
+        self.outer_slot = outer.scope.slot(
+            outer_column.table, outer_column.attribute
+        )
+        self.scope = outer.scope.concat(self.inner_scope)
+        if ctx.containment is None:
+            self._runners = [
+                (PredicateRunner(p, ctx), _input_slots(p, self.inner_scope))
+                for p in self.inner_filters
+            ]
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        ctx = self.ctx
+        meter = ctx.meter
+        cpu = ctx.params.cpu_per_tuple
+        heap = self.entry.heap
+        index = self.index
+        contained = ctx.containment is not None
+        out = _BatchBuilder(self.scope, self.batch_rows)
+        pending = out.rows
+        for obatch in self.outer.batches():
+            meter.charge_cpu(cpu * obatch.length)
+            outer_slot = self.outer_slot
+            outer_rows = obatch.rows
+            # Probe in row order; collect fetched pairs for batch filtering.
+            pairs: list[tuple[int, tuple]] = []
+            for i, outer_row in enumerate(outer_rows):
+                for rid in index.search(outer_row[outer_slot]):
+                    pairs.append((i, heap.fetch_rid(rid)))
+            if contained:
+                inner_scope = self.inner_scope
+                for i, inner_row in pairs:
+                    if all(
+                        evaluate_predicate(
+                            predicate, inner_row, inner_scope, ctx
+                        )
+                        for predicate in self.inner_filters
+                    ):
+                        pending.append(outer_rows[i] + inner_row)
+            else:
+                for runner, slots in self._runners:
+                    if not pairs:
+                        break
+                    bindings = [
+                        tuple(inner_row[slot] for slot in slots)
+                        for _, inner_row in pairs
+                    ]
+                    mask = runner.evaluate_bindings(bindings)
+                    pairs = list(compress(pairs, mask))
+                for i, inner_row in pairs:
+                    pending.append(outer_rows[i] + inner_row)
+            yield from out.drain()
+        yield from out.flush()
+
+
+class BatchMergeJoin(BatchOperator):
+    """Sort-merge join; sort and CPU charges mirror the row operator."""
+
+    def __init__(
+        self,
+        join: Join,
+        outer: BatchOperator,
+        inner: BatchOperator,
+        ctx: RuntimeContext,
+        batch_rows: int,
+    ) -> None:
+        columns = join.join_columns()
+        if columns is None:
+            raise PlanError("merge join requires an equijoin primary")
+        outer_column, inner_column = columns
+        self.join = join
+        self.outer = outer
+        self.inner = inner
+        self.ctx = ctx
+        self.batch_rows = batch_rows
+        self.scope = outer.scope.concat(inner.scope)
+        self.outer_slot = outer.scope.slot(
+            outer_column.table, outer_column.attribute
+        )
+        self.inner_slot = inner.scope.slot(
+            inner_column.table, inner_column.attribute
+        )
+
+    def _sorted_rows(self, child: BatchOperator, slot: int) -> list[tuple]:
+        rows: list[tuple] = []
+        for batch in child.batches():
+            rows.extend(batch.iter_rows())
+        rows.sort(key=lambda row: row[slot])
+        width = _scope_width(child.scope, self.ctx.catalog)
+        params = self.ctx.params
+        pages = int(params.pages_for(len(rows), width))
+        self.ctx.meter.charge_io(
+            IOKind.SEQUENTIAL, 2 * pages * params.sort_passes(pages)
+        )
+        self.ctx.meter.charge_cpu(params.cpu_per_tuple * len(rows))
+        return rows
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        outer_rows = self._sorted_rows(self.outer, self.outer_slot)
+        inner_rows = self._sorted_rows(self.inner, self.inner_slot)
+        inner_slot = self.inner_slot
+        inner_len = len(inner_rows)
+        inner_pos = 0
+        out = _BatchBuilder(self.scope, self.batch_rows)
+        pending = out.rows
+        for outer_row in outer_rows:
+            key = outer_row[self.outer_slot]
+            while (
+                inner_pos < inner_len
+                and inner_rows[inner_pos][inner_slot] < key
+            ):
+                inner_pos += 1
+            probe = inner_pos
+            while (
+                probe < inner_len and inner_rows[probe][inner_slot] == key
+            ):
+                pending.append(outer_row + inner_rows[probe])
+                probe += 1
+            yield from out.drain()
+        yield from out.flush()
+
+
+class BatchHashJoin(BatchOperator):
+    """Hash join; build/probe CPU and Grace-spill charges mirror the row
+    operator (bulk-charged per batch)."""
+
+    def __init__(
+        self,
+        join: Join,
+        outer: BatchOperator,
+        inner: BatchOperator,
+        ctx: RuntimeContext,
+        batch_rows: int,
+    ) -> None:
+        columns = join.join_columns()
+        if columns is None:
+            raise PlanError("hash join requires an equijoin primary")
+        outer_column, inner_column = columns
+        self.join = join
+        self.outer = outer
+        self.inner = inner
+        self.ctx = ctx
+        self.batch_rows = batch_rows
+        self.scope = outer.scope.concat(inner.scope)
+        self.outer_slot = outer.scope.slot(
+            outer_column.table, outer_column.attribute
+        )
+        self.inner_slot = inner.scope.slot(
+            inner_column.table, inner_column.attribute
+        )
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        ctx = self.ctx
+        meter = ctx.meter
+        cpu = ctx.params.cpu_per_tuple
+        inner_slot = self.inner_slot
+        table: dict[object, list[tuple]] = {}
+        inner_count = 0
+        for batch in self.inner.batches():
+            meter.charge_cpu(cpu * batch.length)
+            inner_count += batch.length
+            for inner_row in batch.iter_rows():
+                table.setdefault(inner_row[inner_slot], []).append(inner_row)
+        inner_width = _scope_width(self.inner.scope, ctx.catalog)
+        inner_pages = ctx.params.pages_for(inner_count, inner_width)
+        out = _BatchBuilder(self.scope, self.batch_rows)
+        pending = out.rows
+        outer_slot = self.outer_slot
+        if inner_pages > ctx.params.hash_memory_pages:
+            # Grace hash join: partition both sides to disk and back.
+            outer_batches = list(self.outer.batches())
+            outer_count = sum(batch.length for batch in outer_batches)
+            outer_width = _scope_width(self.outer.scope, ctx.catalog)
+            outer_pages = ctx.params.pages_for(outer_count, outer_width)
+            meter.charge_io(
+                IOKind.SEQUENTIAL, 2 * int(inner_pages + outer_pages)
+            )
+        else:
+            outer_batches = self.outer.batches()
+        for obatch in outer_batches:
+            meter.charge_cpu(cpu * obatch.length)
+            for outer_row in obatch.rows:
+                matched = table.get(outer_row[outer_slot])
+                if matched:
+                    for inner_row in matched:
+                        pending.append(outer_row + inner_row)
+            yield from out.drain()
+        yield from out.flush()
+
+
+# -- instrumentation / telemetry wrappers ------------------------------------
+
+
+class InstrumentedBatchOperator(BatchOperator):
+    """Batch analogue of ``InstrumentedOperator``: meter/cache deltas are
+    bracketed around each batch pull, inclusive of the node's subtree."""
+
+    def __init__(
+        self, node: PlanNode, child: BatchOperator, ctx: RuntimeContext
+    ) -> None:
+        assert ctx.node_stats is not None
+        self.child = child
+        self.ctx = ctx
+        self.scope = child.scope
+        self.stats = OperatorStats()
+        ctx.node_stats[id(node)] = self.stats
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        meter = self.ctx.meter
+        cache = self.ctx.cache
+        stats = self.stats
+        iterator = self.child.batches()
+        while True:
+            charged_before = meter.charged
+            io_before = meter.io_charged
+            function_before = meter.function_charged
+            hits_before = cache.stats.hits if cache is not None else 0
+            started = time.perf_counter()
+            try:
+                batch = next(iterator)
+            except StopIteration:
+                stats.wall_seconds += time.perf_counter() - started
+                stats.charged += meter.charged - charged_before
+                stats.io_charged += meter.io_charged - io_before
+                stats.function_charged += (
+                    meter.function_charged - function_before
+                )
+                if cache is not None:
+                    stats.cache_hits += cache.stats.hits - hits_before
+                return
+            stats.wall_seconds += time.perf_counter() - started
+            stats.charged += meter.charged - charged_before
+            stats.io_charged += meter.io_charged - io_before
+            stats.function_charged += meter.function_charged - function_before
+            if cache is not None:
+                stats.cache_hits += cache.stats.hits - hits_before
+            stats.rows_out += batch.length
+            yield batch
+
+
+class MonitoredBatchOperator(BatchOperator):
+    """Batch analogue of ``MonitoredOperator``: activation at
+    construction, one bulk row report per batch, completion on
+    exhaustion. Uses the monitor's ``on_rows`` bulk hook when present."""
+
+    def __init__(
+        self, node: PlanNode, child: BatchOperator, ctx: RuntimeContext
+    ) -> None:
+        assert ctx.monitor is not None
+        self.child = child
+        self.monitor = ctx.monitor
+        self.key = id(node)
+        self.scope = child.scope
+        self.monitor.activate(self.key)
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        monitor = self.monitor
+        key = self.key
+        on_rows = getattr(monitor, "on_rows", None)
+        iterator = self.child.batches()
+        while True:
+            started = time.perf_counter()
+            try:
+                batch = next(iterator)
+            except StopIteration:
+                monitor.on_done(key, time.perf_counter() - started)
+                return
+            elapsed = time.perf_counter() - started
+            if on_rows is not None:
+                on_rows(key, batch.length, elapsed)
+            else:
+                per_row = elapsed / batch.length if batch.length else 0.0
+                for _ in range(batch.length):
+                    monitor.on_row(key, per_row)
+            yield batch
+
+
+# -- plan compilation --------------------------------------------------------
+
+
+def build_batch_operator(
+    node: PlanNode,
+    ctx: RuntimeContext,
+    batch_rows: int = DEFAULT_BATCH_ROWS,
+) -> BatchOperator:
+    """Compile a plan tree into a batch-operator tree (instrumented /
+    monitored exactly like :func:`repro.exec.operators.build_operator`)."""
+    operator = _build_batch_operator(node, ctx, batch_rows)
+    if ctx.node_stats is not None:
+        operator = InstrumentedBatchOperator(node, operator, ctx)
+    if ctx.monitor is not None:
+        operator = MonitoredBatchOperator(node, operator, ctx)
+    return operator
+
+
+def _build_batch_operator(
+    node: PlanNode, ctx: RuntimeContext, batch_rows: int
+) -> BatchOperator:
+    if isinstance(node, Scan):
+        if node.index_attr is not None:
+            low, high = node.index_range  # type: ignore[misc]
+            source: BatchOperator = BatchIndexScan(
+                node.table, node.index_attr, low, high, ctx, batch_rows
+            )
+        else:
+            source = BatchSeqScan(node.table, ctx, batch_rows)
+        if node.filters:
+            return BatchFilter(source, node.filters, ctx)
+        return source
+
+    if isinstance(node, Join):
+        outer = build_batch_operator(node.outer, ctx, batch_rows)
+        if node.method is JoinMethod.INDEX_NESTED_LOOP:
+            joined: BatchOperator = BatchIndexNestedLoopJoin(
+                node, outer, ctx, batch_rows
+            )
+        else:
+            inner = build_batch_operator(node.inner, ctx, batch_rows)
+            if node.method is JoinMethod.NESTED_LOOP:
+                joined = BatchNestedLoopJoin(
+                    node, outer, inner, ctx, batch_rows
+                )
+            elif node.method is JoinMethod.MERGE:
+                joined = BatchMergeJoin(node, outer, inner, ctx, batch_rows)
+            elif node.method is JoinMethod.HASH:
+                joined = BatchHashJoin(node, outer, inner, ctx, batch_rows)
+            else:  # pragma: no cover - exhaustive over enum
+                raise PlanError(f"unknown join method {node.method}")
+        if node.filters:
+            return BatchFilter(joined, node.filters, ctx)
+        return joined
+
+    raise PlanError(f"cannot execute node type: {type(node).__name__}")
+
+
+class VectorPlanRunner:
+    """Row-iterable adapter over a batch-operator tree — what the
+    executor facade runs when ``executor="vector"``."""
+
+    def __init__(
+        self,
+        node: PlanNode,
+        ctx: RuntimeContext,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+    ) -> None:
+        self.operator = build_batch_operator(node, ctx, batch_rows)
+        self.scope = self.operator.scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        for batch in self.operator.batches():
+            yield from batch.iter_rows()
+
+    def run_into(self, rows: list[tuple]) -> None:
+        """Collect all output rows with batch-level extends."""
+        for batch in self.operator.batches():
+            rows.extend(batch.iter_rows())

@@ -19,6 +19,29 @@ The paper's central metric is the *rank* of a predicate,
 
 computed here by :func:`rank`. Zero-cost predicates get rank −∞ so they
 always sort first — applying a free filter can never hurt.
+
+Disjunctions generalise the chain: a conjunct whose expression contains
+``OR`` (or a nested ``AND`` under an ``OR``) is annotated with a
+:class:`BoolBranch` tree whose children are *cost-ordered* for
+short-circuit evaluation, following Kim/Ileri/Madden ("Optimizing Query
+Predicates with Disjunctions for Column-Oriented Engines"):
+
+* AND children short-circuit on the first false, so they are ordered by
+  ascending ``rank(s, c)`` — exactly the paper's chain rule applied
+  inside one conjunct;
+* OR children short-circuit on the first *true*, so they are ordered by
+  ascending ``rank(1 − s, c)`` (equivalently ascending ``c / s``): the
+  child most likely to terminate evaluation per unit cost runs first.
+
+The tree's :attr:`~BoolBranch.cost` is the *expected short-circuit cost*
+per input tuple — ``Σᵢ (∏_{j<i} reach_j) · cᵢ`` where ``reach`` is the
+probability a child is even evaluated (``s`` for AND, ``1 − s`` for OR).
+:func:`analyze_conjunct` installs that as the predicate's
+``cost_per_tuple``, so the cost model and the rank arithmetic price
+disjunctive predicates at their short-circuit cost, and the executors
+(row and vector) charge leaf-by-leaf in the same order, making estimates
+and actuals agree. Single-leaf conjuncts are unaffected: their tree is a
+:class:`BoolLeaf` and their cost is the plain per-call sum as before.
 """
 
 from __future__ import annotations
@@ -66,6 +89,87 @@ def rank(selectivity: float, cost_per_tuple: float) -> float:
     return (selectivity - 1.0) / cost_per_tuple
 
 
+@dataclass(frozen=True)
+class BoolLeaf:
+    """An indivisible unit of a conjunct's boolean tree: any expression
+    that is not an AND/OR — comparisons, function calls, NOT subtrees."""
+
+    expr: Expr
+    selectivity: float
+    cost: float
+
+    @property
+    def is_expensive(self) -> bool:
+        return self.cost > ZERO_COST
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class BoolBranch:
+    """An AND/OR node with children in short-circuit evaluation order.
+
+    ``cost`` is the expected per-tuple cost under short-circuiting, not
+    the sum of the children's costs: child ``i`` only runs when none of
+    its predecessors terminated the node (probability ``∏ s_j`` for AND,
+    ``∏ (1 − s_j)`` for OR).
+    """
+
+    op: str  # "AND" | "OR"
+    children: tuple["BoolLeaf | BoolBranch", ...]
+    selectivity: float
+    cost: float
+
+    def leaves(self) -> tuple[BoolLeaf, ...]:
+        out: list[BoolLeaf] = []
+        for child in self.children:
+            if isinstance(child, BoolLeaf):
+                out.append(child)
+            else:
+                out.extend(child.leaves())
+        return tuple(out)
+
+    def __str__(self) -> str:
+        joint = " AND " if self.op == "AND" else " OR "
+        return "(" + joint.join(str(child) for child in self.children) + ")"
+
+
+def build_bool_tree(catalog: Catalog, expr: Expr) -> BoolLeaf | BoolBranch:
+    """Annotate one conjunct's expression as a cost-ordered boolean tree.
+
+    AND children sort by ascending ``rank(s, c)``; OR children by
+    ascending ``rank(1 − s, c)`` (ascending cost per unit of terminating
+    probability). Both sorts are stable, so equal-rank children keep
+    their source order and the result is deterministic.
+    """
+    if isinstance(expr, Logical):
+        children = [build_bool_tree(catalog, o) for o in expr.operands]
+        if expr.op == "AND":
+            children.sort(key=lambda c: rank(c.selectivity, c.cost))
+            selectivity = math.prod(c.selectivity for c in children)
+        else:
+            children.sort(key=lambda c: rank(1.0 - c.selectivity, c.cost))
+            selectivity = 1.0 - math.prod(
+                1.0 - c.selectivity for c in children
+            )
+        cost = 0.0
+        reach = 1.0
+        for child in children:
+            cost += reach * child.cost
+            reach *= (
+                child.selectivity
+                if expr.op == "AND"
+                else 1.0 - child.selectivity
+            )
+        return BoolBranch(expr.op, tuple(children), selectivity, cost)
+    return BoolLeaf(
+        expr=expr,
+        selectivity=_estimate_selectivity(catalog, expr),
+        cost=_estimate_cost(catalog, expr),
+    )
+
+
 @dataclass(eq=False)
 class Predicate:
     """One annotated conjunct. Identity-based equality: two structurally
@@ -76,6 +180,10 @@ class Predicate:
     selectivity: float
     cost_per_tuple: float
     equijoin: tuple[Column, Column] | None = None
+    #: Cost-ordered boolean tree of the conjunct; ``None`` for predicates
+    #: built without catalog analysis (tests, ad-hoc construction), in
+    #: which case the executors fall back to whole-expression evaluation.
+    tree: BoolLeaf | BoolBranch | None = None
     pred_id: int = field(default_factory=lambda: next(_predicate_ids))
 
     @property
@@ -93,6 +201,12 @@ class Predicate:
     @property
     def is_expensive(self) -> bool:
         return self.cost_per_tuple > ZERO_COST
+
+    @property
+    def is_compound(self) -> bool:
+        """True when the conjunct is a boolean tree (contains OR/AND)
+        rather than a single comparison or function call."""
+        return isinstance(self.tree, BoolBranch)
 
     @property
     def rank(self) -> float:
@@ -213,11 +327,19 @@ def _detect_equijoin(expr: Expr) -> tuple[Column, Column] | None:
 
 
 def analyze_conjunct(catalog: Catalog, expr: Expr) -> Predicate:
-    """Annotate one WHERE conjunct into a :class:`Predicate`."""
+    """Annotate one WHERE conjunct into a :class:`Predicate`.
+
+    The boolean tree carries the conjunct's selectivity and its expected
+    short-circuit cost; for a single-leaf conjunct (no OR) both collapse
+    to the plain estimates, so non-disjunctive predicates are annotated
+    exactly as before.
+    """
+    tree = build_bool_tree(catalog, expr)
     return Predicate(
         expr=expr,
         tables=expr.tables(),
-        selectivity=_estimate_selectivity(catalog, expr),
-        cost_per_tuple=_estimate_cost(catalog, expr),
+        selectivity=tree.selectivity,
+        cost_per_tuple=tree.cost,
         equijoin=_detect_equijoin(expr),
+        tree=tree,
     )

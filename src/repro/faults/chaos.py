@@ -144,6 +144,7 @@ class ChaosReport:
     retries: int
     strategies: tuple[str, ...]
     seeds: tuple[int, ...]
+    executor: str = "row"
     oracle_rows: int = 0
     fault_plans: dict[int, dict] = field(default_factory=dict)
     outcomes: list[ChaosOutcome] = field(default_factory=list)
@@ -184,6 +185,7 @@ class ChaosReport:
             "retries": self.retries,
             "strategies": list(self.strategies),
             "seeds": list(self.seeds),
+            "executor": self.executor,
             "oracle_rows": self.oracle_rows,
             "fault_plans": {
                 str(seed): plan for seed, plan in self.fault_plans.items()
@@ -331,6 +333,7 @@ def run_chaos(
     profile: str = "mixed",
     planner_fault_rate: float = 0.25,
     telemetry: bool = False,
+    executor: str = "row",
 ) -> ChaosReport:
     """Run the chaos suite for one workload; returns the full report.
 
@@ -349,6 +352,10 @@ def run_chaos(
     progress must end at exactly 1.0, an aborted one must be frozen
     with a structured reason — violations land in the report like any
     other invariant breach.
+
+    ``executor`` selects the execution path (``"row"`` or ``"vector"``)
+    for the oracle and every strategy run alike, so the
+    subset/superset-vs-oracle audits hold under batching too.
     """
     if workload_key not in WORKLOADS:
         raise ReproError(
@@ -374,6 +381,7 @@ def run_chaos(
         retries=retries,
         strategies=tuple(strategies),
         seeds=tuple(seeds),
+        executor=executor,
     )
 
     db = build_database(scale=scale, seed=db_seed)
@@ -383,7 +391,9 @@ def run_chaos(
 
     oracle_plan = optimize(db, workload.query, strategy="pushdown")
     oracle = sorted(
-        Executor(db).execute(oracle_plan.plan, project=project).rows
+        Executor(db, executor=executor)
+        .execute(oracle_plan.plan, project=project)
+        .rows
     )
     report.oracle_rows = len(oracle)
 
@@ -466,16 +476,17 @@ def run_chaos(
                     "stats_clamped", 0
                 )
                 monitor = RuntimeMonitor() if telemetry else None
-                executor = Executor(
+                runner = Executor(
                     db,
                     failure_policy=failure_policy,
                     clock=injector.clock,
                     monitor=monitor,
+                    executor=executor,
                 )
                 fired_before = injector.stats.errors_injected
                 clock_before = injector.clock.latency_units
                 try:
-                    result = executor.execute(
+                    result = runner.execute(
                         optimized.plan, project=project
                     )
                 except Exception as error:  # noqa: BLE001 — the point

@@ -226,6 +226,26 @@ class FeedbackCollector:
             tally.charged_calls += 1
             tally.charged_cost += charged
 
+    def observe_batch(
+        self,
+        predicate,
+        evaluated: int,
+        passed: int,
+        charged_calls: int,
+        charged_cost: float,
+    ) -> None:
+        """Fold one batch of verdicts in at once — the vector executor's
+        bulk equivalent of ``evaluated`` :meth:`observe` calls, with
+        identical tally totals."""
+        tally = self._tallies.get(predicate.pred_id)
+        if tally is None:
+            tally = _Tally(predicate)
+            self._tallies[predicate.pred_id] = tally
+        tally.evaluated += evaluated
+        tally.passed += passed
+        tally.charged_calls += charged_calls
+        tally.charged_cost += charged_cost
+
     def observations(self) -> list[PredicateObservation]:
         """Fold tallies into observations, sorted by fingerprint."""
         merged: dict[str, PredicateObservation] = {}

@@ -172,4 +172,7 @@ def record_run(
             registry.gauge(
                 "exec.cache_evictions", float(result.cache_stats.evictions)
             )
+            registry.gauge(
+                "exec.cache_entries", float(result.cache_entries)
+            )
     return registry

@@ -47,6 +47,11 @@ EVENT_KINDS = {
     "scan.rank_order": (
         "selections rank-ordered on a base scan (Section 4.1 rank sort)"
     ),
+    "scan.disjunction_order": (
+        "a disjunctive conjunct's boolean tree cost-ordered for "
+        "short-circuit evaluation (the rank sort generalised to AND/OR "
+        "trees per Kim/Ileri/Madden)"
+    ),
     "pullup.hoist": (
         "expensive selection hoisted above a join by PullUp (Section 4.2)"
     ),

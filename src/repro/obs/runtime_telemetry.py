@@ -341,6 +341,38 @@ class RuntimeMonitor:
         ):
             self.refresh_callback(self)
 
+    def on_rows(self, key: int, count: int, seconds: float) -> None:
+        """Bulk row report: one batch of ``count`` rows pulled in
+        ``seconds`` — the vector executor's equivalent of ``count``
+        :meth:`on_row` calls. Progress stays monotone (same max-clamp
+        and estimate-growth rules); the latency histogram records one
+        batch-level sample, which is fine because pull-latency
+        histograms are export-only and never gated."""
+        operator = self.operators.get(key)
+        if operator is None or self.state == "aborted" or count <= 0:
+            return
+        operator.rows_out += count
+        if operator.rows_out > operator.estimated_rows:
+            operator.estimated_rows = (
+                operator.rows_out / PROGRESS_RUNNING_CAP
+            )
+        fraction = min(
+            operator.rows_out / operator.estimated_rows,
+            PROGRESS_RUNNING_CAP,
+        )
+        if fraction > operator.fraction:
+            operator.fraction = fraction
+        histogram = self.latency.get(key)
+        if histogram is None:
+            histogram = self.latency[key] = StreamingHistogram()
+        histogram.observe(seconds)
+        self._events += 1
+        if (
+            self.refresh_callback is not None
+            and self._events % self.refresh_every == 0
+        ):
+            self.refresh_callback(self)
+
     def on_done(self, key: int, seconds: float) -> None:
         operator = self.operators.get(key)
         if operator is None or self.state == "aborted":
@@ -371,6 +403,31 @@ class RuntimeMonitor:
             telemetry.node_key
             and count >= REFINE_MIN_EVALS
             and (count & (count - 1)) == 0
+        ):
+            self._refine(telemetry.node_key)
+
+    def observe_predicate_batch(
+        self, predicate, evaluated: int, passed: int, charges
+    ) -> None:
+        """Bulk verdict report from the vector executor: ``evaluated``
+        evaluations of which ``passed`` were true, with ``charges`` the
+        per-evaluation charged costs for the histogram (may be shorter
+        than ``evaluated`` — e.g. empty for a hash-matched free equijoin,
+        where every charge is zero). Refines the owning node's estimate
+        once per batch instead of at power-of-two milestones."""
+        if evaluated <= 0:
+            return
+        telemetry = self.predicates.get(predicate.pred_id)
+        if telemetry is None:
+            telemetry = self._register_predicate(predicate, 0)
+        telemetry.evaluated += evaluated
+        telemetry.passed += passed
+        observe = telemetry.cost.observe
+        for charged in charges:
+            observe(charged)
+        if (
+            telemetry.node_key
+            and telemetry.evaluated >= REFINE_MIN_EVALS
         ):
             self._refine(telemetry.node_key)
 

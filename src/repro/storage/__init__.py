@@ -14,11 +14,14 @@ from repro.storage.page import Page, RID
 from repro.storage.buffer import BufferPool
 from repro.storage.heap import HeapFile
 from repro.storage.btree import BTree
+from repro.storage.columnar import DEFAULT_BATCH_ROWS, ColumnBatch
 
 __all__ = [
     "BTree",
     "BufferPool",
+    "ColumnBatch",
     "CostMeter",
+    "DEFAULT_BATCH_ROWS",
     "HeapFile",
     "IOKind",
     "Page",

@@ -123,3 +123,94 @@ class TestCachedExecution:
         assert limited.metrics["function_calls"] >= unlimited.metrics[
             "function_calls"
         ]
+
+
+class TestGlobalCapacity:
+    """The global entry bound (``max_total_entries``): one LRU budget
+    shared by every predicate's table."""
+
+    def test_global_bound_evicts_oldest_across_owners(self):
+        cache = PredicateCache(max_total_entries=3)
+        cache.store(1, ("a",), True)
+        cache.store(2, ("b",), True)
+        cache.store(1, ("c",), True)
+        cache.store(3, ("d",), True)  # evicts (1, "a") — oldest anywhere
+        assert cache.total_entries() == 3
+        assert cache.stats.evictions == 1
+        assert cache.lookup(1, ("a",))[0] is False
+        assert cache.lookup(2, ("b",))[0] is True
+        assert cache.lookup(3, ("d",))[0] is True
+
+    def test_lru_hit_refreshes_global_order(self):
+        cache = PredicateCache(max_total_entries=2, replacement="lru")
+        cache.store(1, ("a",), True)
+        cache.store(2, ("b",), True)
+        cache.lookup(1, ("a",))  # refresh: (2, "b") is now the LRU
+        cache.store(3, ("c",), True)
+        assert cache.lookup(2, ("b",))[0] is False
+        assert cache.lookup(1, ("a",))[0] is True
+
+    def test_fifo_hits_do_not_refresh(self):
+        cache = PredicateCache(max_total_entries=2, replacement="fifo")
+        cache.store(1, ("a",), True)
+        cache.store(2, ("b",), True)
+        cache.lookup(1, ("a",))  # no refresh under fifo
+        cache.store(3, ("c",), True)  # still evicts (1, "a")
+        assert cache.lookup(1, ("a",))[0] is False
+        assert cache.lookup(2, ("b",))[0] is True
+
+    def test_composes_with_per_owner_bound(self):
+        cache = PredicateCache(
+            max_entries_per_predicate=2, max_total_entries=3
+        )
+        for key in range(3):  # per-owner bound evicts (1, (0,))
+            cache.store(1, (key,), True)
+        cache.store(2, ("x",), True)
+        cache.store(2, ("y",), True)  # global bound evicts (1, (1,))
+        assert cache.total_entries() == 3
+        assert cache.entries(1) == 1
+        assert cache.entries(2) == 2
+        assert cache.stats.evictions == 2
+
+    def test_restore_after_global_eviction(self):
+        cache = PredicateCache(max_total_entries=1)
+        cache.store(1, ("a",), True)
+        cache.store(1, ("b",), False)
+        cache.store(1, ("a",), None)  # re-admitted with the new value
+        found, value = cache.lookup(1, ("a",))
+        assert found and value is None
+        assert cache.total_entries() == 1
+
+    def test_invalid_capacity_rejected(self):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            PredicateCache(max_total_entries=0)
+
+    def test_executor_capacity_still_correct(self, tiny_db):
+        predicate = costly_filter(tiny_db, "costly100", ("t3", "u20"))
+        plan = Plan(Scan(filters=[predicate], table="t3"))
+        unlimited = Executor(tiny_db, caching=True).execute(plan)
+        bounded = Executor(
+            tiny_db, caching=True, cache_capacity=1
+        ).execute(plan)
+        assert sorted(bounded.rows) == sorted(unlimited.rows)
+        assert bounded.metrics["function_calls"] >= unlimited.metrics[
+            "function_calls"
+        ]
+        assert bounded.cache_entries <= 1
+
+    def test_executor_capacity_vector_matches_row(self, tiny_db):
+        predicate = costly_filter(tiny_db, "costly100", ("t3", "u20"))
+        plan = Plan(Scan(filters=[predicate], table="t3"))
+        row = Executor(
+            tiny_db, caching=True, cache_capacity=2
+        ).execute(plan)
+        vector = Executor(
+            tiny_db, caching=True, cache_capacity=2, executor="vector"
+        ).execute(plan)
+        assert sorted(vector.rows) == sorted(row.rows)
+        # Same sequential binding stream, same bounded cache: the
+        # hit/miss/eviction history is identical too.
+        assert vector.cache_stats.hits == row.cache_stats.hits
+        assert vector.cache_stats.evictions == row.cache_stats.evictions

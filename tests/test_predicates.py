@@ -13,7 +13,13 @@ from repro.expr.expressions import (
     Logical,
     Not,
 )
-from repro.expr.predicates import analyze_conjunct, rank
+from repro.expr.predicates import (
+    BoolBranch,
+    BoolLeaf,
+    analyze_conjunct,
+    build_bool_tree,
+    rank,
+)
 
 
 class TestRankMetric:
@@ -116,7 +122,9 @@ class TestSelectionAnalysis:
             ),
         )
         assert both.selectivity == pytest.approx(0.25)
-        assert both.cost_per_tuple == 110.0
+        # Expected short-circuit cost, not the naive 110: costly10 runs
+        # first (lower rank) and costly100 only on its survivors.
+        assert both.cost_per_tuple == pytest.approx(10.0 + 0.5 * 100.0)
 
     def test_or_combines_selectivities(self, db):
         either = analyze_conjunct(
@@ -130,6 +138,10 @@ class TestSelectionAnalysis:
             ),
         )
         assert either.selectivity == pytest.approx(0.75)
+        # costly10 terminates the OR per unit cost 10/0.5 = 20, costly100
+        # at 100/0.5 = 200, so costly10 runs first; costly100 only runs
+        # when costly10 came up false.
+        assert either.cost_per_tuple == pytest.approx(10.0 + 0.5 * 100.0)
 
     def test_not_inverts(self, db):
         negated = analyze_conjunct(
@@ -150,6 +162,113 @@ class TestSelectionAnalysis:
             ),
         )
         assert predicate.input_columns() == (("t3", "u20"),)
+
+
+class TestBooleanTrees:
+    def test_single_leaf_conjunct_gets_leaf_tree(self, db):
+        predicate = analyze_conjunct(
+            db.catalog, FuncCall("costly100", (Column("t3", "u20"),))
+        )
+        assert isinstance(predicate.tree, BoolLeaf)
+        assert not predicate.is_compound
+        assert predicate.tree.cost == predicate.cost_per_tuple
+
+    def test_and_children_ordered_by_rank(self, db):
+        tree = build_bool_tree(
+            db.catalog,
+            Logical(
+                "AND",
+                (
+                    FuncCall("costly100", (Column("t3", "u100"),)),
+                    FuncCall("costly10", (Column("t3", "u20"),)),
+                ),
+            ),
+        )
+        assert isinstance(tree, BoolBranch)
+        # rank(.5, 10) < rank(.5, 100): the cheap filter runs first even
+        # though it appeared second in the source.
+        names = [child.expr.name for child in tree.children]
+        assert names == ["costly10", "costly100"]
+
+    def test_or_children_ordered_by_termination_rate(self, db):
+        # OR short-circuits on TRUE: order by ascending cost / selectivity.
+        # costly100 (c=100, s=.5 → 200) beats costly100sel10
+        # (c=100, s=.1 → 1000).
+        from repro.bench.workloads import ensure_workload_functions
+
+        ensure_workload_functions(db)
+        tree = build_bool_tree(
+            db.catalog,
+            Logical(
+                "OR",
+                (
+                    FuncCall("costly100sel10", (Column("t3", "u100"),)),
+                    FuncCall("costly100", (Column("t3", "u20"),)),
+                ),
+            ),
+        )
+        names = [child.expr.name for child in tree.children]
+        assert names == ["costly100", "costly100sel10"]
+        # Expected cost: 100 + (1 - .5) · 100 = 150, below the naive 200.
+        assert tree.cost == pytest.approx(150.0)
+        assert tree.selectivity == pytest.approx(1 - 0.5 * 0.9)
+
+    def test_free_guard_short_circuits_expensive_or(self, db):
+        tree = build_bool_tree(
+            db.catalog,
+            Logical(
+                "OR",
+                (
+                    FuncCall("costly100", (Column("t3", "u20"),)),
+                    Comparison("<", Column("t3", "a20"), Const(3)),
+                ),
+            ),
+        )
+        # The free comparison has rank(1 − s, 0) = −∞ under OR ordering,
+        # so it guards the expensive call.
+        assert isinstance(tree.children[0], BoolLeaf)
+        assert tree.children[0].cost == 0.0
+        expected = tree.children[0].selectivity
+        assert tree.cost == pytest.approx((1.0 - expected) * 100.0)
+
+    def test_compound_flag_and_leaves(self, db):
+        predicate = analyze_conjunct(
+            db.catalog,
+            Logical(
+                "OR",
+                (
+                    FuncCall("costly10", (Column("t3", "u20"),)),
+                    FuncCall("costly100", (Column("t3", "u100"),)),
+                ),
+            ),
+        )
+        assert predicate.is_compound
+        assert len(predicate.tree.leaves()) == 2
+
+    def test_nested_tree_cost_propagates(self, db):
+        # (costly10 OR costly100) is itself a child of an AND with a free
+        # comparison: the free guard sorts first, the OR branch carries
+        # its own short-circuit cost.
+        tree = build_bool_tree(
+            db.catalog,
+            Logical(
+                "AND",
+                (
+                    Logical(
+                        "OR",
+                        (
+                            FuncCall("costly10", (Column("t3", "u20"),)),
+                            FuncCall("costly100", (Column("t3", "u100"),)),
+                        ),
+                    ),
+                    Comparison("<", Column("t3", "a20"), Const(3)),
+                ),
+            ),
+        )
+        assert isinstance(tree.children[0], BoolLeaf)  # free guard first
+        assert isinstance(tree.children[1], BoolBranch)
+        guard_sel = tree.children[0].selectivity
+        assert tree.cost == pytest.approx(guard_sel * (10 + 0.5 * 100))
 
 
 class TestJoinAnalysis:

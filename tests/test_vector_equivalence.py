@@ -1,0 +1,182 @@
+"""Differential property suite: the vector executor is the row
+executor's semantic twin.
+
+Every workload × strategy × data seed must produce the identical row
+multiset under ``executor="row"`` and ``executor="vector"``, with the
+same completion verdict and — for completed runs — the same charged
+totals and cache statistics (under the default unbounded cache, whose
+hit/miss history is evaluation-order independent in totals). The chaos
+invariants must also survive batching: lossy containment policies keep
+their subset/superset relationship to the fault-free oracle.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import Executor, build_database, optimize
+from repro.bench.harness import DEFAULT_STRATEGIES
+from repro.bench.workloads import build_workload, ensure_workload_functions
+from repro.errors import ExecutionError
+from repro.obs.artifacts import plan_fingerprint
+
+QUERY_WORKLOADS = ("q1", "q2", "q3", "q4", "q5")
+SEEDS = (7, 11, 13)
+SCALE = 12
+
+
+def _databases():
+    """One database per seed, shared across the parametrized tests."""
+    databases = {}
+    for seed in SEEDS:
+        db = build_database(scale=SCALE, seed=seed)
+        ensure_workload_functions(db)
+        databases[seed] = db
+    return databases
+
+
+_DATABASES = _databases()
+
+
+def _run(db, plan, budget, executor, **kwargs):
+    return Executor(
+        db, budget=budget, executor=executor, **kwargs
+    ).execute(plan)
+
+
+class TestRowVectorEquivalence:
+    @pytest.mark.parametrize("workload_key", QUERY_WORKLOADS)
+    @pytest.mark.parametrize("strategy", DEFAULT_STRATEGIES)
+    def test_identical_multisets_all_seeds(self, workload_key, strategy):
+        for seed in SEEDS:
+            db = _DATABASES[seed]
+            workload = build_workload(db, workload_key)
+            plan = optimize(
+                db, workload.query, strategy=strategy
+            ).plan
+            row = _run(db, plan, workload.budget, "row")
+            vector = _run(db, plan, workload.budget, "vector")
+            label = f"{workload_key}/{strategy}/seed={seed}"
+            assert vector.completed == row.completed, label
+            assert Counter(vector.rows) == Counter(row.rows), label
+            if row.completed:
+                assert vector.charged == pytest.approx(row.charged), label
+                for metric in (
+                    "io_charged",
+                    "function_charged",
+                    "function_calls",
+                    "cpu_charged",
+                ):
+                    assert vector.metrics[metric] == pytest.approx(
+                        row.metrics[metric]
+                    ), f"{label}:{metric}"
+
+    @pytest.mark.parametrize("caching_kwargs", [
+        {"caching": True},
+        {"caching": True, "cache_mode": "function"},
+    ])
+    def test_cached_runs_match(self, caching_kwargs):
+        db = _DATABASES[7]
+        workload = build_workload(db, "q4")
+        plan = optimize(
+            db, workload.query, strategy="migration", caching=True
+        ).plan
+        row = _run(db, plan, workload.budget, "row", **caching_kwargs)
+        vector = _run(db, plan, workload.budget, "vector", **caching_kwargs)
+        assert Counter(vector.rows) == Counter(row.rows)
+        assert vector.charged == pytest.approx(row.charged)
+        if row.cache_stats is not None:
+            assert vector.cache_stats.hits == row.cache_stats.hits
+            assert vector.cache_stats.misses == row.cache_stats.misses
+
+    def test_odd_batch_sizes_change_nothing(self):
+        db = _DATABASES[11]
+        workload = build_workload(db, "q5")
+        plan = optimize(db, workload.query, strategy="pushdown").plan
+        reference = _run(db, plan, workload.budget, "row")
+        for batch_rows in (1, 7, 64, 100_000):
+            vector = Executor(
+                db,
+                budget=workload.budget,
+                executor="vector",
+                batch_rows=batch_rows,
+            ).execute(plan)
+            assert Counter(vector.rows) == Counter(reference.rows), batch_rows
+            assert vector.charged == pytest.approx(reference.charged)
+
+    def test_unknown_executor_rejected(self):
+        db = _DATABASES[7]
+        with pytest.raises(ExecutionError) as excinfo:
+            Executor(db, executor="warp")
+        assert "row" in str(excinfo.value)
+        assert "vector" in str(excinfo.value)
+
+
+class TestRowPathNeutrality:
+    def test_vector_runs_leave_plans_untouched(self):
+        """Running the vector executor must not perturb the catalog or
+        statistics the planner reads: fingerprints before and after a
+        vector run are byte-identical."""
+        db = _DATABASES[13]
+        workload = build_workload(db, "q4")
+        before = plan_fingerprint(
+            optimize(db, workload.query, strategy="migration").plan
+        )
+        plan = optimize(db, workload.query, strategy="migration").plan
+        _run(db, plan, workload.budget, "vector")
+        after = plan_fingerprint(
+            optimize(
+                db, build_workload(db, "q4").query, strategy="migration"
+            ).plan
+        )
+        assert before == after
+
+
+class TestChaosUnderBatching:
+    """Containment's lossy policies keep their oracle relationship when
+    predicate evaluation happens batch-at-a-time."""
+
+    @pytest.mark.parametrize("policy,allowed", [
+        ("skip-row", {"equal", "subset"}),
+        ("assume-fail", {"equal", "subset"}),
+        ("assume-pass", {"equal", "superset"}),
+    ])
+    def test_policy_relation_survives_batching(self, policy, allowed):
+        from repro.faults.chaos import run_chaos
+
+        report = run_chaos(
+            "q1",
+            seeds=(7,),
+            strategies=("pushdown", "migration"),
+            policy=policy,
+            scale=4,
+            executor="vector",
+        )
+        assert report.passed, report.violations
+        assert report.executor == "vector"
+        for outcome in report.outcomes:
+            if outcome.completed:
+                assert outcome.rows_vs_oracle in allowed, (
+                    policy,
+                    outcome.strategy,
+                    outcome.rows_vs_oracle,
+                )
+
+    def test_chaos_vector_matches_row_report_shape(self):
+        from repro.faults.chaos import run_chaos
+
+        row_report = run_chaos(
+            "q2", seeds=(11,), strategies=("pushdown",), scale=4,
+            executor="row",
+        )
+        vector_report = run_chaos(
+            "q2", seeds=(11,), strategies=("pushdown",), scale=4,
+            executor="vector",
+        )
+        assert row_report.passed and vector_report.passed
+        pairs = zip(row_report.outcomes, vector_report.outcomes)
+        for row_outcome, vector_outcome in pairs:
+            assert (
+                vector_outcome.rows_vs_oracle == row_outcome.rows_vs_oracle
+            )
+            assert vector_outcome.row_count == row_outcome.row_count
