@@ -17,6 +17,9 @@ Examples::
     python -m repro stats q4 --strategy pushdown --dir artifacts/
     python -m repro drift q4 1 2 --dir artifacts/
     python -m repro --workload q4 --trace-export trace.json
+    python -m repro --workload q4 --executor vector --explain-analyze
+    python -m repro --workload q1 --budget 50 --flight-record artifacts/
+    python -m repro postmortem artifacts/FLIGHT_q1.json
     python -m repro top q4 --once
     python -m repro top q1 --strategy pushdown --metrics-export top.prom
     python -m repro --workload q1 --compare --metrics-export metrics.json
@@ -50,21 +53,27 @@ from repro.obs import (
     NULL_PROFILER,
     NULL_TRACER,
     ArtifactRecorder,
+    FlightRecorder,
     MetricsRegistry,
     PhaseProfiler,
     ProvenanceLedger,
     RuntimeMonitor,
     Tracer,
     build_export,
+    build_flight_dump,
     collect_artifacts,
     diff_artifacts,
     export_chrome_trace,
     export_metrics,
+    flight_path,
+    format_postmortem,
     format_top,
     has_regressions,
+    load_flight_dump,
     load_run_artifact,
     record_run,
     why_report,
+    write_flight_dump,
 )
 from repro.optimizer import STRATEGIES
 from repro.plan import explain_analyze
@@ -195,6 +204,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="print the first N result rows",
     )
+    parser.add_argument(
+        "--flight-record",
+        metavar="DIR",
+        help="attach the execution flight recorder (a fixed-capacity ring "
+        "buffer of batch/row events); if the run dies — UDF-DNF, budget "
+        "exhaustion — a strict-JSON FLIGHT_<workload>.json crash dump is "
+        "written into DIR for 'repro postmortem' (single-strategy runs)",
+    )
     return parser
 
 
@@ -221,7 +238,45 @@ def _print_stats(registry: MetricsRegistry, out) -> None:
             print(f"{name} = {value}", file=out)
 
 
-def _run(args, tracer, out, profiler=NULL_PROFILER) -> int:
+def _write_flight(
+    directory: str,
+    flight,
+    *,
+    workload: str,
+    reason: str,
+    executor: str,
+    strategy: str,
+    seed: int,
+    result=None,
+    monitor=None,
+    clamped_charges: int = 0,
+) -> int:
+    """Serialize one crash dump; returns 0, or 1 on an unwritable path."""
+    document = build_flight_dump(
+        flight,
+        workload=workload,
+        reason=reason,
+        executor=executor,
+        strategy=strategy,
+        seed=seed,
+        result=result,
+        monitor=monitor,
+        clamped_charges=clamped_charges,
+    )
+    try:
+        target = write_flight_dump(
+            flight_path(directory, workload), document
+        )
+    except OSError as error:
+        print(
+            f"error: cannot write flight dump: {error}", file=sys.stderr
+        )
+        return 1
+    print(f"-- flight dump: {target}", file=sys.stderr)
+    return 0
+
+
+def _run(args, tracer, out, profiler=NULL_PROFILER, flight=None) -> int:
     db = build_database(scale=args.scale, seed=args.seed)
     registry = MetricsRegistry() if args.stats else None
     if args.workload:
@@ -321,18 +376,24 @@ def _run(args, tracer, out, profiler=NULL_PROFILER) -> int:
             _print_stats(registry, out)
         return 0
 
-    monitor = RuntimeMonitor() if args.metrics_export else None
+    # A flight-recorded run keeps the monitor attached regardless of
+    # --metrics-export: the crash dump's frozen progress section needs it.
+    monitor = (
+        RuntimeMonitor()
+        if args.metrics_export or flight is not None
+        else None
+    )
     executor = Executor(
         db, caching=args.caching, budget=budget, tracer=tracer,
         profiler=profiler, monitor=monitor, executor=args.executor,
-        cache_capacity=args.cache_capacity,
+        cache_capacity=args.cache_capacity, flight=flight,
     )
     result = executor.execute(
         optimized.plan,
         project=query.select,
         instrument=args.explain_analyze,
     )
-    if monitor is not None:
+    if monitor is not None and args.metrics_export:
         code = _write_metrics(
             args.metrics_export,
             build_export(registry=registry, monitors={"": monitor}),
@@ -342,13 +403,33 @@ def _run(args, tracer, out, profiler=NULL_PROFILER) -> int:
     if args.explain_analyze:
         model = CostModel(db.catalog, db.params, caching=args.caching)
         print(
-            explain_analyze(optimized.plan, result.node_stats, model),
+            explain_analyze(
+                optimized.plan,
+                result.node_stats,
+                model,
+                batch_stats=result.batch_stats,
+            ),
             file=out,
         )
     if registry is not None:
         record_run(registry, optimized, result)
         _print_stats(registry, out)
     if not result.completed:
+        if flight is not None and args.flight_record:
+            code = _write_flight(
+                args.flight_record,
+                flight,
+                workload=args.workload or query.name or "cli",
+                reason=result.error,
+                executor=args.executor,
+                strategy=args.strategy,
+                seed=args.seed,
+                result=result,
+                monitor=monitor,
+                clamped_charges=int(db.meter.clamped_charges),
+            )
+            if code:
+                return code
         print(
             f"DNF: exceeded budget after charging "
             f"{result.charged:,.1f} units",
@@ -1008,6 +1089,13 @@ def build_chaos_parser() -> argparse.ArgumentParser:
         "telemetry invariants too (aborts freeze progress with a "
         "structured reason; completions reach 100%%)",
     )
+    parser.add_argument(
+        "--flight-record", metavar="DIR",
+        help="attach an execution flight recorder to every strategy run; "
+        "each run that dies writes a "
+        "FLIGHT_<workload>_seed<seed>_<strategy>.json crash dump into "
+        "DIR for 'repro postmortem'",
+    )
     return parser
 
 
@@ -1056,6 +1144,7 @@ def chaos(argv: list[str], out=None) -> int:
             planner_fault_rate=args.planner_fault_rate,
             telemetry=args.telemetry,
             executor=args.executor,
+            flight_dir=args.flight_record,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -1563,9 +1652,52 @@ def drift(argv: list[str], out=None) -> int:
     return 0
 
 
+# -- postmortem: render an execution flight-recorder crash dump ---------------
+
+
+def build_postmortem_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro postmortem",
+        description=(
+            "Render a FLIGHT_<workload>.json crash dump written by a "
+            "--flight-record run (or 'repro chaos --flight-record'): a "
+            "timeline of the last batches before the abort, the frozen "
+            "progress state, quarantine and clamp context, and the "
+            "placement provenance of the operator that died. Exits 2 on "
+            "a missing or malformed dump."
+        ),
+    )
+    parser.add_argument(
+        "dump", help="path to a FLIGHT_*.json crash dump"
+    )
+    parser.add_argument(
+        "--last", type=int, default=12, metavar="N",
+        help="timeline length: the last N recorded events (default 12)",
+    )
+    return parser
+
+
+def postmortem(argv: list[str], out=None) -> int:
+    """The ``postmortem`` subcommand body; returns the exit code."""
+    if out is None:
+        out = sys.stdout
+    args = build_postmortem_parser().parse_args(argv)
+    try:
+        document = load_flight_dump(args.dump)
+    except ArtifactError as error:
+        # A wrong path or a non-dump file is a usage error, same exit
+        # code argparse itself uses for bad arguments.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_postmortem(document, last=max(1, args.last)), file=out)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "postmortem":
+        return postmortem(list(argv[1:]))
     if argv and argv[0] == "bench-diff":
         return bench_diff(list(argv[1:]))
     # Accept both `repro opt-speed …` and the two-word `repro bench
@@ -1595,8 +1727,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     tracer = Tracer() if args.trace or args.trace_export else NULL_TRACER
     profiler = PhaseProfiler() if args.trace_export else NULL_PROFILER
+    flight = FlightRecorder() if args.flight_record else None
     try:
-        code = _run(args, tracer, sys.stdout, profiler=profiler)
+        code = _run(args, tracer, sys.stdout, profiler=profiler,
+                    flight=flight)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         code = 1
@@ -1612,7 +1746,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.trace_export:
         try:
             count = export_chrome_trace(
-                args.trace_export, tracer=tracer, profiler=profiler
+                args.trace_export, tracer=tracer, profiler=profiler,
+                flight=flight,
             )
         except OSError as error:
             print(

@@ -95,16 +95,27 @@ class StrategyOutcome:
         return signed_relative_error(self.estimated_cost, self.charged)
 
 
-def _operator_summary(plan: Plan, node_stats: dict) -> list[dict]:
+def _operator_summary(
+    plan: Plan, node_stats: dict, batch_stats: dict | None = None
+) -> list[dict]:
     """Flatten instrumented per-node actuals into report-friendly dicts,
-    pre-order so the list reads like the plan tree."""
+    pre-order so the list reads like the plan tree.
+
+    ``batch_stats`` (instrumented vector runs only) embeds each node's
+    batch-granular actuals under a ``batch`` key; row-path records never
+    carry it, so row-recorded baselines stay byte-identical and
+    bench-diff treats the section as an informational note."""
     summary: list[dict] = []
+    batch_map = batch_stats or {}
 
     def visit(node: PlanNode) -> None:
         stats = node_stats.get(id(node))
         entry = {"node": _node_label(node)}
         if stats is not None:
             entry.update(stats.as_dict())
+        batch = batch_map.get(id(node))
+        if batch is not None:
+            entry["batch"] = batch.as_dict()
         summary.append(entry)
         for child in node.children():
             visit(child)
@@ -204,7 +215,9 @@ def run_strategies(
             outcome.executed = True
             if result.node_stats is not None:
                 outcome.extras["operators"] = _operator_summary(
-                    optimized.plan, result.node_stats
+                    optimized.plan,
+                    result.node_stats,
+                    result.batch_stats,
                 )
             if collector is not None:
                 outcome.extras["quality"] = quality_summary(

@@ -130,10 +130,16 @@ class ContainmentState:
         policy: FailurePolicy,
         clock: SimulatedClock | None = None,
         tracer=None,
+        flight=None,
     ) -> None:
         self.policy = policy
         self.clock = clock if clock is not None else SimulatedClock()
         self.tracer = NULL_TRACER if tracer is None else tracer
+        #: Optional execution flight recorder: retry and quarantine
+        #: events land in its ring buffer so a crash dump shows the
+        #: containment activity leading up to the abort. ``None`` (the
+        #: default) keeps the failure path recorder-free.
+        self.flight = flight
         self.report = QuarantineReport()
         self._overflow = 0
 
@@ -151,6 +157,13 @@ class ContainmentState:
         self.clock.charge_backoff(units)
         if self.tracer.enabled:
             self.tracer.event(
+                "udf.retry",
+                function=error.function,
+                attempt=attempt + 1,
+                backoff_units=units,
+            )
+        if self.flight is not None:
+            self.flight.record(
                 "udf.retry",
                 function=error.function,
                 attempt=attempt + 1,
@@ -182,6 +195,14 @@ class ContainmentState:
             self.tracer.event(
                 "udf.quarantine",
                 function=error.function,
+                action=action,
+                attempts=attempts,
+            )
+        if self.flight is not None:
+            self.flight.record(
+                "udf.quarantine",
+                function=error.function,
+                predicate=str(predicate),
                 action=action,
                 attempts=attempts,
             )

@@ -27,6 +27,7 @@ from repro.exec.cache import PredicateCache
 from repro.exec.containment import ContainmentState
 from repro.expr.expressions import Scope
 from repro.expr.predicates import BoolBranch, BoolLeaf, Predicate
+from repro.plan.display import _node_label
 from repro.plan.nodes import Join, JoinMethod, PlanNode, Scan
 from repro.storage.meter import CostMeter, IOKind
 
@@ -39,14 +40,26 @@ class OperatorStats:
     convention the cost model uses for estimates, so the two compare
     directly. ``rows_out`` counts rows the node's output (after its own
     filters) produced.
+
+    ``charged`` is derived from the component ledgers exactly the way
+    :attr:`repro.storage.meter.CostMeter.charged` is (I/O + join CPU +
+    function cost), never accumulated independently: a node's total is
+    always self-consistent with its breakdown, and the row and vector
+    engines — which bracket meter deltas at different granularities
+    (per row vs per batch) — report bit-identical per-node actuals.
     """
 
     rows_out: int = 0
-    charged: float = 0.0
     io_charged: float = 0.0
+    cpu_charged: float = 0.0
     function_charged: float = 0.0
     cache_hits: int = 0
     wall_seconds: float = 0.0
+
+    @property
+    def charged(self) -> float:
+        """Total charged cost attributed to this node's subtree."""
+        return self.io_charged + self.cpu_charged + self.function_charged
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -97,6 +110,21 @@ class RuntimeContext:
     #: :class:`repro.obs.runtime_telemetry.RuntimeMonitor`). Same
     #: zero-overhead-when-off contract as ``collector``.
     monitor: object | None = None
+    #: When not ``None``, the vector executor additionally collects
+    #: batch-granular actuals (batches, per-batch row histograms,
+    #: selection-vector density per predicate, kernel self-time, cache
+    #: hit rates) here, keyed by ``id(plan_node)`` — the batch-level
+    #: companion of ``node_stats``. Values are
+    #: :class:`repro.exec.vector.BatchNodeStats`. The row path ignores
+    #: this field entirely; ``None`` keeps the batch hot loops free of
+    #: any stats branch.
+    batch_stats: dict[int, object] | None = None
+    #: When not ``None``, an execution flight recorder (duck-typed:
+    #: normally a :class:`repro.obs.flightrec.FlightRecorder`) receiving
+    #: bounded batch/milestone events so a crash dump can show what the
+    #: engine was doing in its final moments. Same
+    #: zero-overhead-when-off contract as the other optional sinks.
+    flight: object | None = None
 
     def __post_init__(self) -> None:
         if self.cache_mode not in ("predicate", "function"):
@@ -578,8 +606,8 @@ class InstrumentedOperator(Operator):
         stats = self.stats
         iterator = iter(self.child)
         while True:
-            charged_before = meter.charged
             io_before = meter.io_charged
+            cpu_before = meter.cpu_charged
             function_before = meter.function_charged
             hits_before = cache.stats.hits if cache is not None else 0
             started = time.perf_counter()
@@ -587,8 +615,8 @@ class InstrumentedOperator(Operator):
                 row = next(iterator)
             except StopIteration:
                 stats.wall_seconds += time.perf_counter() - started
-                stats.charged += meter.charged - charged_before
                 stats.io_charged += meter.io_charged - io_before
+                stats.cpu_charged += meter.cpu_charged - cpu_before
                 stats.function_charged += (
                     meter.function_charged - function_before
                 )
@@ -596,8 +624,8 @@ class InstrumentedOperator(Operator):
                     stats.cache_hits += cache.stats.hits - hits_before
                 return
             stats.wall_seconds += time.perf_counter() - started
-            stats.charged += meter.charged - charged_before
             stats.io_charged += meter.io_charged - io_before
+            stats.cpu_charged += meter.cpu_charged - cpu_before
             stats.function_charged += meter.function_charged - function_before
             if cache is not None:
                 stats.cache_hits += cache.stats.hits - hits_before
@@ -642,13 +670,64 @@ class MonitoredOperator(Operator):
             yield row
 
 
+class FlightOperator(Operator):
+    """Transparent wrapper feeding the execution flight recorder on the
+    row path.
+
+    Rows are too fine-grained to record individually, so events fire at
+    power-of-two row counts — O(log n) events per node, each carrying
+    the cumulative charge so a postmortem can see where the meter stood
+    when the engine died. Monitor progress snapshots ride the same
+    milestones. Only constructed when the context carries a ``flight``
+    recorder; the default path never sees this class.
+    """
+
+    def __init__(
+        self, node: PlanNode, child: Operator, ctx: RuntimeContext
+    ) -> None:
+        assert ctx.flight is not None
+        self.child = child
+        self.ctx = ctx
+        self.flight = ctx.flight
+        self.label = _node_label(node)
+        self.scope = child.scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        ctx = self.ctx
+        flight = self.flight
+        meter = ctx.meter
+        monitor = ctx.monitor
+        label = self.label
+        rows = 0
+        for row in self.child:
+            rows += 1
+            if (rows & (rows - 1)) == 0:
+                flight.record(
+                    "rows", op=label, rows=rows, charged=meter.charged
+                )
+                if monitor is not None:
+                    flight.record(
+                        "progress",
+                        op=label,
+                        rows=rows,
+                        fraction=round(monitor.progress(), 6),
+                    )
+            yield row
+        flight.record(
+            "op.done", op=label, rows=rows, charged=meter.charged
+        )
+
+
 def build_operator(node: PlanNode, ctx: RuntimeContext) -> Operator:
     """Compile a plan tree into an operator tree (instrumented when the
-    context carries a ``node_stats`` sink, monitored when it carries a
+    context carries a ``node_stats`` sink, flight-recorded when it
+    carries a ``flight`` recorder, monitored when it carries a
     ``monitor``)."""
     operator = _build_operator(node, ctx)
     if ctx.node_stats is not None:
         operator = InstrumentedOperator(node, operator, ctx)
+    if ctx.flight is not None:
+        operator = FlightOperator(node, operator, ctx)
     if ctx.monitor is not None:
         operator = MonitoredOperator(node, operator, ctx)
     return operator

@@ -54,6 +54,12 @@ class QueryResult:
     #: Per-plan-node actuals keyed by ``id(plan_node)``; filled only when
     #: the execution was instrumented (EXPLAIN ANALYZE).
     node_stats: dict[int, OperatorStats] | None = None
+    #: Batch-granular actuals keyed by ``id(plan_node)`` (values are
+    #: :class:`~repro.exec.vector.BatchNodeStats`); filled only on
+    #: instrumented ``executor="vector"`` runs. ``None`` on the row path
+    #: — the row-path totals in ``node_stats`` are the parity-gated
+    #: figures and never change shape.
+    batch_stats: dict[int, object] | None = None
     #: Structured DNF reason when ``completed`` is ``False`` — e.g.
     #: ``"budget: charged 1234.0 > budget 1000.0"`` or
     #: ``"udf: UDF 'costly100' failed on call #5 (permanent): ..."``.
@@ -109,6 +115,7 @@ class Executor:
         executor: str = "row",
         batch_rows: int = DEFAULT_BATCH_ROWS,
         cache_capacity: int | None = None,
+        flight=None,
     ) -> None:
         """``cache_mode`` selects predicate-level (Montage) or
         function-level ([Jhi88]) memoisation; ``cache_bypass`` enables the
@@ -138,7 +145,13 @@ class Executor:
         column batches. ``cache_capacity`` bounds the predicate cache's
         *total* entry count across all predicates (global LRU/FIFO per
         ``cache_replacement``), composing with the per-predicate
-        ``cache_limit``."""
+        ``cache_limit``. ``flight`` attaches an execution flight
+        recorder (normally a
+        :class:`~repro.obs.flightrec.FlightRecorder`): operators emit
+        bounded batch/milestone events into its ring buffer, and a
+        budget- or UDF-aborted run marks the recorder tripped so the
+        caller can serialize a crash dump; the default ``None`` keeps
+        every hot path recorder-free."""
         if executor not in EXECUTORS:
             raise ExecutionError(
                 f"executor must be one of {EXECUTORS}, got {executor!r}"
@@ -160,6 +173,7 @@ class Executor:
         self.clock = clock
         self.collector = collector
         self.monitor = monitor
+        self.flight = flight
 
     def _bypass_ids(self, node: PlanNode) -> frozenset[int]:
         """Predicates not worth caching: nearly every binding is distinct.
@@ -227,9 +241,15 @@ class Executor:
         node_stats: dict[int, OperatorStats] | None = (
             {} if instrument else None
         )
+        batch_stats: dict[int, object] | None = (
+            {} if instrument and self.executor == "vector" else None
+        )
         containment = (
             ContainmentState(
-                self.failure_policy, clock=self.clock, tracer=tracer
+                self.failure_policy,
+                clock=self.clock,
+                tracer=tracer,
+                flight=self.flight,
             )
             if self.failure_policy is not None
             else None
@@ -256,6 +276,8 @@ class Executor:
             containment=containment,
             collector=self.collector,
             monitor=monitor,
+            batch_stats=batch_stats,
+            flight=self.flight,
         )
         started = time.perf_counter()
         rows: list[tuple] = []
@@ -288,6 +310,8 @@ class Executor:
                 )
                 if monitor is not None:
                     monitor.freeze(error)
+                if self.flight is not None:
+                    self.flight.note_abort(error)
                 if raise_on_budget:
                     raise
                 completed = False
@@ -299,6 +323,8 @@ class Executor:
                 error = f"udf: {exc}"
                 if monitor is not None:
                     monitor.freeze(error)
+                if self.flight is not None:
+                    self.flight.note_abort(error)
             finally:
                 # Restore whatever budget the shared Database carried
                 # before this execution, not unconditionally None.
@@ -324,6 +350,21 @@ class Executor:
                         stats.wall_seconds,
                     )
 
+        if profiler.enabled and batch_stats is not None:
+            # Per-kernel self time: each predicate's evaluate_batch wall
+            # clock, measured exclusively (masking included, children
+            # excluded), so kernels rank against operators and optimizer
+            # phases in the hotspot report.
+            for plan_node in node.walk():
+                stats = batch_stats.get(id(plan_node))
+                if stats is None:
+                    continue
+                for pred_stats in stats.predicates:
+                    profiler.record(
+                        f"exec.kernel.{pred_stats.predicate}",
+                        pred_stats.kernel_seconds,
+                    )
+
         if project is not None and scope is not None and completed:
             slots = [scope.slot(table, attribute) for table, attribute in project]
             rows = [tuple(row[slot] for slot in slots) for row in rows]
@@ -343,6 +384,7 @@ class Executor:
             cache_entries=cache.total_entries() if cache is not None else 0,
             wall_seconds=elapsed,
             node_stats=node_stats,
+            batch_stats=batch_stats,
             error=error,
             quarantine=(
                 containment.report if containment is not None else None

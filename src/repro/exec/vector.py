@@ -59,6 +59,9 @@ from repro.expr.expressions import (
     Scope,
 )
 from repro.expr.predicates import BoolBranch, BoolLeaf, Predicate
+from repro.obs.histograms import StreamingHistogram
+from repro.obs.quality import fmt_stat
+from repro.plan.display import _node_label
 from repro.plan.nodes import Join, JoinMethod, PlanNode, Scan
 from repro.storage.columnar import (
     DEFAULT_BATCH_ROWS,
@@ -190,6 +193,114 @@ def _compile_tree_walk(
     return build(tree)
 
 
+# -- batch-granular actuals (EXPLAIN ANALYZE companion data) -----------------
+
+
+class BatchPredicateStats:
+    """Batch-granular actuals for one predicate in a filter chain.
+
+    ``rows_in`` counts rows that reached this predicate (survivors of the
+    predicates before it in the chain), ``rows_out`` the rows its
+    selection mask kept — so ``rows_in / chain_rows`` is the selection-
+    vector density *before* the predicate and ``rows_out / chain_rows``
+    the density after it. ``kernel_seconds`` is the wall-clock spent
+    inside ``evaluate_batch`` (the compiled kernel plus masking), and the
+    cache deltas give this predicate's hit rate under caching runs.
+    """
+
+    __slots__ = (
+        "predicate",
+        "batches",
+        "rows_in",
+        "rows_out",
+        "kernel_seconds",
+        "cache_hits",
+        "cache_misses",
+    )
+
+    def __init__(self, predicate: Predicate) -> None:
+        self.predicate = str(predicate)
+        self.batches = 0
+        self.rows_in = 0
+        self.rows_out = 0
+        self.kernel_seconds = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def selectivity(self) -> float:
+        if self.rows_in <= 0:
+            return float("nan")
+        return self.rows_out / self.rows_in
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        if lookups <= 0:
+            return float("nan")
+        return self.cache_hits / lookups
+
+    def as_dict(self) -> dict:
+        return {
+            "predicate": self.predicate,
+            "batches": self.batches,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "selectivity": fmt_stat(self.selectivity),
+            "kernel_seconds": self.kernel_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+class BatchNodeStats:
+    """Batch-granular actuals for one plan node under the vector engine.
+
+    The batch-level companion of
+    :class:`~repro.exec.operators.OperatorStats` — it never replaces the
+    row-path totals (those stay byte-identical to the row engine); it
+    *adds* what only exists under batching: how many batches flowed,
+    their size distribution, and how the selection vector decayed
+    through the node's filter chain.
+    """
+
+    __slots__ = ("batches", "rows_in", "rows_out", "predicates")
+
+    def __init__(self) -> None:
+        #: Batches the node emitted (empty post-filter batches are
+        #: dropped, so this can be lower than the input batch count,
+        #: which is ``rows_in.count``).
+        self.batches = 0
+        #: Per-batch rows entering the node's filter chain.
+        self.rows_in = StreamingHistogram()
+        #: Per-batch rows the node emitted.
+        self.rows_out = StreamingHistogram()
+        #: Chain-ordered per-predicate stats (empty for filterless nodes).
+        self.predicates: list[BatchPredicateStats] = []
+
+    @property
+    def chain_rows(self) -> int:
+        """Total rows that entered the filter chain."""
+        return int(self.rows_in.finite_sum)
+
+    def as_dict(self) -> dict:
+        return {
+            "batches": self.batches,
+            "rows_in": self.rows_in.as_dict(),
+            "rows_out": self.rows_out.as_dict(),
+            "predicates": [p.as_dict() for p in self.predicates],
+        }
+
+
+def _batch_node_stats(ctx: RuntimeContext, node: PlanNode) -> BatchNodeStats:
+    """Get-or-create the batch stats slot for ``node`` (the filter chain
+    and the instrumented wrapper both write into the same slot)."""
+    stats = ctx.batch_stats.get(id(node))
+    if stats is None:
+        stats = ctx.batch_stats[id(node)] = BatchNodeStats()
+    return stats
+
+
 # -- batch predicate evaluation ----------------------------------------------
 
 
@@ -303,22 +414,32 @@ class PredicateRunner:
         """Fill a selection mask over a whole batch, reading columns
         directly when the predicate shape allows it."""
         ctx = self.ctx
-        if (
-            self._column_compare is not None
-            and ctx.collector is None
-            and ctx.monitor is None
-        ):
+        if self._column_compare is not None and ctx.collector is None:
+            # A monitor alone does not force the per-binding bracketed
+            # regime: the predicate is free (every charge is zero), so
+            # the observation can be reported in bulk from the mask —
+            # same density information, none of the per-row overhead.
             op, const, reversed_ = self._column_compare
             if const is None:  # comparisons against NULL never pass
-                return bytearray(batch.length)
-            column = batch.column(slots[0])
-            if reversed_:
-                return bytearray(
-                    (v is not None and op(const, v)) is True for v in column
-                )
-            return bytearray(
-                (v is not None and op(v, const)) is True for v in column
-            )
+                mask = bytearray(batch.length)
+            else:
+                column = batch.column(slots[0])
+                if reversed_:
+                    mask = bytearray(
+                        (v is not None and op(const, v)) is True
+                        for v in column
+                    )
+                else:
+                    mask = bytearray(
+                        (v is not None and op(v, const)) is True
+                        for v in column
+                    )
+            monitor = ctx.monitor
+            if monitor is not None and batch.length:
+                bulk = getattr(monitor, "observe_predicate_batch", None)
+                if bulk is not None:
+                    bulk(self.predicate, batch.length, sum(mask), ())
+            return mask
         return self.evaluate_bindings(_bindings_from_batch(batch, slots))
 
     def evaluate_bindings(self, bindings: list[tuple]) -> bytearray:
@@ -529,16 +650,37 @@ class BatchFilter(BatchOperator):
         child: BatchOperator,
         filters: list[Predicate],
         ctx: RuntimeContext,
+        node: PlanNode | None = None,
     ) -> None:
         self.child = child
         self.filters = filters
         self.ctx = ctx
         self.scope = child.scope
+        self.node_key = id(node) if node is not None else 0
+        #: Product of the chain's declared selectivities — what the
+        #: optimizer expected the chain to keep (for the monitor's
+        #: density-based refinement).
+        self.declared_selectivity = 1.0
+        for predicate in filters:
+            self.declared_selectivity *= float(predicate.selectivity)
+        self._stats: BatchNodeStats | None = None
+        self._pred_stats: list[BatchPredicateStats] = []
+        if ctx.batch_stats is not None and node is not None:
+            self._stats = _batch_node_stats(ctx, node)
+            self._pred_stats = [BatchPredicateStats(p) for p in filters]
+            self._stats.predicates.extend(self._pred_stats)
         if ctx.containment is None:
             self._runners = [
                 (PredicateRunner(p, ctx), _input_slots(p, self.scope))
                 for p in filters
             ]
+
+    def _density_hook(self):
+        """The monitor's per-batch density callback, or ``None``."""
+        monitor = self.ctx.monitor
+        if monitor is None or not self.node_key:
+            return None
+        return getattr(monitor, "on_filter_batch", None)
 
     def batches(self) -> Iterator[ColumnBatch]:
         ctx = self.ctx
@@ -547,8 +689,11 @@ class BatchFilter(BatchOperator):
             # retry, backoff, and quarantine semantics row-identical.
             scope = self.scope
             filters = self.filters
+            stats = self._stats
+            on_filter_batch = self._density_hook()
             for batch in self.child.batches():
-                mask = bytearray(batch.length)
+                rows_in = batch.length
+                mask = bytearray(rows_in)
                 for i, row in enumerate(batch.iter_rows()):
                     if all(
                         evaluate_predicate(predicate, row, scope, ctx)
@@ -556,16 +701,68 @@ class BatchFilter(BatchOperator):
                     ):
                         mask[i] = 1
                 batch = batch.take(mask)
+                if stats is not None:
+                    stats.rows_in.observe(float(rows_in))
+                if on_filter_batch is not None:
+                    on_filter_batch(
+                        self.node_key,
+                        rows_in,
+                        batch.length,
+                        self.declared_selectivity,
+                    )
                 if batch.length:
                     yield batch
             return
         runners = self._runners
+        stats = self._stats
+        on_filter_batch = self._density_hook()
+        if stats is None and on_filter_batch is None:
+            # Detached fast path: no stats branch anywhere in the loop.
+            for batch in self.child.batches():
+                for runner, slots in runners:
+                    if batch.length == 0:
+                        break
+                    mask = runner.evaluate_batch(batch, slots)
+                    batch = batch.take(mask)
+                if batch.length:
+                    yield batch
+            return
+        pred_stats = self._pred_stats or [None] * len(runners)
+        cache = ctx.cache
         for batch in self.child.batches():
-            for runner, slots in runners:
+            rows_in = batch.length
+            if stats is not None:
+                stats.rows_in.observe(float(rows_in))
+            for (runner, slots), pstats in zip(runners, pred_stats):
                 if batch.length == 0:
                     break
+                if pstats is None:
+                    mask = runner.evaluate_batch(batch, slots)
+                    batch = batch.take(mask)
+                    continue
+                hits_before = cache.stats.hits if cache is not None else 0
+                misses_before = (
+                    cache.stats.misses if cache is not None else 0
+                )
+                started = time.perf_counter()
                 mask = runner.evaluate_batch(batch, slots)
+                pstats.kernel_seconds += time.perf_counter() - started
+                pstats.batches += 1
+                pstats.rows_in += batch.length
                 batch = batch.take(mask)
+                pstats.rows_out += batch.length
+                if cache is not None:
+                    pstats.cache_hits += cache.stats.hits - hits_before
+                    pstats.cache_misses += (
+                        cache.stats.misses - misses_before
+                    )
+            if on_filter_batch is not None:
+                on_filter_batch(
+                    self.node_key,
+                    rows_in,
+                    batch.length,
+                    self.declared_selectivity,
+                )
             if batch.length:
                 yield batch
 
@@ -1042,15 +1239,21 @@ class InstrumentedBatchOperator(BatchOperator):
         self.scope = child.scope
         self.stats = OperatorStats()
         ctx.node_stats[id(node)] = self.stats
+        self.batch_stats: BatchNodeStats | None = (
+            _batch_node_stats(ctx, node)
+            if ctx.batch_stats is not None
+            else None
+        )
 
     def batches(self) -> Iterator[ColumnBatch]:
         meter = self.ctx.meter
         cache = self.ctx.cache
         stats = self.stats
+        batch_stats = self.batch_stats
         iterator = self.child.batches()
         while True:
-            charged_before = meter.charged
             io_before = meter.io_charged
+            cpu_before = meter.cpu_charged
             function_before = meter.function_charged
             hits_before = cache.stats.hits if cache is not None else 0
             started = time.perf_counter()
@@ -1058,8 +1261,8 @@ class InstrumentedBatchOperator(BatchOperator):
                 batch = next(iterator)
             except StopIteration:
                 stats.wall_seconds += time.perf_counter() - started
-                stats.charged += meter.charged - charged_before
                 stats.io_charged += meter.io_charged - io_before
+                stats.cpu_charged += meter.cpu_charged - cpu_before
                 stats.function_charged += (
                     meter.function_charged - function_before
                 )
@@ -1067,12 +1270,15 @@ class InstrumentedBatchOperator(BatchOperator):
                     stats.cache_hits += cache.stats.hits - hits_before
                 return
             stats.wall_seconds += time.perf_counter() - started
-            stats.charged += meter.charged - charged_before
             stats.io_charged += meter.io_charged - io_before
+            stats.cpu_charged += meter.cpu_charged - cpu_before
             stats.function_charged += meter.function_charged - function_before
             if cache is not None:
                 stats.cache_hits += cache.stats.hits - hits_before
             stats.rows_out += batch.length
+            if batch_stats is not None:
+                batch_stats.batches += 1
+                batch_stats.rows_out.observe(float(batch.length))
             yield batch
 
 
@@ -1113,6 +1319,55 @@ class MonitoredBatchOperator(BatchOperator):
             yield batch
 
 
+class FlightBatchOperator(BatchOperator):
+    """Transparent wrapper feeding the execution flight recorder.
+
+    One bounded event per emitted batch (the ring buffer caps total
+    retention), plus monitor progress snapshots at power-of-two batch
+    counts so a postmortem can show how far along the plan believed it
+    was. Only constructed when the context carries a ``flight``
+    recorder; the default path never sees this class.
+    """
+
+    def __init__(
+        self, node: PlanNode, child: BatchOperator, ctx: RuntimeContext
+    ) -> None:
+        assert ctx.flight is not None
+        self.child = child
+        self.ctx = ctx
+        self.flight = ctx.flight
+        self.label = _node_label(node)
+        self.scope = child.scope
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        ctx = self.ctx
+        flight = self.flight
+        meter = ctx.meter
+        monitor = ctx.monitor
+        label = self.label
+        count = 0
+        for batch in self.child.batches():
+            count += 1
+            flight.record(
+                "batch",
+                op=label,
+                batch=count,
+                rows=batch.length,
+                charged=meter.charged,
+            )
+            if monitor is not None and (count & (count - 1)) == 0:
+                flight.record(
+                    "progress",
+                    op=label,
+                    batch=count,
+                    fraction=round(monitor.progress(), 6),
+                )
+            yield batch
+        flight.record(
+            "op.done", op=label, batches=count, charged=meter.charged
+        )
+
+
 # -- plan compilation --------------------------------------------------------
 
 
@@ -1122,10 +1377,13 @@ def build_batch_operator(
     batch_rows: int = DEFAULT_BATCH_ROWS,
 ) -> BatchOperator:
     """Compile a plan tree into a batch-operator tree (instrumented /
-    monitored exactly like :func:`repro.exec.operators.build_operator`)."""
+    monitored exactly like :func:`repro.exec.operators.build_operator`,
+    flight-recorded when the context carries a recorder)."""
     operator = _build_batch_operator(node, ctx, batch_rows)
     if ctx.node_stats is not None:
         operator = InstrumentedBatchOperator(node, operator, ctx)
+    if ctx.flight is not None:
+        operator = FlightBatchOperator(node, operator, ctx)
     if ctx.monitor is not None:
         operator = MonitoredBatchOperator(node, operator, ctx)
     return operator
@@ -1143,7 +1401,7 @@ def _build_batch_operator(
         else:
             source = BatchSeqScan(node.table, ctx, batch_rows)
         if node.filters:
-            return BatchFilter(source, node.filters, ctx)
+            return BatchFilter(source, node.filters, ctx, node)
         return source
 
     if isinstance(node, Join):
@@ -1165,7 +1423,7 @@ def _build_batch_operator(
             else:  # pragma: no cover - exhaustive over enum
                 raise PlanError(f"unknown join method {node.method}")
         if node.filters:
-            return BatchFilter(joined, node.filters, ctx)
+            return BatchFilter(joined, node.filters, ctx, node)
         return joined
 
     raise PlanError(f"cannot execute node type: {type(node).__name__}")

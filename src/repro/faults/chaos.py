@@ -50,6 +50,12 @@ from repro.exec import Executor, FailurePolicy
 from repro.exec.containment import DEFAULT_RETRIES, EXHAUSTION_POLICIES
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import PROFILES, FaultPlan
+from repro.obs.flightrec import (
+    FlightRecorder,
+    build_flight_dump,
+    flight_path,
+    write_flight_dump,
+)
 from repro.obs.provenance import ProvenanceLedger
 from repro.obs.quality import catalog_drift
 from repro.obs.runtime_telemetry import RuntimeMonitor
@@ -104,6 +110,9 @@ class ChaosOutcome:
     #: Ladder rungs that failed before a plan was produced.
     degraded: list[str] = field(default_factory=list)
     violations: list[str] = field(default_factory=list)
+    #: Path of the FLIGHT_*.json crash dump this run wrote (empty when
+    #: the run completed or the suite ran without ``flight_dir``).
+    flight_dump: str = ""
 
     @property
     def ok(self) -> bool:
@@ -129,6 +138,7 @@ class ChaosOutcome:
             "monitor_state": self.monitor_state,
             "degraded": list(self.degraded),
             "violations": list(self.violations),
+            "flight_dump": self.flight_dump,
         }
 
 
@@ -334,6 +344,7 @@ def run_chaos(
     planner_fault_rate: float = 0.25,
     telemetry: bool = False,
     executor: str = "row",
+    flight_dir: str | None = None,
 ) -> ChaosReport:
     """Run the chaos suite for one workload; returns the full report.
 
@@ -356,6 +367,13 @@ def run_chaos(
     ``executor`` selects the execution path (``"row"`` or ``"vector"``)
     for the oracle and every strategy run alike, so the
     subset/superset-vs-oracle audits hold under batching too.
+
+    ``flight_dir`` attaches an execution
+    :class:`~repro.obs.flightrec.FlightRecorder` (timestamped on the
+    injector's simulated clock) to every strategy run; any run that
+    dies serializes a ``FLIGHT_<workload>_seed<seed>_<strategy>.json``
+    crash dump into the directory, its path recorded in the outcome's
+    ``flight_dump`` — deterministic input for ``repro postmortem``.
     """
     if workload_key not in WORKLOADS:
         raise ReproError(
@@ -476,12 +494,18 @@ def run_chaos(
                     "stats_clamped", 0
                 )
                 monitor = RuntimeMonitor() if telemetry else None
+                recorder = (
+                    FlightRecorder(clock=injector.clock)
+                    if flight_dir is not None
+                    else None
+                )
                 runner = Executor(
                     db,
                     failure_policy=failure_policy,
                     clock=injector.clock,
                     monitor=monitor,
                     executor=executor,
+                    flight=recorder,
                 )
                 fired_before = injector.stats.errors_injected
                 clock_before = injector.clock.latency_units
@@ -530,6 +554,28 @@ def run_chaos(
                     outcome.progress = round(monitor.progress(), 6)
                     outcome.monitor_state = monitor.state
                     _audit_telemetry(outcome, result, monitor)
+                if recorder is not None and not result.completed:
+                    document = build_flight_dump(
+                        recorder,
+                        workload=workload_key,
+                        reason=result.error,
+                        executor=executor,
+                        strategy=strategy,
+                        seed=seed,
+                        result=result,
+                        monitor=monitor,
+                        ledger=ledger,
+                        clamped_charges=int(db.meter.clamped_charges),
+                    )
+                    target = write_flight_dump(
+                        flight_path(
+                            flight_dir,
+                            workload_key,
+                            suffix=f"seed{seed}_{strategy}",
+                        ),
+                        document,
+                    )
+                    outcome.flight_dump = str(target)
     return report
 
 
@@ -597,6 +643,9 @@ def format_chaos_report(report: ChaosReport) -> str:
             verdict,
         )
     lines.append(table.render())
+    for o in report.outcomes:
+        if o.flight_dump:
+            lines.append(f"flight dump: {o.flight_dump}")
     lines.append(
         f"result: {'PASS' if report.passed else 'FAIL'} "
         f"({len(report.outcomes)} runs, "

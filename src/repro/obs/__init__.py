@@ -38,7 +38,10 @@ Four small pieces:
   :class:`QueryResourceReport` roll-up behind ``repro top``;
 * :mod:`repro.obs.export` — the Prometheus-text / JSON metrics snapshot
   (:func:`build_export` / :func:`export_metrics`) behind
-  ``--metrics-export``.
+  ``--metrics-export``;
+* :mod:`repro.obs.flightrec` — :class:`FlightRecorder`, the fixed-capacity
+  execution flight recorder whose ``FLIGHT_<workload>.json`` crash dumps
+  back ``repro postmortem``.
 """
 
 from repro.obs.artifacts import (
@@ -75,6 +78,17 @@ from repro.obs.feedback import (
     format_stats_epoch,
     predicate_fingerprint,
     stats_path,
+)
+from repro.obs.flightrec import (
+    DEFAULT_CAPACITY,
+    FLIGHT_PREFIX,
+    FLIGHT_SCHEMA_VERSION,
+    FlightRecorder,
+    build_flight_dump,
+    flight_path,
+    format_postmortem,
+    load_flight_dump,
+    write_flight_dump,
 )
 from repro.obs.histograms import (
     DEFAULT_QUANTILES,
@@ -148,12 +162,16 @@ __all__ = [
     "Counter",
     "Counterfactual",
     "CounterfactualReport",
+    "DEFAULT_CAPACITY",
     "DEFAULT_QUANTILES",
     "DRIFT_QERROR_THRESHOLD",
     "DriftFinding",
     "EVENT_KINDS",
+    "FLIGHT_PREFIX",
+    "FLIGHT_SCHEMA_VERSION",
     "FeedbackCollector",
     "Finding",
+    "FlightRecorder",
     "Histogram",
     "LedgerEvent",
     "MetricsRegistry",
@@ -189,6 +207,7 @@ __all__ = [
     "auto_table",
     "build_chrome_trace",
     "build_export",
+    "build_flight_dump",
     "build_run_artifact",
     "canonical_plan_form",
     "canonical_value",
@@ -199,12 +218,15 @@ __all__ = [
     "diff_artifacts",
     "export_chrome_trace",
     "export_metrics",
+    "flight_path",
     "fmt_cell",
     "fmt_stat",
     "format_drift_report",
+    "format_postmortem",
     "format_stats_epoch",
     "format_top",
     "has_regressions",
+    "load_flight_dump",
     "load_run_artifact",
     "plan_fingerprint",
     "predicate_fingerprint",
@@ -217,4 +239,5 @@ __all__ = [
     "skeleton_signature",
     "stats_path",
     "why_report",
+    "write_flight_dump",
 ]

@@ -367,6 +367,52 @@ def _quality(record: dict) -> dict | None:
     return None
 
 
+def _resources(record: dict) -> dict | None:
+    """A strategy record's resource roll-up, or ``None`` when the
+    artifact predates live telemetry (or the section is malformed —
+    same treatment: nothing to compare)."""
+    resources = record.get("resources")
+    if isinstance(resources, dict):
+        return resources
+    return None
+
+
+#: Resource-report keys worth a per-key drift note. Deliberately the
+#: deterministic counters only — ``reason``/``state`` drift is already
+#: covered by the gated error/dnf checks, and clock fields restate
+#: ``backoff_units``.
+_RESOURCE_NOTE_KEYS = (
+    "rows_in",
+    "rows_out",
+    "udf_calls",
+    "cache_hits",
+    "cache_misses",
+    "quarantined",
+    "retried",
+)
+
+
+def _batch_totals(record: dict) -> dict[str, int] | None:
+    """Per-operator batch counts from a record's vector batch actuals,
+    or ``None`` when the record carries none (every row-path record —
+    batch actuals are embedded only by instrumented vector runs)."""
+    operators = record.get("operators")
+    if not isinstance(operators, list):
+        return None
+    totals: dict[str, int] = {}
+    found = False
+    for entry in operators:
+        if not isinstance(entry, dict):
+            continue
+        batch = entry.get("batch")
+        if not isinstance(batch, dict):
+            continue
+        found = True
+        label = str(entry.get("node", "?"))
+        totals[label] = int(batch.get("batches", 0) or 0)
+    return totals if found else None
+
+
 def _quality_stat(quality: dict, key: str) -> float:
     """One quality stat as a float (``fmt_stat`` strings parse back)."""
     value = quality.get(key)
@@ -644,6 +690,69 @@ def diff_artifacts(
                         "observed-vs-declared statistics)",
                     )
                 )
+
+        # Runtime-resource drift: like ledger/quality, informational only.
+        # A row-vs-vector comparison (or a pre-telemetry baseline) shows
+        # up as a one-sided note instead of being silently ignored as an
+        # unknown record key; when both sides carry the section, the
+        # deterministic counters get per-key deltas.
+        base_resources = _resources(base)
+        cand_resources = _resources(cand)
+        if (base_resources is None) != (cand_resources is None):
+            side = "candidate" if base_resources is None else "baseline"
+            findings.append(
+                Finding(
+                    "note", workload, strategy, "resources",
+                    f"resource roll-up recorded only in the {side} run "
+                    "(the other artifact predates live telemetry); "
+                    "resource drift not compared",
+                )
+            )
+        if base_resources is not None and cand_resources is not None:
+            for key in _RESOURCE_NOTE_KEYS:
+                before = _as_float(base_resources.get(key))
+                after = _as_float(cand_resources.get(key))
+                if (
+                    math.isfinite(before)
+                    and math.isfinite(after)
+                    and before != after
+                ):
+                    findings.append(
+                        Finding(
+                            "note", workload, strategy, "resources",
+                            f"{key} changed {before:g} -> {after:g} "
+                            "(informational; runtime resources)",
+                        )
+                    )
+
+        # Batch-granular actuals exist only on instrumented vector
+        # records; a row-vs-vector diff is expected to be one-sided.
+        base_batches = _batch_totals(base)
+        cand_batches = _batch_totals(cand)
+        if (base_batches is None) != (cand_batches is None):
+            side = "candidate" if base_batches is None else "baseline"
+            findings.append(
+                Finding(
+                    "note", workload, strategy, "batch",
+                    f"batch actuals recorded only in the {side} run "
+                    "(vector-engine instrumentation; row-path records "
+                    "never carry them) — row-path totals remain the "
+                    "gated figures",
+                )
+            )
+        if base_batches is not None and cand_batches is not None:
+            for label in sorted(set(base_batches) | set(cand_batches)):
+                before_n = base_batches.get(label)
+                after_n = cand_batches.get(label)
+                if before_n != after_n:
+                    findings.append(
+                        Finding(
+                            "note", workload, strategy, "batch",
+                            f"operator {label!r} batch count changed "
+                            f"{before_n} -> {after_n} (informational; "
+                            "vector batch shape)",
+                        )
+                    )
 
     return findings
 

@@ -18,7 +18,11 @@ Layout:
   synthetic ``"X"`` events (the profiler keeps totals, not a timeline);
   each carries its real ``count`` and self-time in ``args``. The track
   reads as a proportional time breakdown, not a chronology.
-* ``"M"`` metadata events name the process and both threads.
+* **tid 3** (opt-in, when an execution flight recorder is supplied)
+  carries batch-level ``"i"`` instants, one per retained flight event,
+  with ``ts`` taken from the event's sequence number — a deterministic
+  ordinal axis, not wall-clock — and the event payload in ``args``.
+* ``"M"`` metadata events name the process and the threads present.
 
 Everything emitted is plain JSON-safe data: span attributes were already
 canonicalised at record time (:func:`repro.obs.tracer.canonical_value`).
@@ -37,6 +41,10 @@ SPAN_TID = 1
 #: Thread carrying the profiler's aggregate phase breakdown.
 PHASE_TID = 2
 
+#: Thread carrying the flight recorder's batch-level instants (opt-in:
+#: only emitted when a recorder is passed to the export).
+BATCH_TID = 3
+
 
 def _metadata(kind: str, tid: int | None = None, **args) -> dict:
     # ``kind`` is the metadata event's own name ("process_name",
@@ -51,17 +59,23 @@ def _metadata(kind: str, tid: int | None = None, **args) -> dict:
     }
 
 
-def build_chrome_trace(tracer=None, profiler=None) -> dict:
+def build_chrome_trace(tracer=None, profiler=None, flight=None) -> dict:
     """The Chrome trace document (``{"traceEvents": [...]}``) for a run.
 
-    Either source may be ``None`` or a disabled null object; the export
-    then simply omits that track.
+    Any source may be ``None`` or a disabled null object; the export
+    then simply omits that track. ``flight`` is an execution
+    :class:`~repro.obs.flightrec.FlightRecorder` whose retained events
+    become batch-level instants on their own thread.
     """
     events: list[dict] = [
         _metadata("process_name", name="repro run"),
         _metadata("thread_name", tid=SPAN_TID, name="tracer spans"),
         _metadata("thread_name", tid=PHASE_TID, name="profiler phases"),
     ]
+    if flight is not None:
+        events.append(
+            _metadata("thread_name", tid=BATCH_TID, name="flight batches")
+        )
 
     if tracer is not None and tracer.enabled:
         for record in tracer.to_records():
@@ -120,12 +134,35 @@ def build_chrome_trace(tracer=None, profiler=None) -> dict:
             )
             cursor += duration_us
 
+    if flight is not None:
+        for record in flight.events():
+            args = {
+                key: value
+                for key, value in record.items()
+                if key not in ("seq", "kind")
+            }
+            events.append(
+                {
+                    "ph": "i",
+                    # The sequence number is the timeline: deterministic
+                    # across runs, unlike any wall-clock reading.
+                    "ts": float(record["seq"]),
+                    "pid": PID,
+                    "tid": BATCH_TID,
+                    "name": record["kind"],
+                    "s": "t",
+                    "args": args,
+                }
+            )
+
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def export_chrome_trace(path: str, tracer=None, profiler=None) -> int:
+def export_chrome_trace(path: str, tracer=None, profiler=None, flight=None) -> int:
     """Write the Chrome trace JSON; returns the event count."""
-    document = build_chrome_trace(tracer=tracer, profiler=profiler)
+    document = build_chrome_trace(
+        tracer=tracer, profiler=profiler, flight=flight
+    )
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle)
         handle.write("\n")

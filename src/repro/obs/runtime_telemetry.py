@@ -206,6 +206,9 @@ class RuntimeMonitor:
         self._node_predicates: dict[int, list[int]] = {}
         #: Per-operator pull latency (wall-clock; export-only).
         self.latency: dict[int, StreamingHistogram] = {}
+        #: Per-node selection-vector density totals from the vector
+        #: executor's filter chains: ``node_key -> [rows_in, rows_out]``.
+        self.filter_density: dict[int, list[int]] = {}
         self.state = "pending"
         self.reason = ""
         self._plan_fraction = 0.0
@@ -430,6 +433,51 @@ class RuntimeMonitor:
             and telemetry.evaluated >= REFINE_MIN_EVALS
         ):
             self._refine(telemetry.node_key)
+
+    def on_filter_batch(
+        self,
+        node_key: int,
+        rows_in: int,
+        rows_out: int,
+        declared_selectivity: float,
+    ) -> None:
+        """Per-batch selection-vector density report from the vector
+        executor's filter chains: ``rows_in`` rows entered the chain and
+        ``rows_out`` survived it, against a declared (optimizer) chain
+        selectivity of ``declared_selectivity``.
+
+        Unlike the per-predicate refinement in :meth:`_refine` — a
+        product of independent ratios — the joint chain density sees
+        predicate correlation, so it refines the node's cardinality
+        estimate *every batch* instead of waiting for per-predicate
+        power-of-two milestones. Same clamps as :meth:`_refine`: the
+        ratio band keeps one absurd declaration from zeroing or
+        exploding the work budget, and ``rows_out``/``WORK_FLOOR``
+        floors keep the fraction monotone.
+        """
+        if rows_in <= 0 or self.state == "aborted":
+            return
+        totals = self.filter_density.get(node_key)
+        if totals is None:
+            totals = self.filter_density[node_key] = [0, 0]
+        totals[0] += rows_in
+        totals[1] += rows_out
+        if totals[0] < REFINE_MIN_EVALS:
+            return
+        operator = self.operators.get(node_key)
+        if operator is None:
+            return
+        declared = declared_selectivity
+        if math.isnan(declared) or not declared > 0.0:
+            return
+        observed = totals[1] / totals[0]
+        low, high = REFINE_RATIO_BAND
+        ratio = min(max(observed / declared, low), high)
+        operator.estimated_rows = max(
+            operator.declared_rows * ratio,
+            float(operator.rows_out),
+            WORK_FLOOR,
+        )
 
     def _refine(self, node_key: int) -> None:
         """Replace declared selectivities with observed ones in the

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 from repro.plan.nodes import Join, Plan, PlanNode, Scan
 
 
@@ -149,6 +151,67 @@ def _analyze_annotation(node: PlanNode, node_stats: dict, cost_model) -> str:
     return "  (" + " | ".join(parts) + ")"
 
 
+def _hist_span(hist) -> str:
+    """``min/median/max`` of a per-batch histogram, as whole rows."""
+    if hist.count <= 0:
+        return "n/a"
+    return (
+        f"{hist.minimum:.0f}/{hist.quantile(0.5):.0f}/{hist.maximum:.0f}"
+    )
+
+
+def _batch_line(stats) -> str:
+    """The per-node ``· batches=…`` line from vector batch actuals."""
+    parts = [f"batches={stats.batches}"]
+    if stats.rows_in.count > 0:
+        parts.append(f"rows/batch in={_hist_span(stats.rows_in)}")
+    if stats.rows_out.count > 0:
+        parts.append(f"rows/batch out={_hist_span(stats.rows_out)}")
+    return "· " + "  ".join(parts)
+
+
+def _predicate_batch_suffix(pstats, chain_rows: int) -> str:
+    """Per-predicate vector annotations: selection-vector density before
+    and after the kernel (fractions of the rows that entered the filter
+    chain), observed selectivity, kernel self time, cache hit rate."""
+    if pstats.rows_in <= 0 and pstats.batches <= 0:
+        return ""
+    parts: list[str] = []
+    if chain_rows > 0:
+        before = pstats.rows_in / chain_rows
+        after = pstats.rows_out / chain_rows
+        parts.append(f"density {before:.3f}→{after:.3f}")
+    selectivity = pstats.selectivity
+    if not math.isnan(selectivity):
+        parts.append(f"sel={selectivity:.3f}")
+    parts.append(f"kernel={pstats.kernel_seconds * 1000.0:.2f}ms")
+    if pstats.cache_hits or pstats.cache_misses:
+        parts.append(f"cache_hit={pstats.cache_hit_rate * 100.0:.1f}%")
+    return "  [" + " | ".join(parts) + "]"
+
+
+def _analyze_detail_lines(
+    node: PlanNode, child_prefix: str, lines: list[str], batch_map: dict
+) -> None:
+    """The ``·`` lines under one node: batch actuals, then filters
+    (display order is reversed chain order; the stats list is chain
+    order, so entry ``i`` from the end annotates rendered filter ``i``).
+    """
+    batch = batch_map.get(id(node))
+    if batch is not None:
+        lines.append(child_prefix + _batch_line(batch))
+    pred_count = len(node.filters)
+    for offset, predicate in enumerate(reversed(node.filters)):
+        line = child_prefix + f"· filter: {predicate}"
+        if batch is not None:
+            chain_index = pred_count - 1 - offset
+            if chain_index < len(batch.predicates):
+                line += _predicate_batch_suffix(
+                    batch.predicates[chain_index], batch.chain_rows
+                )
+        lines.append(line)
+
+
 def _render_analyze(
     node: PlanNode,
     prefix: str,
@@ -156,6 +219,7 @@ def _render_analyze(
     lines: list[str],
     node_stats: dict,
     cost_model,
+    batch_map: dict,
 ) -> None:
     connector = "└─ " if is_last else "├─ "
     child_prefix = prefix + ("   " if is_last else "│  ")
@@ -165,8 +229,7 @@ def _render_analyze(
         + _node_label(node)
         + _analyze_annotation(node, node_stats, cost_model)
     )
-    for predicate in reversed(node.filters):
-        lines.append(child_prefix + f"· filter: {predicate}")
+    _analyze_detail_lines(node, child_prefix, lines, batch_map)
     children = node.children()
     for position, child in enumerate(children):
         _render_analyze(
@@ -176,6 +239,7 @@ def _render_analyze(
             lines,
             node_stats,
             cost_model,
+            batch_map,
         )
 
 
@@ -183,6 +247,7 @@ def explain_analyze(
     plan: Plan | PlanNode,
     node_stats: dict | None,
     cost_model=None,
+    batch_stats: dict | None = None,
 ) -> str:
     """EXPLAIN ANALYZE: the plan tree annotated per node with estimated
     vs. actual rows and cost, plus the estimate's relative error.
@@ -191,12 +256,20 @@ def explain_analyze(
     execution (``Executor.execute(..., instrument=True)``); ``cost_model``
     supplies the per-node estimates. Charged figures are inclusive of each
     node's subtree, matching the cost model's convention.
+
+    ``batch_stats`` is :attr:`QueryResult.batch_stats` from an
+    instrumented *vector* execution: when present, each node gains a
+    ``· batches=…`` line (batch count, per-batch row min/median/max in
+    and out) and each filter gains selection-vector density before/after
+    the kernel, observed selectivity, kernel self time, and predicate
+    cache hit rate. The row-path ``act`` figures are untouched — they
+    stay byte-identical with the row engine's.
     """
     root = plan.root if isinstance(plan, Plan) else plan
     stats_map = node_stats or {}
+    batch_map = batch_stats or {}
     lines = [_node_label(root) + _analyze_annotation(root, stats_map, cost_model)]
-    for predicate in reversed(root.filters):
-        lines.append(f"· filter: {predicate}")
+    _analyze_detail_lines(root, "", lines, batch_map)
     children = root.children()
     for position, child in enumerate(children):
         _render_analyze(
@@ -206,6 +279,7 @@ def explain_analyze(
             lines,
             stats_map,
             cost_model,
+            batch_map,
         )
     return "\n".join(lines)
 

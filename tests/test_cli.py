@@ -424,3 +424,87 @@ class TestTraceExport:
         assert code == 0
         assert jsonl.exists() and chrome.exists()
         assert "-- trace:" in err and "-- trace-export:" in err
+
+
+class TestFlightRecord:
+    """--flight-record end to end: a budget-killed run leaves a dump."""
+
+    def test_dead_run_writes_renderable_dump(self, capsys, tmp_path):
+        code, out, err = run_cli(
+            capsys, "--workload", "q1", "--scale", "10",
+            "--executor", "vector", "--budget", "50",
+            "--flight-record", str(tmp_path),
+        )
+        assert code == 2
+        assert "DNF" in out
+        assert "-- flight dump:" in err
+        dump = tmp_path / "FLIGHT_q1.json"
+        assert dump.exists()
+        document = json.loads(dump.read_text())
+        assert document["kind"] == "flight"
+        assert document["reason"].startswith("budget")
+
+        code, out, _ = run_cli(capsys, "postmortem", str(dump))
+        assert code == 0
+        assert "postmortem: q1" in out
+        assert "reason: budget" in out
+        assert "timeline (last" in out
+
+    def test_completed_run_writes_no_dump(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "--workload", "q1", "--scale", "5",
+            "--flight-record", str(tmp_path),
+        )
+        assert code == 0
+        assert "-- flight dump:" not in err
+        assert not list(tmp_path.glob("FLIGHT_*.json"))
+
+    def test_unwritable_dir_exits_1(self, capsys, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        code, _, err = run_cli(
+            capsys, "--workload", "q1", "--scale", "10",
+            "--budget", "50",
+            "--flight-record", str(blocker / "nested"),
+        )
+        assert code == 1
+        assert "cannot write flight dump" in err
+
+
+class TestPostmortem:
+    """Exit-code hardening for the dump-reading verb."""
+
+    def test_missing_dump_exits_2(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "postmortem", str(tmp_path / "FLIGHT_nope.json")
+        )
+        assert code == 2
+        assert "error:" in err
+
+    def test_malformed_json_exits_2(self, capsys, tmp_path):
+        dump = tmp_path / "FLIGHT_bad.json"
+        dump.write_text("{not json")
+        code, _, err = run_cli(capsys, "postmortem", str(dump))
+        assert code == 2
+        assert "error:" in err
+
+    def test_wrong_kind_exits_2(self, capsys, tmp_path):
+        dump = tmp_path / "FLIGHT_kind.json"
+        dump.write_text(json.dumps({"kind": "bench-artifact"}))
+        code, _, err = run_cli(capsys, "postmortem", str(dump))
+        assert code == 2
+        assert "error:" in err
+
+    def test_last_flag_caps_timeline(self, capsys, tmp_path):
+        code, _, _ = run_cli(
+            capsys, "--workload", "q1", "--scale", "10",
+            "--executor", "vector", "--budget", "50",
+            "--flight-record", str(tmp_path),
+        )
+        assert code == 2
+        dump = tmp_path / "FLIGHT_q1.json"
+        code, out, _ = run_cli(
+            capsys, "postmortem", str(dump), "--last", "2"
+        )
+        assert code == 0
+        assert "timeline (last 2" in out
