@@ -33,6 +33,8 @@ import math
 import sys
 
 from repro import Executor, build_database, compile_query, optimize, plan_tree
+from repro.adaptive import AdaptivePolicy, load_injected_cards
+from repro.adaptive.workloads import ADAPT_WORKLOADS, build_adapt_workload
 from repro.bench import format_outcomes, resolve_strategies, run_strategies
 from repro.bench.optspeed import (
     DEFAULT_REPEATS,
@@ -92,8 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument("--sql", help="SQL text to plan and run")
     source.add_argument(
         "--workload",
-        choices=sorted(WORKLOADS),
-        help="one of the paper's benchmark queries",
+        choices=sorted(WORKLOADS) + sorted(ADAPT_WORKLOADS),
+        help="one of the paper's benchmark queries, or an adapt_* "
+        "misestimation scenario (seeded catalog lies for --adaptive)",
     )
     parser.add_argument(
         "--strategy",
@@ -212,7 +215,81 @@ def build_parser() -> argparse.ArgumentParser:
         "exhaustion — a strict-JSON FLIGHT_<workload>.json crash dump is "
         "written into DIR for 'repro postmortem' (single-strategy runs)",
     )
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="arm mid-query re-optimization: at row milestones, compare "
+        "observed selectivities against the plan's estimates and — past "
+        "the drift threshold — re-plan the unexecuted suffix in place "
+        "(guardrailed: re-plan budget, oscillation damping, improvement "
+        "check; rows and zero-replan charges are identical to a "
+        "non-adaptive run)",
+    )
+    parser.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=None,
+        metavar="Q",
+        help=f"q-error above which observed-vs-declared selectivity "
+        f"drift triggers a re-plan (default {DRIFT_QERROR_THRESHOLD:g}; "
+        f"requires --adaptive)",
+    )
+    parser.add_argument(
+        "--max-replans",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-plan budget per query; once spent the controller "
+        "records a refusal and disarms (default 2; requires --adaptive)",
+    )
+    parser.add_argument(
+        "--inject-cards",
+        metavar="FILE",
+        help="inject exact cardinalities before planning: a JSON file "
+        "mapping predicate fingerprints (or UDF names) to selectivity / "
+        "rows+input_rows (and optional cost_per_call), applied through "
+        "Catalog.apply_feedback, then the query is recompiled so ranks "
+        "re-derive from the injected statistics",
+    )
     return parser
+
+
+def _adaptive_policy(args) -> AdaptivePolicy | None:
+    """The CLI's adaptive knobs as a policy, or ``None`` when off."""
+    if not getattr(args, "adaptive", False):
+        return None
+    kwargs = {}
+    if args.drift_threshold is not None:
+        kwargs["drift_threshold"] = args.drift_threshold
+    if args.max_replans is not None:
+        kwargs["max_replans"] = args.max_replans
+    return AdaptivePolicy(**kwargs)
+
+
+def _inject_cards(db, args, query, build) -> object:
+    """Apply ``--inject-cards`` and recompile; returns the new query.
+
+    Two passes: the first compile (already done by the caller) yields
+    the predicates whose fingerprints card keys may name; binding, then
+    ``apply_feedback``, mutates the catalog; the rebuild re-derives
+    every rank from the injected statistics (predicate stats are baked
+    in at compile time, like ``repro stats --apply-feedback``).
+    """
+    store = load_injected_cards(args.inject_cards).bind(query.predicates)
+    applied = db.catalog.apply_feedback(store)
+    for key in store.unmatched:
+        print(
+            f"warning: injected card {key!r} looks like a predicate "
+            "fingerprint but matches none of this query's predicates "
+            "(treated as a UDF name)",
+            file=sys.stderr,
+        )
+    print(
+        f"-- injected cards: {applied} statistic(s) updated from "
+        f"{args.inject_cards}",
+        file=sys.stderr,
+    )
+    return build()
 
 
 def _write_metrics(path: str, export) -> int:
@@ -279,10 +356,20 @@ def _write_flight(
 def _run(args, tracer, out, profiler=NULL_PROFILER, flight=None) -> int:
     db = build_database(scale=args.scale, seed=args.seed)
     registry = MetricsRegistry() if args.stats else None
-    if args.workload:
+    if args.workload and args.workload in ADAPT_WORKLOADS:
+        from repro.adaptive.workloads import ADAPT_SQL
+
+        adapt = build_adapt_workload(db, args.workload)
+        query = adapt.query
+        budget = args.budget
+        rebuild = lambda: build_adapt_workload(db, args.workload).query  # noqa: E731
+        print(f"-- {adapt.key}: {adapt.title}", file=out)
+        print(ADAPT_SQL, file=out)
+    elif args.workload:
         workload = build_workload(db, args.workload)
         query = workload.query
         budget = args.budget if args.budget is not None else workload.budget
+        rebuild = lambda: build_workload(db, args.workload).query  # noqa: E731
         print(f"-- {workload.title} ({workload.figure})", file=out)
         print(workload.sql, file=out)
     else:
@@ -291,6 +378,10 @@ def _run(args, tracer, out, profiler=NULL_PROFILER, flight=None) -> int:
         ensure_workload_functions(db)
         query = compile_query(db, args.sql, name="cli")
         budget = args.budget
+        rebuild = lambda: compile_query(db, args.sql, name="cli")  # noqa: E731
+    if args.inject_cards:
+        query = _inject_cards(db, args, query, rebuild)
+    adaptive_policy = _adaptive_policy(args)
 
     if args.compare:
         # Recording instruments the run so artifacts carry per-operator
@@ -319,7 +410,20 @@ def _run(args, tracer, out, profiler=NULL_PROFILER, flight=None) -> int:
             feedback=bool(args.record),
             telemetry=bool(args.record) or bool(args.metrics_export),
             executor=args.executor,
+            adaptive=adaptive_policy,
         )
+        if adaptive_policy is not None:
+            for outcome in outcomes:
+                summary = outcome.extras.get("adaptive")
+                if summary:
+                    print(
+                        f"-- adaptive[{outcome.strategy}]: "
+                        f"{summary['replans']} replan(s), "
+                        f"{summary['refusals']} refusal(s), "
+                        f"{summary['triggers']} trigger(s) over "
+                        f"{summary['boundaries']} boundaries",
+                        file=out,
+                    )
         print(
             format_outcomes(
                 f"{query.name or 'query'} under every algorithm", outcomes
@@ -383,16 +487,50 @@ def _run(args, tracer, out, profiler=NULL_PROFILER, flight=None) -> int:
         if args.metrics_export or flight is not None
         else None
     )
+    adaptive_ledger = (
+        ProvenanceLedger() if adaptive_policy is not None else None
+    )
     executor = Executor(
         db, caching=args.caching, budget=budget, tracer=tracer,
         profiler=profiler, monitor=monitor, executor=args.executor,
         cache_capacity=args.cache_capacity, flight=flight,
+        adaptive=adaptive_policy, ledger=adaptive_ledger,
     )
     result = executor.execute(
         optimized.plan,
         project=query.select,
         instrument=args.explain_analyze,
     )
+    if result.adaptive is not None:
+        report = result.adaptive
+        status = (
+            "active" if report.active
+            else f"disabled ({report.disabled_reason})"
+        )
+        print(
+            f"-- adaptive: {status}; {report.replans} replan(s), "
+            f"{report.refusals} refusal(s), {report.triggers} trigger(s) "
+            f"over {report.boundaries} boundaries "
+            f"({report.leaf_rows} leaf rows)",
+            file=out,
+        )
+        for event in report.events:
+            action = event.get("action", "?")
+            detail = ""
+            if action == "applied":
+                moves = ", ".join(
+                    f"{move['predicate']} slot "
+                    f"{move['from_slot']}->{move['to_slot']}"
+                    for move in event.get("moves", [])
+                )
+                detail = f" [{event.get('rung', '?')}] {moves}"
+            elif event.get("reason"):
+                detail = f": {event['reason']}"
+            print(
+                f"--   replan event at leaf row "
+                f"{event.get('leaf_rows', '?')}: {action}{detail}",
+                file=out,
+            )
     if monitor is not None and args.metrics_export:
         code = _write_metrics(
             args.metrics_export,
@@ -1096,7 +1234,104 @@ def build_chaos_parser() -> argparse.ArgumentParser:
         "FLIGHT_<workload>_seed<seed>_<strategy>.json crash dump into "
         "DIR for 'repro postmortem'",
     )
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help="pair every (seed, strategy) run with an adaptive twin "
+        "(mid-query re-optimization armed) and audit the equivalence "
+        "invariant: when no error faults fired in either run, the "
+        "twin's row multiset must equal the static run's exactly",
+    )
+    parser.add_argument(
+        "--drift-threshold", type=float, default=None, metavar="Q",
+        help="adaptive twin's re-plan trigger threshold "
+        f"(default {DRIFT_QERROR_THRESHOLD:g}; requires --adaptive)",
+    )
+    parser.add_argument(
+        "--max-replans", type=int, default=None, metavar="N",
+        help="adaptive twin's re-plan budget (default 2; requires "
+        "--adaptive)",
+    )
     return parser
+
+
+def build_bench_adapt_parser() -> argparse.ArgumentParser:
+    from repro.adaptive.bench import DEFAULT_ADAPT_SCALE
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench-adapt",
+        description=(
+            "The adaptive robustness bench: run every seeded "
+            "misestimation scenario static and adaptive, write "
+            "BENCH_adapt.json, and gate — adaptive must beat the static "
+            "plan's charged cost (with >= 1 recorded re-plan) where the "
+            "catalog lies past the drift threshold, must trigger zero "
+            "re-plans where it is honest or tolerably wrong, and row "
+            "multisets must match everywhere. Exits 1 on any gate "
+            "violation."
+        ),
+    )
+    parser.add_argument(
+        "--scale", type=int, default=DEFAULT_ADAPT_SCALE,
+        help=f"database scale factor (default {DEFAULT_ADAPT_SCALE}; "
+        "the bench refuses scales too small to observe drift)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="data generator seed"
+    )
+    parser.add_argument(
+        "--strategy", default="migration", choices=sorted(STRATEGIES),
+        help="placement strategy for the static plan (default migration)",
+    )
+    parser.add_argument(
+        "--drift-threshold", type=float, default=None, metavar="Q",
+        help="re-plan trigger threshold "
+        f"(default {DRIFT_QERROR_THRESHOLD:g})",
+    )
+    parser.add_argument(
+        "--max-replans", type=int, default=None, metavar="N",
+        help="re-plan budget per query (default 2)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write BENCH_adapt.json to PATH (a directory or explicit "
+        ".json file)",
+    )
+    parser.add_argument(
+        "--flight-record", metavar="DIR",
+        help="write one FLIGHT_<scenario>_adaptive.json event-trail dump "
+        "per adaptive run into DIR",
+    )
+    return parser
+
+
+def bench_adapt(argv: list[str], out=None) -> int:
+    """The ``bench-adapt`` subcommand body; returns the exit code."""
+    from repro.adaptive.bench import (
+        format_adapt_report,
+        run_adapt_bench,
+        write_adapt_artifact,
+    )
+
+    if out is None:
+        out = sys.stdout
+    args = build_bench_adapt_parser().parse_args(argv)
+    try:
+        document, violations = run_adapt_bench(
+            scale=args.scale,
+            seed=args.seed,
+            strategy=args.strategy,
+            drift_threshold=args.drift_threshold,
+            max_replans=args.max_replans,
+            flight_dir=args.flight_record,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_adapt_report(document), file=out)
+    if args.out:
+        target = write_adapt_artifact(args.out, document)
+        print(f"-- adapt artifact: {target}", file=sys.stderr)
+    return 1 if violations else 0
 
 
 def chaos(argv: list[str], out=None) -> int:
@@ -1145,6 +1380,9 @@ def chaos(argv: list[str], out=None) -> int:
             telemetry=args.telemetry,
             executor=args.executor,
             flight_dir=args.flight_record,
+            adaptive=args.adaptive,
+            drift_threshold=args.drift_threshold,
+            max_replans=args.max_replans,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -1716,6 +1954,10 @@ def main(argv: list[str] | None = None) -> int:
         return plan_diff(list(argv[1:]))
     if argv and argv[0] == "chaos":
         return chaos(list(argv[1:]))
+    if argv and argv[0] == "bench-adapt":
+        return bench_adapt(list(argv[1:]))
+    if argv[:2] == ["bench", "adapt"]:
+        return bench_adapt(list(argv[2:]))
     if argv and argv[0] == "top":
         return top(list(argv[1:]))
     if argv and argv[0] == "bench-history":

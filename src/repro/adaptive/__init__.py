@@ -1,0 +1,27 @@
+"""Mid-query adaptive re-optimization (drift-triggered suffix re-planning).
+
+Keep this package import-light: :mod:`repro.exec.runtime` imports the
+controller, so nothing here may import :mod:`repro.exec` (the workload
+and bench helpers, which do, live in their own modules and are imported
+directly by the CLI).
+"""
+
+from repro.adaptive.controller import (
+    AdaptiveController,
+    AdaptivePolicy,
+    AdaptiveReport,
+    CorrectedCostModel,
+)
+from repro.adaptive.inject import (
+    InjectedCardinalityStore,
+    load_injected_cards,
+)
+
+__all__ = [
+    "AdaptiveController",
+    "AdaptivePolicy",
+    "AdaptiveReport",
+    "CorrectedCostModel",
+    "InjectedCardinalityStore",
+    "load_injected_cards",
+]

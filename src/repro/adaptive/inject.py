@@ -1,0 +1,187 @@
+"""Injected cardinalities: deterministic, precise misestimates on demand.
+
+The jgmp-style harness shape: a JSON document mapping predicate
+fingerprints (or function names) to the statistics the catalog *should*
+believe — either a selectivity directly or a ``rows``/``input_rows``
+cardinality pair, plus an optional per-call cost. The store exposes the
+same duck-typed ``observations_for`` surface as
+:class:`~repro.obs.feedback.StatsFeedbackStore`, so injection flows
+through the one sanctioned statistics mutation path,
+:meth:`repro.catalog.catalog.Catalog.apply_feedback` — tests (and the
+misestimation bench) force exact catalog lies without ever running a
+query first.
+
+Document shape (``--inject-cards FILE``)::
+
+    {
+      "schema_version": 1,
+      "kind": "injected-cards",
+      "cards": {
+        "costly100": {"selectivity": 0.1},
+        "1f2e3d4c5b6a7988": {"rows": 120, "input_rows": 480,
+                             "cost_per_call": 50.0}
+      }
+    }
+
+Keys are matched against each bound predicate's content fingerprint
+(:func:`~repro.obs.feedback.predicate_fingerprint`) first and fall back
+to being read as UDF names; ``apply_feedback`` ignores observations
+whose function is not registered, so stale cards are inert rather than
+fatal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ArtifactError
+from repro.obs.feedback import predicate_fingerprint
+
+#: Bump when the injected-cards document shape changes incompatibly.
+INJECT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class InjectedObservation:
+    """One injected statistic, in ``apply_feedback``'s duck-typed shape.
+
+    ``evaluated`` / ``charged_calls`` act as apply-gates: zero means
+    "this field was not injected, leave the catalog alone", mirroring
+    how a real :class:`~repro.obs.feedback.PredicateObservation` only
+    carries fields it actually observed.
+    """
+
+    key: str
+    functions: tuple[str, ...]
+    evaluated: int
+    observed_selectivity: float
+    charged_calls: int
+    observed_cost_per_call: float
+
+
+def _card_selectivity(key: str, card: dict) -> tuple[int, float]:
+    """(evaluated, selectivity) from a card: direct or rows/input_rows."""
+    if "selectivity" in card:
+        return max(1, int(card.get("rows", 1))), float(card["selectivity"])
+    if "rows" in card:
+        input_rows = int(card.get("input_rows", 0))
+        if input_rows <= 0:
+            raise ArtifactError(
+                f"injected card {key!r} gives 'rows' without a positive "
+                f"'input_rows' to divide by"
+            )
+        return input_rows, float(card["rows"]) / input_rows
+    return 0, float("nan")
+
+
+class InjectedCardinalityStore:
+    """Fingerprint→statistics cards, bindable to a query's predicates."""
+
+    def __init__(self, cards: dict[str, dict]) -> None:
+        self.cards = dict(cards)
+        self._observations: list[InjectedObservation] = []
+        self.unmatched: list[str] = []
+        # Unbound cards resolve as bare function names, so a store is
+        # usable without a query (e.g. catalog-wide injection in tests).
+        self.bind(())
+
+    @classmethod
+    def from_dict(cls, document: dict, source: str = "<dict>") -> (
+        "InjectedCardinalityStore"
+    ):
+        if not isinstance(document, dict):
+            raise ArtifactError(
+                f"injected cards {source} is not a JSON object"
+            )
+        version = document.get("schema_version", INJECT_SCHEMA_VERSION)
+        if version != INJECT_SCHEMA_VERSION:
+            raise ArtifactError(
+                f"injected cards {source} has schema_version {version!r}; "
+                f"this build reads version {INJECT_SCHEMA_VERSION}"
+            )
+        cards = document.get("cards")
+        if not isinstance(cards, dict) or not cards:
+            raise ArtifactError(
+                f"injected cards {source} has no non-empty 'cards' object"
+            )
+        for key, card in cards.items():
+            if not isinstance(card, dict):
+                raise ArtifactError(
+                    f"injected card {key!r} in {source} is not an object"
+                )
+        return cls(cards)
+
+    @classmethod
+    def load(cls, path) -> "InjectedCardinalityStore":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as error:
+            raise ArtifactError(
+                f"cannot read injected cards {path}: {error}"
+            ) from None
+        except json.JSONDecodeError as error:
+            raise ArtifactError(
+                f"injected cards {path} is not valid JSON: {error}"
+            ) from None
+        return cls.from_dict(document, source=str(path))
+
+    def bind(self, predicates) -> "InjectedCardinalityStore":
+        """Resolve card keys against ``predicates``' fingerprints.
+
+        Keys matching no fingerprint are kept as function-name cards
+        (and listed in :attr:`unmatched` when they *look* like
+        fingerprints — 16 hex digits — so the CLI can warn). Returns
+        ``self`` for chaining.
+        """
+        by_fingerprint = {}
+        for predicate in predicates:
+            by_fingerprint.setdefault(
+                predicate_fingerprint(predicate), predicate
+            )
+        observations = []
+        unmatched = []
+        for key in sorted(self.cards):
+            card = self.cards[key]
+            predicate = by_fingerprint.get(key)
+            if predicate is not None:
+                functions = tuple(
+                    sorted(set(predicate.expr.function_names()))
+                )
+            else:
+                functions = (key,)
+                if len(key) == 16 and all(
+                    ch in "0123456789abcdef" for ch in key
+                ):
+                    unmatched.append(key)
+            evaluated, selectivity = _card_selectivity(key, card)
+            cost = card.get("cost_per_call")
+            observations.append(
+                InjectedObservation(
+                    key=key,
+                    functions=functions,
+                    evaluated=evaluated,
+                    observed_selectivity=selectivity,
+                    charged_calls=1 if cost is not None else 0,
+                    observed_cost_per_call=(
+                        float(cost) if cost is not None else float("nan")
+                    ),
+                )
+            )
+        self._observations = observations
+        self.unmatched = unmatched
+        return self
+
+    def observations_for(
+        self, number: int | None = None
+    ) -> list[InjectedObservation]:
+        """``Catalog.apply_feedback``'s duck-typed surface; the epoch
+        number is meaningless for an injection file and ignored."""
+        return list(self._observations)
+
+
+def load_injected_cards(path) -> InjectedCardinalityStore:
+    """Read ``--inject-cards FILE`` (convenience wrapper)."""
+    return InjectedCardinalityStore.load(Path(path))

@@ -1,0 +1,186 @@
+"""Seeded misestimation workloads: where static placement goes wrong.
+
+The ADAPT family exists to exercise mid-query re-optimization, so each
+scenario plants a *controlled* catalog lie and pairs it with an honest
+twin. The query shape is chosen so the lie flips exactly one placement
+decision — never the join order — because the adaptive controller
+re-plans only the unexecuted suffix of a fixed join skeleton:
+
+* ``adaptjoin10(t2.ua1, t3.ua1)`` — an expensive join predicate
+  (cost 10/pair, honest selectivity 0.002/pair). Per outer tuple the
+  join filters (``0.002 × |t3| < 1``) at a large per-tuple cost, so its
+  rank ``(s-1)/c`` lands in the same magnitude band as an expensive
+  selection's — the interesting regime where a selectivity lie flips
+  pullup vs pushdown. A non-equijoin also forces a nested-loop join,
+  which is *not* a pipeline breaker, so the flip stays inside the
+  adaptive controller's safe-move region.
+* ``adaptliar100(t2.ua1)`` — the misestimated selection (cost
+  100/call). Its *realized* selectivity is always ~0.40; what each
+  scenario varies is the *declared* one. Declared 0.99 ranks the
+  predicate just above the join (pullup); the truth ranks it below
+  (pushdown). The argument column is unique (``ua1``), so the realized
+  rate concentrates tightly around 0.40 and honest scenarios stay
+  honest — low-distinct columns like ``u20`` would quantize the
+  realized rate onto a handful of values and make "honest" a lie at
+  small scales.
+
+Scenarios (same SQL, same data, different declarations):
+
+``adapt_drift``
+    Declared 0.99 (q-error ~2.4 > the 2.0 trigger threshold). The
+    static plan hoists the liar above the join and pays the expensive
+    join on every unfiltered outer tuple; adaptive detects the drift at
+    a row milestone and pushes the predicate down for the remaining
+    rows. The bench gate: adaptive charged < static charged, ≥1 replan.
+``adapt_honest``
+    Declared 0.40 — the honest twin. Placement starts correct, nothing
+    drifts, and the gate is the *other* direction: zero re-plans, and
+    charges identical to the non-adaptive run.
+``adapt_mild``
+    Declared 0.60 (q-error ~1.45 < threshold). Wrong, but within
+    tolerance — the guardrail gate: drift below the threshold must not
+    trigger churn, so zero re-plans here too.
+
+Registered separately from :data:`repro.bench.workloads.WORKLOADS` so
+the q1–q5/qor baselines (and their artifacts) are untouched by this
+family's extra function registrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.functions import synthetic_boolean
+from repro.errors import ArtifactError
+from repro.optimizer.query import Query
+from repro.sql import compile_query
+
+#: The one query shape every ADAPT scenario shares (see module docstring
+#: for why this shape and not, say, q1's equijoin).
+ADAPT_SQL = (
+    "SELECT * FROM t2, t3 "
+    "WHERE adaptjoin10(t2.ua1, t3.ua1) AND adaptliar100(t2.ua1)"
+)
+
+#: What the expensive selection actually does, in every scenario.
+REALIZED_SELECTIVITY = 0.40
+
+#: The expensive join's honest per-pair selectivity. ``0.002 × |t3|``
+#: must stay below 1 for the join to filter per outer tuple; at the
+#: bench's default scale 100 it is 0.6.
+JOIN_SELECTIVITY = 0.002
+
+
+@dataclass(frozen=True)
+class AdaptWorkload:
+    """One misestimation scenario: a declaration and an expectation."""
+
+    key: str
+    title: str
+    #: What the catalog is told ``adaptliar100`` selects.
+    declared: float
+    #: ``"improves"`` — adaptive must beat the static plan's charged
+    #: cost with ≥1 recorded re-plan; ``"neutral"`` — adaptive must
+    #: trigger zero re-plans and charge exactly what static charges.
+    expectation: str
+    diagnostic: str
+    query: Query | None = field(default=None, compare=False)
+
+    @property
+    def realized(self) -> float:
+        return REALIZED_SELECTIVITY
+
+
+_SCENARIOS = (
+    AdaptWorkload(
+        key="adapt_drift",
+        title="declared 0.99, realized 0.40: drift past the threshold",
+        declared=0.99,
+        expectation="improves",
+        diagnostic=(
+            "static migration hoists the liar above the expensive join "
+            "(declared rank -0.0001 beats the join's); mid-query feedback "
+            "reveals q-error ~2.4 and the suffix re-plan pushes it down"
+        ),
+    ),
+    AdaptWorkload(
+        key="adapt_honest",
+        title="declared 0.40, realized 0.40: the honest twin",
+        declared=REALIZED_SELECTIVITY,
+        expectation="neutral",
+        diagnostic=(
+            "placement starts correct; the adaptive run must observe, "
+            "never interfere — zero re-plans, charges identical to the "
+            "static run"
+        ),
+    ),
+    AdaptWorkload(
+        key="adapt_mild",
+        title="declared 0.60, realized 0.40: drift within tolerance",
+        declared=0.60,
+        expectation="neutral",
+        diagnostic=(
+            "q-error ~1.45 stays under the 2.0 trigger threshold; the "
+            "hysteresis gate — tolerable misestimates must not cause "
+            "re-plan churn"
+        ),
+    ),
+)
+
+#: key -> scenario, in definition order.
+ADAPT_WORKLOADS = {scenario.key: scenario for scenario in _SCENARIOS}
+
+
+def ensure_adapt_functions(db, declared: float) -> None:
+    """Register the ADAPT pair with ``declared`` as the lie (idempotent).
+
+    First registration per database wins, like
+    :func:`repro.bench.workloads.ensure_workload_functions` — which is
+    what rebuild-after-``apply_feedback`` needs: re-registering would
+    clobber injected statistics. Scenarios carry *different* declared
+    selectivities for the same name, so each scenario must be built
+    against a fresh database. Seeds are pinned off ``db.seed`` so
+    realized behaviour is deterministic per seed and unchanged by the
+    declaration.
+    """
+    functions = db.catalog.functions
+    if "adaptjoin10" not in functions:
+        functions.register(
+            "adaptjoin10",
+            synthetic_boolean(JOIN_SELECTIVITY, seed=db.seed + 11),
+            cost_per_call=10.0,
+            selectivity=JOIN_SELECTIVITY,
+        )
+    if "adaptliar100" not in functions:
+        functions.register(
+            "adaptliar100",
+            synthetic_boolean(REALIZED_SELECTIVITY, seed=db.seed + 12),
+            cost_per_call=100.0,
+            selectivity=declared,
+        )
+
+
+def build_adapt_workload(db, key: str) -> AdaptWorkload:
+    """Bind scenario ``key`` against ``db``: register functions, compile.
+
+    Returns a copy of the registry entry with :attr:`AdaptWorkload.query`
+    populated. Mutates ``db``'s function registry (see
+    :func:`ensure_adapt_functions`) — use one database per scenario.
+    """
+    try:
+        scenario = ADAPT_WORKLOADS[key]
+    except KeyError:
+        raise ArtifactError(
+            f"unknown adapt workload {key!r}; "
+            f"choose one of {sorted(ADAPT_WORKLOADS)}"
+        ) from None
+    ensure_adapt_functions(db, scenario.declared)
+    query = compile_query(db, ADAPT_SQL, name=key)
+    return AdaptWorkload(
+        key=scenario.key,
+        title=scenario.title,
+        declared=scenario.declared,
+        expectation=scenario.expectation,
+        diagnostic=scenario.diagnostic,
+        query=query,
+    )

@@ -139,6 +139,7 @@ def run_strategies(
     feedback: bool = False,
     telemetry: bool = False,
     executor: str = "row",
+    adaptive=None,
 ) -> list[StrategyOutcome]:
     """Optimize and (optionally) execute ``query`` under each strategy.
 
@@ -164,6 +165,10 @@ def run_strategies(
     like feedback, pure observation that never changes a plan.
     ``executor`` selects the row-at-a-time (``"row"``, the default) or
     batch-at-a-time (``"vector"``) execution path for every strategy.
+    ``adaptive`` (an :class:`repro.adaptive.AdaptivePolicy`) arms
+    mid-query re-optimization on each execution; the controller's
+    report lands in ``extras["adaptive"]`` and its ``plan.replan``
+    events in the strategy's ledger (when ``provenance=True``).
     """
     outcomes: list[StrategyOutcome] = []
     for strategy in strategies:
@@ -197,15 +202,13 @@ def run_strategies(
             planning_seconds=optimized.planning_seconds,
             notes=dict(optimized.notes),
         )
-        if provenance:
-            outcome.extras["ledger"] = ledger.summary()
         if execute:
             collector = FeedbackCollector() if feedback else None
             monitor = RuntimeMonitor() if telemetry else None
             runner = Executor(
                 db, caching=caching, budget=budget, tracer=tracer,
                 profiler=profiler, collector=collector, monitor=monitor,
-                executor=executor,
+                executor=executor, adaptive=adaptive, ledger=ledger,
             )
             result = runner.execute(optimized.plan, instrument=instrument)
             outcome.charged = result.charged
@@ -231,6 +234,12 @@ def run_strategies(
                         result.resources.as_dict()
                     )
                 outcome.extras["monitor"] = monitor
+            if result.adaptive is not None:
+                outcome.extras["adaptive"] = result.adaptive.as_dict()
+        if provenance:
+            # Summarised after execution so mid-query plan.replan events
+            # (adaptive runs) land next to the planning-time decisions.
+            outcome.extras["ledger"] = ledger.summary()
         outcomes.append(outcome)
 
     completed = [

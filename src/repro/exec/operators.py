@@ -125,6 +125,19 @@ class RuntimeContext:
     #: engine was doing in its final moments. Same
     #: zero-overhead-when-off contract as the other optional sinks.
     flight: object | None = None
+    #: When not ``None``, the adaptive mid-query re-optimization feed
+    #: (duck-typed: normally a
+    #: :class:`repro.adaptive.controller.AdaptiveController`). The build
+    #: wraps the spine leaf's raw source in a :class:`LeafFeedOperator`
+    #: (``feed.on_leaf_row`` fires at the safe splice boundary, *before*
+    #: the row enters any filter) and taps the nodes in ``feed.tap_ids``
+    #: with row counters (``feed.on_node_row``). With a feed installed,
+    #: scans and joins always get a :class:`FilterChain`, even when their
+    #: filter list is currently empty — a re-plan may move predicates
+    #: onto them mid-query, and the chain re-reads the live list per row.
+    #: ``None`` (always, unless ``--adaptive``) keeps every hot path and
+    #: the built operator shapes byte-identical to the baselines.
+    feed: object | None = None
 
     def __post_init__(self) -> None:
         if self.cache_mode not in ("predicate", "function"):
@@ -544,6 +557,12 @@ class HashJoinOp(Operator):
         self.inner_slot = inner.scope.slot(
             inner_column.table, inner_column.attribute
         )
+        #: Did the build side spill (Grace)? Decided per execution in
+        #: ``__iter__``; a Grace run buffers its *outer* too, making this
+        #: join a full pipeline breaker — the adaptive planner treats
+        #: every spine hash join as one, conservatively, since this flag
+        #: only settles at run time.
+        self.grace = False
 
     def __iter__(self) -> Iterator[tuple]:
         meter = self.ctx.meter
@@ -557,6 +576,7 @@ class HashJoinOp(Operator):
         inner_width = _scope_width(self.inner.scope, self.ctx.catalog)
         inner_pages = self.ctx.params.pages_for(inner_count, inner_width)
         if inner_pages > self.ctx.params.hash_memory_pages:
+            self.grace = True
             # Grace hash join: partition both sides to disk and back.
             outer_rows = list(self.outer)
             outer_width = _scope_width(self.outer.scope, self.ctx.catalog)
@@ -718,12 +738,59 @@ class FlightOperator(Operator):
         )
 
 
+class LeafFeedOperator(Operator):
+    """The adaptive safe boundary: wraps the spine leaf's *raw* source.
+
+    ``feed.on_leaf_row()`` fires after the leaf produces a row but
+    before that row enters any filter. The row pipeline is a synchronous
+    pull chain, so zero rows are in flight above the leaf at that
+    instant — the feed may splice a re-planned predicate placement into
+    the live filter lists and every row (including this one) is still
+    evaluated against each predicate exactly once. Only constructed when
+    the context carries a ``feed``; the default path never sees this
+    class.
+    """
+
+    def __init__(self, child: Operator, feed) -> None:
+        self.child = child
+        self.feed = feed
+        self.scope = child.scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        feed = self.feed
+        for row in self.child:
+            feed.on_leaf_row()
+            yield row
+
+
+class TapOperator(Operator):
+    """Transparent row counter feeding the adaptive controller's join
+    fan-out observations. Charges nothing, changes nothing; only
+    constructed for nodes in ``feed.tap_ids``."""
+
+    def __init__(self, node: PlanNode, child: Operator, feed) -> None:
+        self.child = child
+        self.feed = feed
+        self.key = id(node)
+        self.scope = child.scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        feed = self.feed
+        key = self.key
+        for row in self.child:
+            feed.on_node_row(key)
+            yield row
+
+
 def build_operator(node: PlanNode, ctx: RuntimeContext) -> Operator:
     """Compile a plan tree into an operator tree (instrumented when the
     context carries a ``node_stats`` sink, flight-recorded when it
     carries a ``flight`` recorder, monitored when it carries a
     ``monitor``)."""
     operator = _build_operator(node, ctx)
+    feed = ctx.feed
+    if feed is not None and id(node) in feed.tap_ids:
+        operator = TapOperator(node, operator, feed)
     if ctx.node_stats is not None:
         operator = InstrumentedOperator(node, operator, ctx)
     if ctx.flight is not None:
@@ -742,7 +809,10 @@ def _build_operator(node: PlanNode, ctx: RuntimeContext) -> Operator:
             )
         else:
             source = SeqScanOp(node.table, ctx)
-        if node.filters:
+        feed = ctx.feed
+        if feed is not None and id(node) == feed.leaf_id:
+            source = LeafFeedOperator(source, feed)
+        if node.filters or feed is not None:
             return FilterChain(source, node.filters, ctx)
         return source
 
@@ -760,7 +830,7 @@ def _build_operator(node: PlanNode, ctx: RuntimeContext) -> Operator:
                 joined = HashJoinOp(node, outer, inner, ctx)
             else:  # pragma: no cover - exhaustive over enum
                 raise PlanError(f"unknown join method {node.method}")
-        if node.filters:
+        if node.filters or ctx.feed is not None:
             return FilterChain(joined, node.filters, ctx)
         return joined
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.adaptive.controller import AdaptiveController, AdaptivePolicy
 from repro.cost.model import CostModel
 from repro.errors import BudgetExceededError, ExecutionError, UdfError
 from repro.exec.cache import CacheStats, PredicateCache
@@ -23,6 +24,7 @@ from repro.storage.columnar import DEFAULT_BATCH_ROWS
 from repro.faults.clock import SimulatedClock
 from repro.expr.expressions import QualifiedColumn, Scope
 from repro.obs.profile import NULL_PROFILER
+from repro.obs.provenance import NULL_LEDGER
 from repro.obs.tracer import NULL_TRACER
 from repro.plan.display import _node_label
 from repro.plan.nodes import Plan, PlanNode
@@ -72,6 +74,10 @@ class QueryResult:
     #: (:class:`~repro.obs.runtime_telemetry.QueryResourceReport`).
     #: ``None`` unless the executor ran with a live telemetry monitor.
     resources: object | None = None
+    #: What the mid-query re-optimization loop did
+    #: (:class:`~repro.adaptive.controller.AdaptiveReport`). ``None``
+    #: unless the executor ran with an :class:`AdaptivePolicy`.
+    adaptive: object | None = None
 
     @property
     def degraded(self) -> bool:
@@ -116,6 +122,10 @@ class Executor:
         batch_rows: int = DEFAULT_BATCH_ROWS,
         cache_capacity: int | None = None,
         flight=None,
+        adaptive: AdaptivePolicy | None = None,
+        ledger=None,
+        adaptive_stats_store=None,
+        adaptive_stats_meta: dict | None = None,
     ) -> None:
         """``cache_mode`` selects predicate-level (Montage) or
         function-level ([Jhi88]) memoisation; ``cache_bypass`` enables the
@@ -151,7 +161,21 @@ class Executor:
         bounded batch/milestone events into its ring buffer, and a
         budget- or UDF-aborted run marks the recorder tripped so the
         caller can serialize a crash dump; the default ``None`` keeps
-        every hot path recorder-free."""
+        every hot path recorder-free. ``adaptive`` enables mid-query
+        re-optimization under the given
+        :class:`~repro.adaptive.controller.AdaptivePolicy`: the plan's
+        predicate placement may be re-planned and spliced in place at
+        safe leaf boundaries when observed selectivities drift from
+        the declarations (adaptive runs always use the row engine —
+        with ``executor="vector"`` the boundary cadence becomes every
+        ``batch_rows`` leaf rows instead of power-of-two milestones);
+        ``ledger`` (a :class:`~repro.obs.ProvenanceLedger`) receives
+        the mandatory ``plan.replan``/``stats.drift`` events;
+        ``adaptive_stats_store`` plus ``adaptive_stats_meta`` (a
+        :class:`~repro.obs.feedback.StatsFeedbackStore` and
+        ``strategy``/``scale``/``seed`` metadata) make each applied
+        re-plan snapshot its observations as a mid-query stats
+        epoch."""
         if executor not in EXECUTORS:
             raise ExecutionError(
                 f"executor must be one of {EXECUTORS}, got {executor!r}"
@@ -174,6 +198,10 @@ class Executor:
         self.collector = collector
         self.monitor = monitor
         self.flight = flight
+        self.adaptive = adaptive
+        self.ledger = ledger
+        self.adaptive_stats_store = adaptive_stats_store
+        self.adaptive_stats_meta = adaptive_stats_meta
 
     def _bypass_ids(self, node: PlanNode) -> frozenset[int]:
         """Predicates not worth caching: nearly every binding is distinct.
@@ -264,6 +292,32 @@ class Executor:
                 node,
                 CostModel(db.catalog, db.params, caching=self.caching),
             )
+        controller: AdaptiveController | None = None
+        if self.adaptive is not None:
+            # Adaptive runs always drive the row pipeline — the vector
+            # engine has no safe splice point — but honour a vector
+            # request's batch granularity as the boundary cadence. The
+            # controller doubles as the feedback collector (tee-ing to
+            # any user-supplied one) so drift detection rides the
+            # existing evaluate_predicate bracket.
+            controller = AdaptiveController(
+                node,
+                catalog=db.catalog,
+                params=db.params,
+                meter=db.meter,
+                caching=self.caching,
+                policy=self.adaptive,
+                collector=self.collector,
+                ledger=self.ledger if self.ledger is not None else NULL_LEDGER,
+                flight=self.flight,
+                cadence=(
+                    self.batch_rows if self.executor == "vector" else 0
+                ),
+                stats_store=self.adaptive_stats_store,
+                stats_meta=self.adaptive_stats_meta,
+            )
+            controller.cache = cache
+        feed_on = controller is not None and controller.active
         ctx = RuntimeContext(
             catalog=db.catalog,
             meter=db.meter,
@@ -274,10 +328,11 @@ class Executor:
             bypass_ids=self._bypass_ids(node),
             node_stats=node_stats,
             containment=containment,
-            collector=self.collector,
+            collector=controller if feed_on else self.collector,
             monitor=monitor,
             batch_stats=batch_stats,
             flight=self.flight,
+            feed=controller if feed_on else None,
         )
         started = time.perf_counter()
         rows: list[tuple] = []
@@ -288,7 +343,9 @@ class Executor:
             "execute", caching=self.caching, instrumented=instrument
         ) as span:
             try:
-                vectorized = self.executor == "vector"
+                vectorized = (
+                    self.executor == "vector" and controller is None
+                )
                 with tracer.span("executor.build"), \
                         profiler.phase("exec.build"):
                     if vectorized:
@@ -388,6 +445,9 @@ class Executor:
             error=error,
             quarantine=(
                 containment.report if containment is not None else None
+            ),
+            adaptive=(
+                controller.report if controller is not None else None
             ),
         )
         if monitor is not None:

@@ -1439,6 +1439,18 @@ class VectorPlanRunner:
         ctx: RuntimeContext,
         batch_rows: int = DEFAULT_BATCH_ROWS,
     ) -> None:
+        if ctx.feed is not None:
+            # Defensive: batch operators snapshot compiled predicate
+            # runners at build time and park remainder rows between
+            # operators, so a mid-query re-plan has no safe splice
+            # point here. The executor facade routes adaptive runs to
+            # the row engine (batch-rows cadence); reaching this branch
+            # means a caller wired a feed straight into the vector
+            # path.
+            raise ExecutionError(
+                "adaptive re-optimization requires the row engine; "
+                "the vector path cannot splice a re-planned suffix"
+            )
         self.operator = build_batch_operator(node, ctx, batch_rows)
         self.scope = self.operator.scope
 

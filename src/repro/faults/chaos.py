@@ -42,6 +42,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.adaptive.controller import AdaptivePolicy
 from repro.bench.workloads import WORKLOADS, Workload, build_workload
 from repro.catalog.datagen import build_database
 from repro.database import Database
@@ -113,6 +114,22 @@ class ChaosOutcome:
     #: Path of the FLIGHT_*.json crash dump this run wrote (empty when
     #: the run completed or the suite ran without ``flight_dir``).
     flight_dump: str = ""
+    #: Adaptive twin-run audit (``run_chaos(..., adaptive=True)``):
+    #: the same (seed, strategy) executed again with mid-query
+    #: re-optimization armed. ``adaptive_vs_static`` is the multiset
+    #: relation of the adaptive run's rows to this outcome's rows —
+    #: ``"equal"`` is the hard invariant whenever no error faults fired
+    #: in either run; ``"n/a"`` when the comparison is not meaningful
+    #: (either run DNF'd or error faults made the streams diverge
+    #: legitimately).
+    adaptive_completed: bool | None = None
+    adaptive_error: str = ""
+    adaptive_row_count: int = 0
+    adaptive_rows_vs_oracle: str = "n/a"
+    adaptive_vs_static: str = "n/a"
+    adaptive_replans: int = 0
+    adaptive_refusals: int = 0
+    adaptive_errors_fired: int = 0
 
     @property
     def ok(self) -> bool:
@@ -139,6 +156,14 @@ class ChaosOutcome:
             "degraded": list(self.degraded),
             "violations": list(self.violations),
             "flight_dump": self.flight_dump,
+            "adaptive_completed": self.adaptive_completed,
+            "adaptive_error": self.adaptive_error,
+            "adaptive_row_count": self.adaptive_row_count,
+            "adaptive_rows_vs_oracle": self.adaptive_rows_vs_oracle,
+            "adaptive_vs_static": self.adaptive_vs_static,
+            "adaptive_replans": self.adaptive_replans,
+            "adaptive_refusals": self.adaptive_refusals,
+            "adaptive_errors_fired": self.adaptive_errors_fired,
         }
 
 
@@ -155,6 +180,11 @@ class ChaosReport:
     strategies: tuple[str, ...]
     seeds: tuple[int, ...]
     executor: str = "row"
+    #: Whether each run was paired with an adaptive twin (and the policy
+    #: knobs it ran under).
+    adaptive: bool = False
+    drift_threshold: float | None = None
+    max_replans: int | None = None
     oracle_rows: int = 0
     fault_plans: dict[int, dict] = field(default_factory=dict)
     outcomes: list[ChaosOutcome] = field(default_factory=list)
@@ -196,6 +226,9 @@ class ChaosReport:
             "strategies": list(self.strategies),
             "seeds": list(self.seeds),
             "executor": self.executor,
+            "adaptive": self.adaptive,
+            "drift_threshold": self.drift_threshold,
+            "max_replans": self.max_replans,
             "oracle_rows": self.oracle_rows,
             "fault_plans": {
                 str(seed): plan for seed, plan in self.fault_plans.items()
@@ -345,6 +378,9 @@ def run_chaos(
     telemetry: bool = False,
     executor: str = "row",
     flight_dir: str | None = None,
+    adaptive: bool = False,
+    drift_threshold: float | None = None,
+    max_replans: int | None = None,
 ) -> ChaosReport:
     """Run the chaos suite for one workload; returns the full report.
 
@@ -374,6 +410,19 @@ def run_chaos(
     dies serializes a ``FLIGHT_<workload>_seed<seed>_<strategy>.json``
     crash dump into the directory, its path recorded in the outcome's
     ``flight_dump`` — deterministic input for ``repro postmortem``.
+
+    ``adaptive=True`` pairs every (seed, strategy) run with a *twin*
+    execution on a freshly planned copy of the same query with mid-query
+    re-optimization armed (``drift_threshold`` / ``max_replans``
+    override the :class:`~repro.adaptive.AdaptivePolicy` defaults). The
+    twin is audited against the same oracle invariants, and — the hard
+    equivalence gate — whenever **no error faults fired in either run**
+    (always true under ``--profile stats``, whose corruption is
+    install-time only), the twin's row multiset must equal the static
+    run's exactly: re-planning may move work, never rows. When error
+    faults did fire, the two runs legitimately consume the fault
+    schedule at different call indices and only the per-run oracle
+    invariants apply.
     """
     if workload_key not in WORKLOADS:
         raise ReproError(
@@ -400,7 +449,16 @@ def run_chaos(
         strategies=tuple(strategies),
         seeds=tuple(seeds),
         executor=executor,
+        adaptive=adaptive,
+        drift_threshold=drift_threshold,
+        max_replans=max_replans,
     )
+    policy_kwargs = {}
+    if drift_threshold is not None:
+        policy_kwargs["drift_threshold"] = drift_threshold
+    if max_replans is not None:
+        policy_kwargs["max_replans"] = max_replans
+    adaptive_policy = AdaptivePolicy(**policy_kwargs) if adaptive else None
 
     db = build_database(scale=scale, seed=db_seed)
     workload = build_workload(db, workload_key)
@@ -576,7 +634,160 @@ def run_chaos(
                         document,
                     )
                     outcome.flight_dump = str(target)
+                if adaptive_policy is not None:
+                    _run_adaptive_twin(
+                        db,
+                        chaos_query,
+                        workload_key,
+                        strategy,
+                        fault_plan,
+                        outcome,
+                        result,
+                        oracle,
+                        project,
+                        injector,
+                        failure_policy,
+                        adaptive_policy,
+                        recoverable=recoverable,
+                        policy=policy,
+                        executor=executor,
+                        flight_dir=flight_dir,
+                        seed=seed,
+                    )
     return report
+
+
+def _run_adaptive_twin(
+    db,
+    chaos_query,
+    workload_key: str,
+    strategy: str,
+    fault_plan,
+    outcome: ChaosOutcome,
+    static_result,
+    oracle: list[tuple],
+    project,
+    injector,
+    failure_policy,
+    adaptive_policy,
+    *,
+    recoverable: bool,
+    policy: str,
+    executor: str,
+    flight_dir: str | None,
+    seed: int,
+) -> None:
+    """Execute the adaptive twin of one chaos run and audit it in place.
+
+    Plans fresh (the static run's plan must stay pristine — an adaptive
+    run re-places predicates on the live plan object); planner faults
+    are deterministic per (fault plan, strategy), so the twin degrades
+    down the same ladder. Violations land on ``outcome`` prefixed
+    ``adaptive:`` so one report row carries both runs' verdicts.
+    """
+    try:
+        optimized = optimize_degraded(
+            db, chaos_query, strategy=strategy, fault_plan=fault_plan
+        )
+    except Exception as error:  # noqa: BLE001 — symmetric with static
+        outcome.adaptive_error = f"planner: {error}"
+        outcome.violations.append(
+            f"adaptive: twin planning failed after static planning "
+            f"succeeded: {error}"
+        )
+        return
+    ledger = ProvenanceLedger()
+    recorder = (
+        FlightRecorder(clock=injector.clock)
+        if flight_dir is not None
+        else None
+    )
+    runner = Executor(
+        db,
+        failure_policy=failure_policy,
+        clock=injector.clock,
+        executor=executor,
+        flight=recorder,
+        adaptive=adaptive_policy,
+        ledger=ledger,
+    )
+    fired_before = injector.stats.errors_injected
+    try:
+        result = runner.execute(optimized.plan, project=project)
+    except Exception as error:  # noqa: BLE001 — the point
+        kind = (
+            "uncontained Repro"
+            if isinstance(error, ReproError)
+            else "non-Repro"
+        )
+        outcome.adaptive_error = f"uncaught: {error}"
+        outcome.violations.append(
+            f"adaptive: execution raised {kind} "
+            f"{type(error).__name__}: {error}"
+        )
+        return
+    outcome.adaptive_completed = result.completed
+    outcome.adaptive_error = result.error
+    outcome.adaptive_row_count = result.row_count
+    outcome.adaptive_errors_fired = (
+        injector.stats.errors_injected - fired_before
+    )
+    report = result.adaptive
+    if report is not None:
+        outcome.adaptive_replans = report.replans
+        outcome.adaptive_refusals = report.refusals
+    relation = (
+        _relation(sorted(result.rows), oracle)
+        if result.completed
+        else "n/a"
+    )
+    outcome.adaptive_rows_vs_oracle = relation
+    # The twin must honour the same oracle invariants as any run.
+    audit = ChaosOutcome(seed=outcome.seed, strategy=strategy)
+    audit.completed = result.completed
+    audit.error = result.error
+    audit.quarantined = int(result.metrics.get("udf.quarantined", 0))
+    _audit(audit, relation, recoverable, policy)
+    outcome.violations.extend(
+        f"adaptive: {violation}" for violation in audit.violations
+    )
+    # The hard equivalence gate: no error faults in either run means the
+    # two executions saw identical verdict streams, so re-planning must
+    # be row-invisible. (Error faults fire by call index; the two runs
+    # consume the schedule differently, making comparison meaningless.)
+    if static_result.completed and result.completed:
+        if outcome.errors_fired == 0 and outcome.adaptive_errors_fired == 0:
+            twin_relation = _relation(
+                sorted(result.rows), sorted(static_result.rows)
+            )
+            outcome.adaptive_vs_static = twin_relation
+            if twin_relation != "equal":
+                outcome.violations.append(
+                    f"adaptive-rows-diverged: adaptive run's rows "
+                    f"{twin_relation} the static run's "
+                    f"({result.row_count} vs {static_result.row_count}) "
+                    f"with no error faults fired"
+                )
+    if recorder is not None and not result.completed:
+        document = build_flight_dump(
+            recorder,
+            workload=workload_key,
+            reason=result.error,
+            executor=executor,
+            strategy=strategy,
+            seed=seed,
+            result=result,
+            ledger=ledger,
+            clamped_charges=int(db.meter.clamped_charges),
+        )
+        write_flight_dump(
+            flight_path(
+                flight_dir,
+                workload_key,
+                suffix=f"seed{seed}_{strategy}_adaptive",
+            ),
+            document,
+        )
 
 
 def format_chaos_report(report: ChaosReport) -> str:
@@ -643,6 +854,22 @@ def format_chaos_report(report: ChaosReport) -> str:
             verdict,
         )
     lines.append(table.render())
+    if report.adaptive:
+        lines.append(
+            "adaptive twins (same runs, mid-query re-optimization armed):"
+        )
+        for o in report.outcomes:
+            status = (
+                "ok" if o.adaptive_completed
+                else ("DNF" if o.adaptive_completed is not None else "—")
+            )
+            lines.append(
+                f"  seed {o.seed} {o.strategy}: {status} "
+                f"rows={o.adaptive_row_count} "
+                f"vs-static={o.adaptive_vs_static} "
+                f"replans={o.adaptive_replans} "
+                f"refusals={o.adaptive_refusals}"
+            )
     for o in report.outcomes:
         if o.flight_dump:
             lines.append(f"flight dump: {o.flight_dump}")

@@ -290,25 +290,56 @@ class StatsFeedbackStore:
         self.epochs: list[dict] = list(epochs or [])
 
     def epoch_numbers(self) -> list[int]:
-        return [int(epoch.get("epoch", 0)) for epoch in self.epochs]
+        """Numbers of the *end-of-run* epochs (sequence 0).
 
-    def epoch(self, number: int) -> dict:
+        Mid-query snapshots recorded by an adaptive re-plan share their
+        run's number under ``sequence >= 1`` and are deliberately
+        excluded: the drift CLI and ``apply_feedback`` compare complete
+        runs, and a half-query's observations must never masquerade as
+        one. Stores written before sequences existed have no
+        ``sequence`` key and read as 0.
+        """
+        return [
+            int(epoch.get("epoch", 0))
+            for epoch in self.epochs
+            if int(epoch.get("sequence", 0)) == 0
+        ]
+
+    def epoch(self, number: int, sequence: int = 0) -> dict:
         for epoch in self.epochs:
-            if int(epoch.get("epoch", 0)) == number:
+            if (
+                int(epoch.get("epoch", 0)) == number
+                and int(epoch.get("sequence", 0)) == sequence
+            ):
                 return epoch
+        suffix = f" (sequence {sequence})" if sequence else ""
         raise ArtifactError(
-            f"no epoch {number} recorded for workload "
+            f"no epoch {number}{suffix} recorded for workload "
             f"{self.workload!r}; recorded epochs: "
             f"{self.epoch_numbers() or 'none'}"
         )
 
+    def mid_query_epochs(self, number: int) -> list[dict]:
+        """The mid-query re-plan snapshots of one run, sequence order."""
+        return sorted(
+            (
+                epoch
+                for epoch in self.epochs
+                if int(epoch.get("epoch", 0)) == number
+                and int(epoch.get("sequence", 0)) > 0
+            ),
+            key=lambda epoch: int(epoch.get("sequence", 0)),
+        )
+
     def latest_epoch(self) -> dict:
-        if not self.epochs:
-            raise ArtifactError(
-                f"no epochs recorded for workload {self.workload!r}; "
-                f"run `repro stats {self.workload}` to record one"
-            )
-        return self.epochs[-1]
+        for epoch in reversed(self.epochs):
+            if int(epoch.get("sequence", 0)) == 0:
+                return epoch
+        raise ArtifactError(
+            f"no epochs recorded at end-of-run for workload "
+            f"{self.workload!r} (mid-query re-plan snapshots do not "
+            f"count); run `repro stats {self.workload}` to record one"
+        )
 
     def observations_for(
         self, number: int | None = None
@@ -336,11 +367,22 @@ class StatsFeedbackStore:
         seed: int,
         caching: bool = False,
         operators=None,
+        sequence: int = 0,
     ) -> int:
-        """Append one epoch; returns its number (1-based, monotonic)."""
+        """Append one epoch; returns its number (1-based, monotonic).
+
+        ``sequence`` versions the epoch key *within* a run: 0 (the
+        default) is the end-of-run epoch, ``n >= 1`` the ``n``-th
+        mid-query re-plan snapshot. Mid-query epochs pre-allocate the
+        forthcoming run's number — ``epoch_numbers()`` only counts
+        sequence-0 epochs, so a run that records snapshots at sequences
+        1..k and then its end-of-run epoch groups all k+1 documents
+        under one number instead of colliding with (or shadowing) it.
+        """
         number = max(self.epoch_numbers(), default=0) + 1
         epoch = {
             "epoch": number,
+            "sequence": int(sequence),
             "strategy": strategy,
             "scale": scale,
             "seed": seed,
@@ -479,8 +521,10 @@ def format_stats_epoch(
     flagged: dict[str, list[str]] = {}
     for finding in findings:
         flagged.setdefault(finding.subject, []).append(finding.field)
+    sequence = int(epoch.get("sequence", 0))
+    tag = f" replan {sequence}" if sequence else ""
     lines = [
-        f"== stats: {workload} epoch {epoch.get('epoch')} "
+        f"== stats: {workload} epoch {epoch.get('epoch')}{tag} "
         f"(strategy {epoch.get('strategy')}, "
         f"scale {epoch.get('scale')}, seed {epoch.get('seed')}"
         + (", caching" if epoch.get("caching") else "")

@@ -98,6 +98,11 @@ EVENT_KINDS = {
         "a placement strategy failed or timed out and the ladder fell "
         "back to a cheaper strategy"
     ),
+    "plan.replan": (
+        "a mid-query drift trigger: the adaptive controller applied, "
+        "refused (budget / oscillation / no improvement), or converged "
+        "on a re-planned predicate placement for the unexecuted suffix"
+    ),
 }
 
 

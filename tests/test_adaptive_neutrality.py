@@ -1,0 +1,101 @@
+"""With ``--adaptive`` off, nothing this PR added may move a baseline.
+
+The adaptive controller threads through the executor, the bench
+harness, and the CLI — so the non-adaptive path must be provably
+untouched. These tests regenerate every committed baseline workload
+(q1–q5 and qor) in fresh interpreters under differing
+``PYTHONHASHSEED`` values (the PR 6 feedback-neutrality pattern) and
+require the gated fields — plan fingerprints and charged costs — to be
+byte-identical across hash seeds *and* equal to the committed
+``benchmarks/baselines/BENCH_*.json`` documents.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+BASELINES = ROOT / "benchmarks" / "baselines"
+WORKLOADS = ("q1", "q2", "q3", "q4", "q5", "qor")
+
+#: One "workload strategy fingerprint charged" line per execution, with
+#: the recording path's observation flags on (they must be free) and
+#: the adaptive plumbing at its default (off).
+SCRIPT = """
+from repro.bench.harness import run_strategies
+from repro.bench.workloads import build_workload
+from repro.catalog.datagen import build_database
+from repro.obs.artifacts import plan_fingerprint
+
+db = build_database(scale=10, seed=42)
+for key in ("q1", "q2", "q3", "q4", "q5", "qor"):
+    workload = build_workload(db, key)
+    outcomes = run_strategies(
+        db, workload.query, budget=workload.budget,
+        provenance=True, feedback=True, telemetry=True,
+    )
+    for outcome in outcomes:
+        assert not outcome.error, (key, outcome.strategy, outcome.error)
+        print(
+            key, outcome.strategy, plan_fingerprint(outcome.plan),
+            repr(outcome.charged),
+        )
+"""
+
+
+def _run(hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = str(ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, "-c", SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=ROOT,
+        check=False,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return [_run(seed) for seed in ("0", "0", "1")]
+
+
+def test_all_workloads_covered(runs):
+    lines = runs[0].strip().splitlines()
+    covered = {line.split()[0] for line in lines}
+    assert covered == set(WORKLOADS)
+
+
+def test_byte_identical_across_identical_runs(runs):
+    assert runs[0] == runs[1]
+
+
+def test_byte_identical_across_hash_seeds(runs):
+    assert runs[0] == runs[2]
+
+
+def test_matches_committed_baselines(runs):
+    """Fingerprints and charged costs equal the committed artifacts —
+    the same fields ``repro bench-diff`` gates in CI."""
+    fresh = {}
+    for line in runs[0].strip().splitlines():
+        workload, strategy, fingerprint, charged = line.split()
+        fresh[(workload, strategy)] = (fingerprint, float(charged))
+    for workload in WORKLOADS:
+        with open(BASELINES / f"BENCH_{workload}.json") as handle:
+            document = json.load(handle)
+        assert document["environment"]["scale"] == 10
+        for strategy, record in document["strategies"].items():
+            key = (workload, strategy)
+            assert key in fresh, key
+            assert fresh[key][0] == record["fingerprint"], key
+            assert fresh[key][1] == record["charged"], key
